@@ -1,0 +1,79 @@
+// Ablation: channel provisioning and adaptive path diversity under load
+// (the Section 8.2 "use of virtual channels / adaptive routing" follow-up
+// directions).
+//
+//  * wires: 1 vs 2 physical copies per channel at full per-copy bandwidth
+//    (extra wires, as in the double-channel tree network);
+//  * virtual channels: V channels statically sharing one link's bandwidth
+//    (flit time scaled by V -- the conservative static-sharing model);
+//  * adaptive: randomised monotone shortest paths vs the deterministic
+//    label-extremal rule.
+#include "bench_common.hpp"
+#include "core/adaptive_path.hpp"
+
+namespace {
+
+using namespace mcnet;
+using mcast::Algorithm;
+
+worm::RouteBuilder adaptive_builder(const mcast::MeshRoutingSuite& suite,
+                                    std::uint8_t copies, std::uint64_t seed) {
+  // One RNG per builder; the simulator is single-threaded per experiment.
+  auto rng = std::make_shared<evsim::Rng>(seed);
+  return [&suite, copies, rng](topo::NodeId src, const std::vector<topo::NodeId>& dests) {
+    return worm::make_worm_specs(
+        suite.mesh(),
+        adaptive_dual_path_route(suite.mesh(), suite.labeling(),
+                                 mcast::MulticastRequest{src, dests}, *rng),
+        copies);
+  };
+}
+
+}  // namespace
+
+int main() {
+  const topo::Mesh2D mesh(8, 8);
+  const mcast::MeshRoutingSuite suite(mesh);
+
+  {
+    bench::DynamicSweepConfig cfg;
+    cfg.params = {.flit_time = 50e-9, .message_flits = 128, .channel_copies = 1};
+    cfg.avg_destinations = 10;
+    std::vector<bench::DynamicSeries> series;
+    series.push_back({"dual 1 copy", bench::mesh_builder(suite, Algorithm::kDualPath, 1)});
+    series.push_back({"dual adaptive", adaptive_builder(suite, 1, 99)});
+    bench::run_dynamic_load_sweep(
+        "=== Ablation: deterministic vs adaptive dual-path, single channel ===", mesh,
+        {1200, 600, 400, 300, 250, 200}, series, cfg);
+  }
+  {
+    // Double wires: 2 copies at full bandwidth.
+    bench::DynamicSweepConfig cfg;
+    cfg.params = {.flit_time = 50e-9, .message_flits = 128, .channel_copies = 2};
+    cfg.avg_destinations = 10;
+    bench::run_dynamic_load_sweep(
+        "=== Ablation: dual-path on doubled physical channels (extra wires) ===", mesh,
+        {1200, 600, 400, 300, 250, 200},
+        {{"dual 2 copies", bench::mesh_builder(suite, Algorithm::kDualPath, 2)}}, cfg);
+  }
+  {
+    // Virtual channels: V copies sharing one link's bandwidth -> flit time
+    // scales by V (static-sharing approximation).
+    for (const std::uint8_t vcs : {2, 4}) {
+      bench::DynamicSweepConfig cfg;
+      cfg.params = {.flit_time = 50e-9 * vcs,
+                    .message_flits = 128,
+                    .channel_copies = vcs};
+      cfg.avg_destinations = 10;
+      std::vector<double> loads = {1200, 600, 400, 300, 250, 200};
+      bench::run_dynamic_load_sweep(
+          "=== Ablation: dual-path with " + std::to_string(vcs) +
+              " virtual channels (shared bandwidth) ===",
+          mesh, loads,
+          {{"dual " + std::to_string(vcs) + " VCs",
+            bench::mesh_builder(suite, Algorithm::kDualPath, vcs)}},
+          cfg);
+    }
+  }
+  return 0;
+}

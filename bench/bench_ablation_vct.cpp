@@ -1,0 +1,31 @@
+// Ablation: wormhole vs virtual cut-through under load (Section 2.2's
+// qualitative comparison made quantitative).  Same dual-path routes, same
+// workloads; the only difference is what a blocked message does -- stall
+// in the network (wormhole) or buffer at the blocking node (VCT with
+// unbounded buffers).  VCT postpones saturation because blocked messages
+// stop holding upstream channels; at light load the two coincide.
+#include "bench_common.hpp"
+
+int main() {
+  using namespace mcnet;
+  using mcast::Algorithm;
+  const topo::Mesh2D mesh(8, 8);
+  const mcast::MeshRoutingSuite suite(mesh);
+
+  for (const bool vct : {false, true}) {
+    bench::DynamicSweepConfig cfg;
+    cfg.params = {.flit_time = 50e-9,
+                  .message_flits = 128,
+                  .channel_copies = 1,
+                  .virtual_cut_through = vct};
+    cfg.avg_destinations = 10;
+    bench::run_dynamic_load_sweep(
+        std::string("=== Ablation: dual-path under ") +
+            (vct ? "virtual cut-through" : "wormhole") + " switching ===",
+        mesh, {1200, 600, 400, 300, 250, 200, 150},
+        {{vct ? "dual-path (VCT)" : "dual-path (wormhole)",
+          bench::mesh_builder(suite, Algorithm::kDualPath, 1)}},
+        cfg);
+  }
+  return 0;
+}

@@ -1,0 +1,217 @@
+// Shared harness code for the figure-reproduction benches: random multicast
+// workloads, static traffic sweeps, dynamic latency sweeps, and aligned
+// table printing matching the series the paper's figures plot.
+#pragma once
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "core/route_factory.hpp"
+#include "evsim/random.hpp"
+#include "evsim/stats.hpp"
+#include "wormhole/experiment.hpp"
+
+namespace mcnet::bench {
+
+/// Global scale knob: MCNET_BENCH_SCALE multiplies every run count
+/// (default 1.0; use e.g. 0.1 for a smoke run, 5 for tighter statistics).
+inline double bench_scale() {
+  if (const char* s = std::getenv("MCNET_BENCH_SCALE")) {
+    const double v = std::atof(s);
+    if (v > 0.0) return v;
+  }
+  return 1.0;
+}
+
+inline std::uint32_t scaled_runs(std::uint32_t base) {
+  const double v = static_cast<double>(base) * bench_scale();
+  return std::max(8u, static_cast<std::uint32_t>(v));
+}
+
+/// Mean additional traffic (traffic - k) of `route_fn` over `runs` random
+/// 1-to-k multicasts with uniformly random sources and destination sets.
+template <typename RouteFn>
+double mean_additional_traffic(const topo::Topology& t, std::uint32_t k, std::uint32_t runs,
+                               std::uint64_t seed, const RouteFn& route_fn) {
+  evsim::Rng rng(seed);
+  double total = 0.0;
+  for (std::uint32_t r = 0; r < runs; ++r) {
+    const topo::NodeId src = rng.uniform_int(0, t.num_nodes() - 1);
+    const mcast::MulticastRequest req{src, rng.sample_destinations(t.num_nodes(), src, k)};
+    total += static_cast<double>(route_fn(req).additional_traffic(k));
+  }
+  return total / runs;
+}
+
+/// One column of a static sweep: a named algorithm.
+struct StaticSeries {
+  std::string name;
+  std::function<mcast::MulticastRoute(const mcast::MulticastRequest&)> route;
+};
+
+/// Print the paper-figure table: one row per destination count, one column
+/// of mean additional traffic per series.  Run counts shrink for large k
+/// (the estimator's variance shrinks as traffic concentrates) and scale
+/// with MCNET_BENCH_SCALE.
+inline void run_static_sweep(const std::string& title, const topo::Topology& t,
+                             const std::vector<std::uint32_t>& ks,
+                             const std::vector<StaticSeries>& series,
+                             std::uint32_t base_runs = 1000, std::uint64_t seed = 2026) {
+  std::printf("%s\n", title.c_str());
+  std::printf("topology: %s, %u nodes; mean additional traffic (traffic - k) over\n",
+              t.name().c_str(), t.num_nodes());
+  std::printf("uniform random multicast sets; base runs/point = %u (scale %.2f)\n\n",
+              base_runs, bench_scale());
+  std::printf("%8s %8s", "k", "runs");
+  for (const auto& s : series) std::printf(" %18s", s.name.c_str());
+  std::printf("\n");
+  for (const std::uint32_t k : ks) {
+    if (k >= t.num_nodes()) continue;
+    const std::uint32_t runs =
+        scaled_runs(k <= 100 ? base_runs : (k <= 400 ? base_runs / 3 : base_runs / 8));
+    std::printf("%8u %8u", k, runs);
+    for (std::size_t si = 0; si < series.size(); ++si) {
+      const double mean = mean_additional_traffic(
+          t, k, runs, evsim::derive_seed(seed, k * 131 + si), series[si].route);
+      std::printf(" %18.1f", mean);
+    }
+    std::printf("\n");
+    std::fflush(stdout);
+  }
+  std::printf("\n");
+}
+
+/// One dynamic-sweep series: an algorithm driving the wormhole simulator.
+struct DynamicSeries {
+  std::string name;
+  worm::RouteBuilder builder;
+};
+
+struct DynamicSweepConfig {
+  worm::WormholeParams params;
+  std::uint32_t avg_destinations = 10;
+  std::uint64_t seed = 7;
+  std::uint64_t target_messages = 1500;
+  std::uint64_t max_messages = 6000;
+  double max_sim_time_s = 0.25;
+  std::uint32_t batch_size = 800;
+};
+
+/// Latency-vs-load sweep (Figures 7.8 / 7.10): rows are per-node message
+/// interarrival times, columns are algorithms; cells are mean
+/// per-destination latency in microseconds ("sat" marks saturation).
+inline void run_dynamic_load_sweep(const std::string& title, const topo::Topology& t,
+                                   const std::vector<double>& interarrivals_us,
+                                   const std::vector<DynamicSeries>& series,
+                                   const DynamicSweepConfig& cfg) {
+  std::printf("%s\n", title.c_str());
+  std::printf(
+      "topology: %s; %u-flit messages, %.0f ns/flit, %u channel copies,\n"
+      "avg %u destinations/multicast; mean per-destination latency (us)\n\n",
+      t.name().c_str(), cfg.params.message_flits, cfg.params.flit_time * 1e9,
+      cfg.params.channel_copies, cfg.avg_destinations);
+  std::printf("%16s", "interarrival_us");
+  for (const auto& s : series) std::printf(" %20s", s.name.c_str());
+  std::printf("\n");
+
+  // All (load, algorithm) points are independent simulations; spread them
+  // over hardware threads.
+  const std::size_t n_points = interarrivals_us.size() * series.size();
+  std::vector<worm::DynamicResult> results(n_points);
+  worm::parallel_for(n_points, [&](std::size_t idx) {
+    const std::size_t li = idx / series.size();
+    const std::size_t si = idx % series.size();
+    worm::DynamicConfig dc;
+    dc.params = cfg.params;
+    dc.traffic = {.mean_interarrival_s = interarrivals_us[li] * 1e-6,
+                  .avg_destinations = cfg.avg_destinations,
+                  .fixed_destinations = false,
+                  .exponential_interarrival = false,
+                  .seed = evsim::derive_seed(cfg.seed, idx)};
+    dc.target_messages = static_cast<std::uint64_t>(cfg.target_messages * bench_scale());
+    dc.max_messages = static_cast<std::uint64_t>(cfg.max_messages * bench_scale());
+    dc.max_sim_time_s = cfg.max_sim_time_s * bench_scale();
+    // Size batches so ~25 of them fit in the expected delivery count.
+    const std::uint64_t expected_deliveries =
+        dc.target_messages * dc.traffic.avg_destinations;
+    dc.batch_size = static_cast<std::uint32_t>(std::clamp<std::uint64_t>(
+        expected_deliveries / 25, 20, cfg.batch_size));
+    results[idx] = worm::run_dynamic(t, series[si].builder, dc);
+  });
+
+  for (std::size_t li = 0; li < interarrivals_us.size(); ++li) {
+    std::printf("%16.0f", interarrivals_us[li]);
+    for (std::size_t si = 0; si < series.size(); ++si) {
+      const worm::DynamicResult& r = results[li * series.size() + si];
+      std::printf(" %15.2f%-5s", r.mean_latency_us, r.saturated ? " sat" : "");
+    }
+    std::printf("\n");
+  }
+  std::printf("\n");
+}
+
+/// Latency-vs-destination-count sweep (Figures 7.9 / 7.11).
+inline void run_dynamic_dest_sweep(const std::string& title, const topo::Topology& t,
+                                   double interarrival_us,
+                                   const std::vector<std::uint32_t>& dest_counts,
+                                   const std::vector<DynamicSeries>& series,
+                                   DynamicSweepConfig cfg) {
+  std::printf("%s\n", title.c_str());
+  std::printf(
+      "topology: %s; %u-flit messages, %.0f ns/flit, %u channel copies,\n"
+      "interarrival %.0f us/node; mean per-destination latency (us)\n\n",
+      t.name().c_str(), cfg.params.message_flits, cfg.params.flit_time * 1e9,
+      cfg.params.channel_copies, interarrival_us);
+  std::printf("%12s", "avg_dests");
+  for (const auto& s : series) std::printf(" %20s", s.name.c_str());
+  std::printf("\n");
+
+  const std::size_t n_points = dest_counts.size() * series.size();
+  std::vector<worm::DynamicResult> results(n_points);
+  worm::parallel_for(n_points, [&](std::size_t idx) {
+    const std::size_t di = idx / series.size();
+    const std::size_t si = idx % series.size();
+    worm::DynamicConfig dc;
+    dc.params = cfg.params;
+    dc.traffic = {.mean_interarrival_s = interarrival_us * 1e-6,
+                  .avg_destinations = dest_counts[di],
+                  .fixed_destinations = true,  // exact destination count per row
+                  .exponential_interarrival = false,
+                  .seed = evsim::derive_seed(cfg.seed, idx)};
+    dc.target_messages = static_cast<std::uint64_t>(cfg.target_messages * bench_scale());
+    dc.max_messages = static_cast<std::uint64_t>(cfg.max_messages * bench_scale());
+    dc.max_sim_time_s = cfg.max_sim_time_s * bench_scale();
+    // Size batches so ~25 of them fit in the expected delivery count.
+    const std::uint64_t expected_deliveries =
+        dc.target_messages * dc.traffic.avg_destinations;
+    dc.batch_size = static_cast<std::uint32_t>(std::clamp<std::uint64_t>(
+        expected_deliveries / 25, 20, cfg.batch_size));
+    results[idx] = worm::run_dynamic(t, series[si].builder, dc);
+  });
+
+  for (std::size_t di = 0; di < dest_counts.size(); ++di) {
+    std::printf("%12u", dest_counts[di]);
+    for (std::size_t si = 0; si < series.size(); ++si) {
+      const worm::DynamicResult& r = results[di * series.size() + si];
+      std::printf(" %15.2f%-5s", r.mean_latency_us, r.saturated ? " sat" : "");
+    }
+    std::printf("\n");
+  }
+  std::printf("\n");
+}
+
+/// Builder adapters binding a routing suite + algorithm to the simulator.
+inline worm::RouteBuilder mesh_builder(const mcast::MeshRoutingSuite& suite,
+                                       mcast::Algorithm algo, std::uint8_t copies) {
+  return [&suite, algo, copies](topo::NodeId src, const std::vector<topo::NodeId>& dests) {
+    return worm::make_worm_specs(suite.mesh(),
+                                 suite.route(algo, mcast::MulticastRequest{src, dests}),
+                                 copies);
+  };
+}
+
+}  // namespace mcnet::bench

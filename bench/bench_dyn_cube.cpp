@@ -1,0 +1,44 @@
+// Extension: dynamic wormhole latency on a 6-cube.  Chapter 7.2 evaluates
+// only the 2-D mesh; this bench runs the same latency-vs-load sweep for
+// the hypercube instantiations of the Chapter 6 algorithms (dual-path,
+// multi-path, fixed-path), closing the loop on the Section 6.3 designs.
+#include "bench_common.hpp"
+
+namespace {
+
+using namespace mcnet;
+using mcast::Algorithm;
+
+worm::RouteBuilder cube_builder(const mcast::CubeRoutingSuite& suite, Algorithm algo) {
+  return [&suite, algo](topo::NodeId src, const std::vector<topo::NodeId>& dests) {
+    return worm::make_worm_specs(suite.cube(),
+                                 suite.route(algo, mcast::MulticastRequest{src, dests}), 1);
+  };
+}
+
+}  // namespace
+
+int main() {
+  const topo::Hypercube cube(6);
+  const mcast::CubeRoutingSuite suite(cube);
+
+  bench::DynamicSweepConfig cfg;
+  cfg.params = {.flit_time = 50e-9, .message_flits = 128, .channel_copies = 1};
+  cfg.avg_destinations = 10;
+  bench::run_dynamic_load_sweep(
+      "=== Extension: latency vs load on a 6-cube (single channels) ===", cube,
+      {2000, 1200, 800, 500, 350, 250, 180},
+      {{"dual-path", cube_builder(suite, Algorithm::kDualPath)},
+       {"multi-path", cube_builder(suite, Algorithm::kMultiPath)},
+       {"fixed-path", cube_builder(suite, Algorithm::kFixedPath)}},
+      cfg);
+
+  bench::run_dynamic_dest_sweep(
+      "=== Extension: latency vs destinations on a 6-cube, 300 us ===", cube, 300.0,
+      {1, 5, 10, 15, 20, 25, 30},
+      {{"dual-path", cube_builder(suite, Algorithm::kDualPath)},
+       {"multi-path", cube_builder(suite, Algorithm::kMultiPath)},
+       {"fixed-path", cube_builder(suite, Algorithm::kFixedPath)}},
+      cfg);
+  return 0;
+}

@@ -1,0 +1,80 @@
+// Figure 2.3: comparison of switching technologies -- contention-free
+// network latency versus distance for store-and-forward, virtual
+// cut-through, circuit switching and wormhole routing.  The analytic
+// columns use the Section 2.2 formulas; the simulated columns replay the
+// same transfer in the SAF packet simulator and the flit-level wormhole
+// simulator to validate the models.
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "cdg/analyzers.hpp"
+#include "switching/latency_models.hpp"
+#include "switching/saf.hpp"
+
+namespace {
+
+using namespace mcnet;
+
+double simulate_saf(const topo::Mesh2D& mesh, std::uint32_t hops, double packet_time) {
+  evsim::Scheduler sched;
+  sw::SafParams params;
+  params.packet_time = packet_time;
+  params.structured = true;
+  sw::SafNetwork net(mesh, cdg::xfirst_routing(mesh), params, sched);
+  double latency = 0.0;
+  net.set_on_delivered([&](std::uint32_t, double l) { latency = l; });
+  net.inject(0, hops);  // row mesh: node id == distance
+  sched.run();
+  // The analytic SAF model counts the initial store as one packet time.
+  return latency + packet_time;
+}
+
+double simulate_wormhole(const topo::Mesh2D& mesh, std::uint32_t hops,
+                         const worm::WormholeParams& params) {
+  evsim::Scheduler sched;
+  worm::Network net(mesh, params, sched);
+  double latency = 0.0;
+  worm::NetworkHooks hooks;
+  hooks.on_delivery = [&](std::uint64_t, topo::NodeId, double l) { latency = l; };
+  net.set_hooks(std::move(hooks));
+  mcast::MulticastRoute route;
+  route.source = 0;
+  mcast::PathRoute p;
+  for (topo::NodeId n = 0; n <= hops; ++n) p.nodes.push_back(n);
+  p.delivery_hops = {hops};
+  route.paths.push_back(p);
+  net.inject(worm::make_worm_specs(mesh, route, 1));
+  sched.run();
+  return latency;
+}
+
+}  // namespace
+
+int main() {
+  const sw::SwitchingParams p{.message_bytes = 128,
+                              .bandwidth = 20e6,
+                              .header_bytes = 2,
+                              .control_bytes = 2,
+                              .flit_bytes = 1};
+  const topo::Mesh2D row(33, 1);  // a line: node id == hop count
+  const worm::WormholeParams wp{.flit_time = p.flit_bytes / p.bandwidth,
+                                .message_flits = 128,
+                                .channel_copies = 1};
+
+  std::printf("=== Figure 2.3: switching technologies, latency (us) vs distance ===\n");
+  std::printf("message %.0f bytes over %.0f Mbyte/s channels\n\n", p.message_bytes,
+              p.bandwidth / 1e6);
+  std::printf("%6s %12s %12s %12s %12s %14s %14s\n", "D", "SAF", "VCT", "circuit",
+              "wormhole", "SAF (sim)", "wormhole (sim)");
+  for (const std::uint32_t d : {1u, 2u, 4u, 8u, 12u, 16u, 20u, 24u, 28u, 32u}) {
+    std::printf("%6u %12.2f %12.2f %12.2f %12.2f %14.2f %14.2f\n", d,
+                sw::store_and_forward_latency(p, d) * 1e6,
+                sw::virtual_cut_through_latency(p, d) * 1e6,
+                sw::circuit_switching_latency(p, d) * 1e6,
+                sw::wormhole_latency(p, d) * 1e6,
+                simulate_saf(row, d, p.message_bytes / p.bandwidth) * 1e6,
+                simulate_wormhole(row, d, wp) * 1e6);
+  }
+  std::printf("\n");
+  return 0;
+}

@@ -1,0 +1,22 @@
+// Figure 7.2: traffic of the sorted MP algorithm on a 10-cube versus
+// multiple one-to-one (unicast) and broadcast delivery.
+#include "bench_common.hpp"
+
+int main() {
+  using namespace mcnet;
+  using mcast::Algorithm;
+  const topo::Hypercube cube(10);
+  const mcast::CubeRoutingSuite suite(cube);
+
+  const auto algo = [&suite](Algorithm a) {
+    return [&suite, a](const mcast::MulticastRequest& req) { return suite.route(a, req); };
+  };
+  bench::run_static_sweep(
+      "=== Figure 7.2: sorted MP algorithm on a 10-cube ===", cube,
+      {1, 2, 5, 10, 20, 50, 100, 150, 200, 300, 400, 500, 600, 700, 800, 900},
+      {{"sorted-MP", algo(Algorithm::kSortedMP)},
+       {"sorted-MC", algo(Algorithm::kSortedMC)},
+       {"multi-unicast", algo(Algorithm::kMultiUnicast)},
+       {"broadcast", algo(Algorithm::kBroadcast)}});
+  return 0;
+}

@@ -1,0 +1,22 @@
+// Figure 7.3: additional traffic of the greedy ST algorithm on a 32x32
+// mesh versus multiple one-to-one and broadcast delivery.
+#include "bench_common.hpp"
+
+int main() {
+  using namespace mcnet;
+  using mcast::Algorithm;
+  const topo::Mesh2D mesh(32, 32);
+  const mcast::MeshRoutingSuite suite(mesh);
+
+  const auto algo = [&suite](Algorithm a) {
+    return [&suite, a](const mcast::MulticastRequest& req) { return suite.route(a, req); };
+  };
+  bench::run_static_sweep(
+      "=== Figure 7.3: greedy ST algorithm on a 32x32 mesh ===", mesh,
+      {1, 2, 5, 10, 20, 50, 100, 150, 200, 300, 400, 500, 600, 700, 800, 900},
+      {{"greedy-ST", algo(Algorithm::kGreedyST)},
+       {"multi-unicast", algo(Algorithm::kMultiUnicast)},
+       {"broadcast", algo(Algorithm::kBroadcast)}},
+      /*base_runs=*/600);
+  return 0;
+}

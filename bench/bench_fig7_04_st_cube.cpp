@@ -1,0 +1,24 @@
+// Figure 7.4: additional traffic of the greedy ST algorithm on a 10-cube
+// versus the LEN heuristic [Lan, Esfahanian & Ni 90] (and the unicast /
+// broadcast baselines for context).
+#include "bench_common.hpp"
+
+int main() {
+  using namespace mcnet;
+  using mcast::Algorithm;
+  const topo::Hypercube cube(10);
+  const mcast::CubeRoutingSuite suite(cube);
+
+  const auto algo = [&suite](Algorithm a) {
+    return [&suite, a](const mcast::MulticastRequest& req) { return suite.route(a, req); };
+  };
+  bench::run_static_sweep(
+      "=== Figure 7.4: greedy ST vs LEN heuristic on a 10-cube ===", cube,
+      {1, 2, 5, 10, 20, 50, 100, 150, 200, 300, 400, 500, 600, 700, 800, 900},
+      {{"greedy-ST", algo(Algorithm::kGreedyST)},
+       {"LEN-tree", algo(Algorithm::kLenTree)},
+       {"multi-unicast", algo(Algorithm::kMultiUnicast)},
+       {"broadcast", algo(Algorithm::kBroadcast)}},
+      /*base_runs=*/600);
+  return 0;
+}

@@ -1,0 +1,23 @@
+// Figure 7.6: additional traffic of the deadlock-free multicast methods
+// (dual-path, multi-path, fixed-path) on a 6-cube -- the static
+// measurement of the Chapter 6 algorithms.
+#include "bench_common.hpp"
+
+int main() {
+  using namespace mcnet;
+  using mcast::Algorithm;
+  const topo::Hypercube cube(6);
+  const mcast::CubeRoutingSuite suite(cube);
+
+  const auto algo = [&suite](Algorithm a) {
+    return [&suite, a](const mcast::MulticastRequest& req) { return suite.route(a, req); };
+  };
+  bench::run_static_sweep(
+      "=== Figure 7.6: dual-/multi-/fixed-path multicast on a 6-cube ===", cube,
+      {1, 2, 4, 6, 8, 10, 15, 20, 25, 30, 40, 50, 60},
+      {{"dual-path", algo(Algorithm::kDualPath)},
+       {"multi-path", algo(Algorithm::kMultiPath)},
+       {"fixed-path", algo(Algorithm::kFixedPath)},
+       {"greedy-ST", algo(Algorithm::kGreedyST)}});
+  return 0;
+}

@@ -1,0 +1,23 @@
+// Figure 7.7: additional traffic of the deadlock-free multicast methods
+// (dual-path, multi-path, fixed-path, double-channel X-first tree) on an
+// 8x8 mesh, for various destination counts.
+#include "bench_common.hpp"
+
+int main() {
+  using namespace mcnet;
+  using mcast::Algorithm;
+  const topo::Mesh2D mesh(8, 8);
+  const mcast::MeshRoutingSuite suite(mesh);
+
+  const auto algo = [&suite](Algorithm a) {
+    return [&suite, a](const mcast::MulticastRequest& req) { return suite.route(a, req); };
+  };
+  bench::run_static_sweep(
+      "=== Figure 7.7: dual-/multi-/fixed-path multicast on an 8x8 mesh ===", mesh,
+      {1, 2, 4, 6, 8, 10, 15, 20, 25, 30, 40, 50, 60},
+      {{"dual-path", algo(Algorithm::kDualPath)},
+       {"multi-path", algo(Algorithm::kMultiPath)},
+       {"fixed-path", algo(Algorithm::kFixedPath)},
+       {"dc-X-first-tree", algo(Algorithm::kDCXFirstTree)}});
+  return 0;
+}

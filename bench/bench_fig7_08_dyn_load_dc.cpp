@@ -1,0 +1,24 @@
+// Figure 7.8: average network latency under increasing load on a
+// double-channel 8x8 mesh, comparing the tree-like (double-channel X-first)
+// algorithm with dual-path and multi-path routing.  Average 10
+// destinations, 128-byte messages, 20 Mbyte/s channels, as in the paper.
+#include "bench_common.hpp"
+
+int main() {
+  using namespace mcnet;
+  using mcast::Algorithm;
+  const topo::Mesh2D mesh(8, 8);
+  const mcast::MeshRoutingSuite suite(mesh);
+
+  bench::DynamicSweepConfig cfg;
+  cfg.params = {.flit_time = 50e-9, .message_flits = 128, .channel_copies = 2};
+  cfg.avg_destinations = 10;
+  bench::run_dynamic_load_sweep(
+      "=== Figure 7.8: latency vs load, double-channel 8x8 mesh ===", mesh,
+      {2000, 1200, 800, 500, 350, 250, 180, 130},
+      {{"dc-X-first-tree", bench::mesh_builder(suite, Algorithm::kDCXFirstTree, 2)},
+       {"dual-path", bench::mesh_builder(suite, Algorithm::kDualPath, 2)},
+       {"multi-path", bench::mesh_builder(suite, Algorithm::kMultiPath, 2)}},
+      cfg);
+  return 0;
+}

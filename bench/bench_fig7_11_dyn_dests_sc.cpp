@@ -1,0 +1,24 @@
+// Figure 7.11: average network latency versus destination count on a
+// single-channel 8x8 mesh under relatively high load: dual-path vs
+// multi-path vs fixed-path.  Multi-path's source becomes a hot spot (it
+// occupies all outgoing channels at once) and degrades for large
+// destination sets; fixed-path converges to dual-path behaviour.
+#include "bench_common.hpp"
+
+int main() {
+  using namespace mcnet;
+  using mcast::Algorithm;
+  const topo::Mesh2D mesh(8, 8);
+  const mcast::MeshRoutingSuite suite(mesh);
+
+  bench::DynamicSweepConfig cfg;
+  cfg.params = {.flit_time = 50e-9, .message_flits = 128, .channel_copies = 1};
+  bench::run_dynamic_dest_sweep(
+      "=== Figure 7.11: latency vs destinations, single-channel 8x8 mesh, 400 us ===",
+      mesh, 400.0, {1, 5, 10, 15, 20, 25, 30, 35, 40, 45},
+      {{"dual-path", bench::mesh_builder(suite, Algorithm::kDualPath, 1)},
+       {"multi-path", bench::mesh_builder(suite, Algorithm::kMultiPath, 1)},
+       {"fixed-path", bench::mesh_builder(suite, Algorithm::kFixedPath, 1)}},
+      cfg);
+  return 0;
+}

@@ -1,0 +1,91 @@
+// google-benchmark microbenchmarks backing the complexity claims of
+// Chapters 5-6: O(k log k) message preparation, O(k^2) greedy-ST tree
+// construction, and per-multicast routing costs of every algorithm.
+#include <benchmark/benchmark.h>
+
+#include "core/dual_path.hpp"
+#include "core/route_factory.hpp"
+#include "evsim/random.hpp"
+
+namespace {
+
+using namespace mcnet;
+using mcast::Algorithm;
+
+const topo::Mesh2D& big_mesh() {
+  static const topo::Mesh2D mesh(32, 32);
+  return mesh;
+}
+const mcast::MeshRoutingSuite& mesh_suite() {
+  static const mcast::MeshRoutingSuite suite(big_mesh());
+  return suite;
+}
+const topo::Hypercube& big_cube() {
+  static const topo::Hypercube cube(10);
+  return cube;
+}
+const mcast::CubeRoutingSuite& cube_suite() {
+  static const mcast::CubeRoutingSuite suite(big_cube());
+  return suite;
+}
+
+mcast::MulticastRequest random_request(const topo::Topology& t, std::uint32_t k,
+                                       std::uint64_t seed) {
+  evsim::Rng rng(seed);
+  const topo::NodeId src = rng.uniform_int(0, t.num_nodes() - 1);
+  return {src, rng.sample_destinations(t.num_nodes(), src, k)};
+}
+
+void BM_DualPathPrepare(benchmark::State& state) {
+  const auto k = static_cast<std::uint32_t>(state.range(0));
+  const auto req = random_request(big_mesh(), k, 1);
+  const ham::MeshBoustrophedonLabeling lab(big_mesh());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(mcast::dual_path_prepare(lab, req));
+  }
+  state.SetComplexityN(k);
+}
+BENCHMARK(BM_DualPathPrepare)->RangeMultiplier(4)->Range(4, 512)->Complexity();
+
+template <Algorithm A>
+void BM_MeshRoute(benchmark::State& state) {
+  const auto k = static_cast<std::uint32_t>(state.range(0));
+  const auto req = random_request(big_mesh(), k, 2);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(mesh_suite().route(A, req));
+  }
+  state.SetComplexityN(k);
+}
+BENCHMARK(BM_MeshRoute<Algorithm::kSortedMP>)->RangeMultiplier(4)->Range(4, 256)->Complexity();
+BENCHMARK(BM_MeshRoute<Algorithm::kGreedyST>)->RangeMultiplier(4)->Range(4, 256)->Complexity();
+BENCHMARK(BM_MeshRoute<Algorithm::kXFirstMT>)->RangeMultiplier(4)->Range(4, 256)->Complexity();
+BENCHMARK(BM_MeshRoute<Algorithm::kDividedGreedyMT>)
+    ->RangeMultiplier(4)
+    ->Range(4, 256)
+    ->Complexity();
+BENCHMARK(BM_MeshRoute<Algorithm::kDualPath>)->RangeMultiplier(4)->Range(4, 256)->Complexity();
+BENCHMARK(BM_MeshRoute<Algorithm::kMultiPath>)->RangeMultiplier(4)->Range(4, 256)->Complexity();
+BENCHMARK(BM_MeshRoute<Algorithm::kFixedPath>)->RangeMultiplier(4)->Range(4, 256)->Complexity();
+BENCHMARK(BM_MeshRoute<Algorithm::kDCXFirstTree>)
+    ->RangeMultiplier(4)
+    ->Range(4, 256)
+    ->Complexity();
+
+template <Algorithm A>
+void BM_CubeRoute(benchmark::State& state) {
+  const auto k = static_cast<std::uint32_t>(state.range(0));
+  const auto req = random_request(big_cube(), k, 3);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(cube_suite().route(A, req));
+  }
+  state.SetComplexityN(k);
+}
+BENCHMARK(BM_CubeRoute<Algorithm::kSortedMP>)->RangeMultiplier(4)->Range(4, 256)->Complexity();
+BENCHMARK(BM_CubeRoute<Algorithm::kGreedyST>)->RangeMultiplier(4)->Range(4, 256)->Complexity();
+BENCHMARK(BM_CubeRoute<Algorithm::kLenTree>)->RangeMultiplier(4)->Range(4, 256)->Complexity();
+BENCHMARK(BM_CubeRoute<Algorithm::kDualPath>)->RangeMultiplier(4)->Range(4, 256)->Complexity();
+BENCHMARK(BM_CubeRoute<Algorithm::kMultiPath>)->RangeMultiplier(4)->Range(4, 256)->Complexity();
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,49 @@
+// Extension study (Section 8.2): interaction between unicast and multicast
+// traffic.  Nodes generate a mix -- a fraction of messages are plain
+// unicasts (1 destination), the rest are 10-destination multicasts -- and
+// we measure how the multicast algorithm choice affects everyone's
+// latency.
+#include "bench_common.hpp"
+
+namespace {
+
+using namespace mcnet;
+using mcast::Algorithm;
+
+worm::RouteBuilder mixed_builder(const mcast::MeshRoutingSuite& suite, Algorithm algo,
+                                 double unicast_fraction, std::uint64_t seed) {
+  auto rng = std::make_shared<evsim::Rng>(seed);
+  return [&suite, algo, unicast_fraction, rng](topo::NodeId src,
+                                               const std::vector<topo::NodeId>& dests) {
+    mcast::MulticastRequest req{src, dests};
+    if (rng->uniform(0.0, 1.0) < unicast_fraction) {
+      req.destinations.resize(1);  // degrade to a unicast
+    }
+    // Unicasts ride the same deadlock-free path machinery (a 1-destination
+    // dual-path is simply the R route to that destination).
+    return worm::make_worm_specs(suite.mesh(), suite.route(algo, req), 1);
+  };
+}
+
+}  // namespace
+
+int main() {
+  const topo::Mesh2D mesh(8, 8);
+  const mcast::MeshRoutingSuite suite(mesh);
+
+  for (const double frac : {0.0, 0.5, 0.9}) {
+    bench::DynamicSweepConfig cfg;
+    cfg.params = {.flit_time = 50e-9, .message_flits = 128, .channel_copies = 1};
+    cfg.avg_destinations = 10;
+    char title[160];
+    std::snprintf(title, sizeof title,
+                  "=== Mixed traffic: %.0f%% unicast / %.0f%% 10-dest multicast ===",
+                  frac * 100, (1 - frac) * 100);
+    bench::run_dynamic_load_sweep(
+        title, mesh, {1000, 500, 300, 200, 150},
+        {{"dual-path", mixed_builder(suite, Algorithm::kDualPath, frac, 1)},
+         {"multi-path", mixed_builder(suite, Algorithm::kMultiPath, frac, 2)}},
+        cfg);
+  }
+  return 0;
+}

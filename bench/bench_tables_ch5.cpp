@@ -1,0 +1,58 @@
+// Tables 5.1-5.4: the Hamiltonian cycles and sorting keys of the sorted-MP
+// examples, printed exactly as the dissertation tabulates them (1-based h,
+// f relative to the paper's cycle start).
+#include <cstdio>
+
+#include "topology/hamiltonian.hpp"
+
+namespace {
+
+using namespace mcnet;
+
+void print_mesh_tables() {
+  const topo::Mesh2D mesh(4, 4);
+  const ham::HamiltonCycle c = ham::mesh_comb_cycle(mesh);
+
+  std::printf("=== Table 5.1: Hamilton cycle and mapping h of a 4x4 mesh ===\n");
+  std::printf("%6s %6s\n", "h(x)", "x");
+  for (std::uint32_t i = 0; i < c.size(); ++i) {
+    std::printf("%6u %6u\n", i + 1, c.order()[i]);
+  }
+
+  const topo::NodeId u0 = 9;
+  std::printf("\n=== Table 5.2: sorting key f(x) and h(x), 4x4 mesh, u0 = 9 ===\n");
+  std::printf("%6s %6s %6s\n", "x", "h(x)", "f(x)");
+  const std::uint32_t h0 = c.position(u0) + 1;  // paper's h is 1-based
+  for (topo::NodeId x = 0; x < c.size(); ++x) {
+    std::printf("%6u %6u %6u\n", x, c.position(x) + 1, c.key_from(u0, x) + h0);
+  }
+}
+
+void print_cube_tables() {
+  const topo::Hypercube cube(4);
+  const ham::HamiltonCycle c = ham::hypercube_gray_cycle(cube);
+
+  std::printf("\n=== Table 5.3: Hamilton cycle and mapping h of a 4-cube ===\n");
+  std::printf("%6s %8s\n", "h(x)", "x");
+  for (std::uint32_t i = 0; i < c.size(); ++i) {
+    const topo::NodeId x = c.order()[i];
+    std::printf("%6u %u%u%u%u\n", i + 1, (x >> 3) & 1, (x >> 2) & 1, (x >> 1) & 1, x & 1);
+  }
+
+  const topo::NodeId u0 = 0b0011;  // the Section 5.4 example source
+  std::printf("\n=== Table 5.4: sorting key f(x) and h(x), 4-cube, u0 = 0011 ===\n");
+  std::printf("%8s %6s %6s\n", "x", "h(x)", "f(x)");
+  const std::uint32_t h0 = c.position(u0) + 1;
+  for (topo::NodeId x = 0; x < c.size(); ++x) {
+    std::printf("  %u%u%u%u %6u %6u\n", (x >> 3) & 1, (x >> 2) & 1, (x >> 1) & 1, x & 1,
+                c.position(x) + 1, c.key_from(u0, x) + h0);
+  }
+}
+
+}  // namespace
+
+int main() {
+  print_mesh_tables();
+  print_cube_tables();
+  return 0;
+}

@@ -1,0 +1,86 @@
+#include "cdg/analyzers.hpp"
+
+#include <bit>
+
+namespace mcnet::cdg {
+
+RoutingFunction xfirst_routing(const topo::Mesh2D& mesh) {
+  return [&mesh](NodeId cur, NodeId dst) -> NodeId {
+    if (cur == dst) return topo::kInvalidNode;
+    const topo::Coord2 c = mesh.coord(cur);
+    const topo::Coord2 d = mesh.coord(dst);
+    if (c.x < d.x) return mesh.node(c.x + 1, c.y);
+    if (c.x > d.x) return mesh.node(c.x - 1, c.y);
+    if (c.y < d.y) return mesh.node(c.x, c.y + 1);
+    return mesh.node(c.x, c.y - 1);
+  };
+}
+
+RoutingFunction ecube_routing(const topo::Hypercube& cube) {
+  return [&cube](NodeId cur, NodeId dst) -> NodeId {
+    const NodeId diff = cur ^ dst;
+    if (diff == 0) return topo::kInvalidNode;
+    const auto dim = static_cast<std::uint32_t>(std::countr_zero(diff));
+    return cube.across(cur, dim);
+  };
+}
+
+RoutingFunction label_routing(const topo::Topology& topology, const ham::Labeling& labeling,
+                              bool high) {
+  return [&topology, &labeling, high](NodeId cur, NodeId dst) -> NodeId {
+    if (cur == dst) return topo::kInvalidNode;
+    const std::uint32_t lc = labeling.label(cur);
+    const std::uint32_t ld = labeling.label(dst);
+    if (high != (ld > lc)) return topo::kInvalidNode;  // wrong subnetwork
+    NodeId best = topo::kInvalidNode;
+    if (high) {
+      std::uint32_t best_label = 0;
+      for (const NodeId p : topology.neighbors(cur)) {
+        const std::uint32_t lp = labeling.label(p);
+        if (lp <= ld && lp > lc && (best == topo::kInvalidNode || lp > best_label)) {
+          best = p;
+          best_label = lp;
+        }
+      }
+    } else {
+      std::uint32_t best_label = 0;
+      for (const NodeId p : topology.neighbors(cur)) {
+        const std::uint32_t lp = labeling.label(p);
+        if (lp >= ld && lp < lc && (best == topo::kInvalidNode || lp < best_label)) {
+          best = p;
+          best_label = lp;
+        }
+      }
+    }
+    return best;
+  };
+}
+
+bool subnetwork_is_acyclic(
+    const topo::Topology& topology,
+    const std::function<bool(topo::NodeId, topo::NodeId)>& in_subnetwork) {
+  // Kahn's algorithm over the node graph restricted to selected channels.
+  const std::uint32_t n = topology.num_nodes();
+  std::vector<std::uint32_t> indegree(n, 0);
+  for (NodeId u = 0; u < n; ++u) {
+    for (const NodeId v : topology.neighbors(u)) {
+      if (in_subnetwork(u, v)) ++indegree[v];
+    }
+  }
+  std::vector<NodeId> queue;
+  for (NodeId u = 0; u < n; ++u) {
+    if (indegree[u] == 0) queue.push_back(u);
+  }
+  std::uint32_t removed = 0;
+  while (!queue.empty()) {
+    const NodeId u = queue.back();
+    queue.pop_back();
+    ++removed;
+    for (const NodeId v : topology.neighbors(u)) {
+      if (in_subnetwork(u, v) && --indegree[v] == 0) queue.push_back(v);
+    }
+  }
+  return removed == n;
+}
+
+}  // namespace mcnet::cdg

@@ -1,0 +1,39 @@
+// Ready-made routing functions and subnetwork-acyclicity checks used by the
+// deadlock-freedom analyses (Chapter 6 proofs, mechanised).
+#pragma once
+
+#include "cdg/channel_graph.hpp"
+#include "topology/hamiltonian.hpp"
+#include "topology/hypercube.hpp"
+#include "topology/mesh2d.hpp"
+
+namespace mcnet::cdg {
+
+/// Deterministic X-first (XY) unicast routing on a 2-D mesh: correct the X
+/// offset fully, then the Y offset.  Known deadlock-free (Fig. 2.5).
+[[nodiscard]] RoutingFunction xfirst_routing(const topo::Mesh2D& mesh);
+
+/// E-cube unicast routing on a hypercube: resolve the lowest differing
+/// dimension first.  Known deadlock-free [Dally & Seitz 87].
+[[nodiscard]] RoutingFunction ecube_routing(const topo::Hypercube& cube);
+
+/// Label-order-preserving routing restricted to one subnetwork of a
+/// Hamiltonian labeling (the function R of Section 6.2.2): used to verify
+/// that the high- and low-channel subnetworks of the dual-/multi-/fixed-
+/// path algorithms carry no dependency cycles.
+///
+/// The returned function routes only pairs whose direction matches `high`
+/// (label(dst) > label(src) for the high network); other pairs return
+/// kInvalidNode and contribute no dependencies.
+[[nodiscard]] RoutingFunction label_routing(const topo::Topology& topology,
+                                            const ham::Labeling& labeling, bool high);
+
+/// Check that the subnetwork of channels selected by `in_subnetwork`
+/// contains no directed cycle of channels *in the node graph itself* (the
+/// network-partition acyclicity argument of Section 6.2.1): returns true if
+/// the subgraph of directed edges is a DAG over nodes.
+[[nodiscard]] bool subnetwork_is_acyclic(
+    const topo::Topology& topology,
+    const std::function<bool(topo::NodeId from, topo::NodeId to)>& in_subnetwork);
+
+}  // namespace mcnet::cdg

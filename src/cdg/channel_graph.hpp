@@ -1,0 +1,59 @@
+// Channel dependency graphs (CDG) and the Dally-Seitz acyclicity condition
+// (Section 2.3.4): a routing algorithm is deadlock-free iff its CDG has no
+// cycle.  The nodes of the CDG are the directed channels of the network; an
+// edge (c_i, c_j) exists when the routing function can forward a message
+// arriving on c_i out through c_j.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <vector>
+
+#include "topology/topology.hpp"
+
+namespace mcnet::cdg {
+
+using topo::ChannelId;
+using topo::NodeId;
+
+/// A unicast routing function: given the current node and the destination,
+/// return the next-hop node (kInvalidNode when current == destination or
+/// the pair is unroutable).  Deterministic routing only, as in the paper's
+/// deadlock analyses.
+using RoutingFunction = std::function<NodeId(NodeId current, NodeId destination)>;
+
+/// Directed graph over channel ids.
+class ChannelGraph {
+ public:
+  explicit ChannelGraph(std::uint32_t num_channels) : succ_(num_channels) {}
+
+  void add_dependency(ChannelId from, ChannelId to);
+
+  [[nodiscard]] std::uint32_t num_channels() const {
+    return static_cast<std::uint32_t>(succ_.size());
+  }
+  [[nodiscard]] const std::vector<ChannelId>& successors(ChannelId c) const {
+    return succ_[c];
+  }
+  [[nodiscard]] std::size_t num_dependencies() const;
+
+  /// True iff the graph contains no directed cycle.
+  [[nodiscard]] bool acyclic() const;
+
+  /// A directed cycle (sequence of channel ids, first repeated at the end
+  /// conceptually but not stored), or nullopt if acyclic.
+  [[nodiscard]] std::optional<std::vector<ChannelId>> find_cycle() const;
+
+ private:
+  std::vector<std::vector<ChannelId>> succ_;
+};
+
+/// Build the CDG of `route` on `topology`: for every (source, destination)
+/// pair, walk the routed path and record each consecutive channel pair as a
+/// dependency.  O(N^2 * diameter); intended for the small verification
+/// networks used in tests and the cdg_explorer example.
+[[nodiscard]] ChannelGraph build_unicast_cdg(const topo::Topology& topology,
+                                             const RoutingFunction& route);
+
+}  // namespace mcnet::cdg

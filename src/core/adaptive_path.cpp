@@ -1,0 +1,68 @@
+#include "core/adaptive_path.hpp"
+
+#include <stdexcept>
+
+namespace mcnet::mcast {
+
+std::vector<topo::NodeId> monotone_candidates(const topo::Topology& topology,
+                                              const ham::Labeling& labeling,
+                                              topo::NodeId cur, topo::NodeId dst) {
+  const std::uint32_t lc = labeling.label(cur);
+  const std::uint32_t ld = labeling.label(dst);
+  const bool high = lc < ld;
+  const std::uint32_t dist = topology.distance(cur, dst);
+  std::vector<topo::NodeId> reducing, any;
+  for (const topo::NodeId p : topology.neighbors(cur)) {
+    const std::uint32_t lp = labeling.label(p);
+    const bool monotone = high ? (lp > lc && lp <= ld) : (lp < lc && lp >= ld);
+    if (!monotone) continue;
+    any.push_back(p);
+    if (topology.distance(p, dst) < dist) reducing.push_back(p);
+  }
+  return reducing.empty() ? any : reducing;
+}
+
+namespace {
+
+PathRoute random_walk(const topo::Topology& topology, const ham::Labeling& labeling,
+                      topo::NodeId source, const std::vector<topo::NodeId>& targets,
+                      std::uint8_t channel_class, evsim::Rng& rng) {
+  PathRoute path;
+  path.channel_class = channel_class;
+  path.nodes.push_back(source);
+  topo::NodeId w = source;
+  for (const topo::NodeId d : targets) {
+    while (w != d) {
+      const auto cand = monotone_candidates(topology, labeling, w, d);
+      if (cand.empty()) throw std::logic_error("adaptive routing stuck");
+      w = cand[rng.uniform_int(0, static_cast<std::uint32_t>(cand.size() - 1))];
+      path.nodes.push_back(w);
+      if (path.nodes.size() > labeling.size() + 1) {
+        throw std::logic_error("adaptive routing loops");
+      }
+    }
+    path.delivery_hops.push_back(static_cast<std::uint32_t>(path.nodes.size() - 1));
+  }
+  return path;
+}
+
+}  // namespace
+
+MulticastRoute adaptive_dual_path_route(const topo::Topology& topology,
+                                        const ham::Labeling& labeling,
+                                        const MulticastRequest& request, evsim::Rng& rng) {
+  const DualPathSplit split = dual_path_prepare(labeling, request);
+  MulticastRoute route;
+  route.source = request.source;
+  if (!split.high.empty()) {
+    route.paths.push_back(
+        random_walk(topology, labeling, request.source, split.high, kHighChannelClass, rng));
+  }
+  if (!split.low.empty()) {
+    route.paths.push_back(
+        random_walk(topology, labeling, request.source, split.low, kLowChannelClass, rng));
+  }
+  return route;
+}
+
+}  // namespace mcnet::mcast

@@ -1,0 +1,35 @@
+// Randomised-adaptive variant of the path-based multicast algorithms --
+// the Section 8.2 "adaptive routing" extension, in its simplest
+// deadlock-safe form.
+//
+// At every step the deterministic routing function R picks the
+// *label-extremal* distance-reducing monotone neighbour; here the next hop
+// is drawn uniformly from *all* distance-reducing label-monotone
+// neighbours instead.  Every choice stays inside one acyclic subnetwork,
+// so deadlock freedom is untouched, while different messages between the
+// same endpoints spread over different shortest monotone paths (static
+// load balancing; the selection is made at message-preparation time, as
+// the header must carry a fixed path in the paper's router model).
+#pragma once
+
+#include "core/dual_path.hpp"
+#include "core/routing_function.hpp"
+#include "evsim/random.hpp"
+
+namespace mcnet::mcast {
+
+/// All label-monotone next hops from `cur` toward `dst`, preferring
+/// distance-reducing neighbours (falls back to every monotone neighbour
+/// bounded by the destination label when none reduces distance).
+[[nodiscard]] std::vector<topo::NodeId> monotone_candidates(const topo::Topology& topology,
+                                                            const ham::Labeling& labeling,
+                                                            topo::NodeId cur,
+                                                            topo::NodeId dst);
+
+/// Dual-path multicast with randomised monotone hops.
+[[nodiscard]] MulticastRoute adaptive_dual_path_route(const topo::Topology& topology,
+                                                      const ham::Labeling& labeling,
+                                                      const MulticastRequest& request,
+                                                      evsim::Rng& rng);
+
+}  // namespace mcnet::mcast

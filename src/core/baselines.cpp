@@ -1,0 +1,94 @@
+#include "core/baselines.hpp"
+
+#include <stdexcept>
+#include <unordered_set>
+
+namespace mcnet::mcast {
+
+namespace {
+
+PathRoute walk_unicast(const topo::Topology& topology, const cdg::RoutingFunction& unicast,
+                       NodeId source, NodeId destination) {
+  PathRoute path;
+  path.nodes.push_back(source);
+  NodeId cur = source;
+  while (cur != destination) {
+    const NodeId next = unicast(cur, destination);
+    if (next == topo::kInvalidNode) throw std::logic_error("unicast routing stuck");
+    path.nodes.push_back(next);
+    cur = next;
+    if (path.nodes.size() > topology.num_nodes() + 1) {
+      throw std::logic_error("unicast routing loops");
+    }
+  }
+  path.delivery_hops.push_back(static_cast<std::uint32_t>(path.nodes.size() - 1));
+  return path;
+}
+
+}  // namespace
+
+MulticastRoute multi_unicast_route(const topo::Topology& topology,
+                                   const cdg::RoutingFunction& unicast,
+                                   const MulticastRequest& request) {
+  MulticastRoute route;
+  route.source = request.source;
+  route.paths.reserve(request.destinations.size());
+  for (const NodeId d : request.destinations) {
+    route.paths.push_back(walk_unicast(topology, unicast, request.source, d));
+  }
+  return route;
+}
+
+MulticastRoute broadcast_route(const topo::Topology& topology,
+                               const cdg::RoutingFunction& unicast,
+                               const MulticastRequest& request) {
+  const std::uint32_t n = topology.num_nodes();
+  // predecessor[v] = the unique node that forwards the broadcast to v.
+  // Deterministic routing makes the union of source->v paths a tree.
+  std::vector<NodeId> predecessor(n, topo::kInvalidNode);
+  for (NodeId v = 0; v < n; ++v) {
+    if (v == request.source) continue;
+    NodeId cur = request.source;
+    NodeId prev = request.source;
+    while (cur != v) {
+      prev = cur;
+      cur = unicast(cur, v);
+      if (cur == topo::kInvalidNode) throw std::logic_error("unicast routing stuck");
+    }
+    predecessor[v] = prev;
+  }
+
+  // Emit links in BFS order from the source so parents precede children.
+  TreeRoute tree;
+  tree.source = request.source;
+  std::vector<std::int32_t> link_into(n, -1);
+  std::vector<std::vector<NodeId>> children(n);
+  for (NodeId v = 0; v < n; ++v) {
+    if (predecessor[v] != topo::kInvalidNode) children[predecessor[v]].push_back(v);
+  }
+  std::vector<NodeId> frontier = {request.source};
+  while (!frontier.empty()) {
+    std::vector<NodeId> next;
+    for (const NodeId u : frontier) {
+      for (const NodeId v : children[u]) {
+        link_into[v] = static_cast<std::int32_t>(
+            tree.add_link(u, v, u == request.source ? -1 : link_into[u]));
+        next.push_back(v);
+      }
+    }
+    frontier = std::move(next);
+  }
+
+  const std::unordered_set<NodeId> dests(request.destinations.begin(),
+                                         request.destinations.end());
+  for (std::uint32_t li = 0; li < tree.links.size(); ++li) {
+    if (dests.contains(tree.links[li].to)) tree.delivery_links.push_back(li);
+  }
+
+  MulticastRoute route;
+  route.source = request.source;
+  route.trees.push_back(std::move(tree));
+  return route;
+}
+
+}  // namespace mcnet::mcast

@@ -1,0 +1,28 @@
+// Baseline "multicast" services that the paper compares against
+// (Figures 7.1-7.5): multiple one-to-one messages, and delivery via a full
+// broadcast tree in which only the destinations consume the message.
+#pragma once
+
+#include "cdg/channel_graph.hpp"
+#include "core/multicast.hpp"
+#include "topology/topology.hpp"
+
+namespace mcnet::mcast {
+
+/// One separate unicast message per destination, each routed by the
+/// deterministic `unicast` function (X-first on meshes, e-cube on cubes).
+/// Traffic is the sum of shortest-path distances.
+[[nodiscard]] MulticastRoute multi_unicast_route(const topo::Topology& topology,
+                                                 const cdg::RoutingFunction& unicast,
+                                                 const MulticastRequest& request);
+
+/// Broadcast implementation of multicast: a spanning broadcast tree (the
+/// union of the deterministic unicast paths from the source to every node,
+/// which is a tree because the routing is deterministic); the router
+/// delivers to the local processor only at destination nodes.  Traffic is
+/// always N - 1.
+[[nodiscard]] MulticastRoute broadcast_route(const topo::Topology& topology,
+                                             const cdg::RoutingFunction& unicast,
+                                             const MulticastRequest& request);
+
+}  // namespace mcnet::mcast

@@ -1,0 +1,90 @@
+#include "core/dc_xfirst_tree.hpp"
+
+#include <array>
+#include <stdexcept>
+
+namespace mcnet::mcast {
+
+namespace {
+
+using topo::Coord2;
+using topo::NodeId;
+
+// X-first tree restricted to one quadrant subnetwork (Fig. 6.6 generalised
+// to all four quadrants): advance in the quadrant's X direction while any
+// destination lies strictly ahead in X, branching off a Y-column sublist at
+// each matching column.
+void forward(const topo::Mesh2D& mesh, TreeRoute& tree, NodeId w, std::int32_t link_into_w,
+             const std::vector<NodeId>& dests, std::int32_t sx, std::int32_t sy) {
+  const Coord2 c = mesh.coord(w);
+  std::vector<NodeId> column, ahead;
+  for (const NodeId d : dests) {
+    const Coord2 dc = mesh.coord(d);
+    if (dc.x == c.x && dc.y == c.y) {
+      if (link_into_w < 0) throw std::logic_error("source cannot be a destination");
+      tree.delivery_links.push_back(static_cast<std::uint32_t>(link_into_w));
+    } else if (dc.x == c.x) {
+      column.push_back(d);
+    } else {
+      ahead.push_back(d);
+    }
+  }
+  if (!column.empty()) {
+    const NodeId next = mesh.node(c.x, c.y + sy);
+    const auto link = static_cast<std::int32_t>(tree.add_link(w, next, link_into_w));
+    forward(mesh, tree, next, link, column, sx, sy);
+  }
+  if (!ahead.empty()) {
+    const NodeId next = mesh.node(c.x + sx, c.y);
+    const auto link = static_cast<std::int32_t>(tree.add_link(w, next, link_into_w));
+    forward(mesh, tree, next, link, ahead, sx, sy);
+  }
+}
+
+}  // namespace
+
+Quadrant quadrant_of(Coord2 source, Coord2 destination) {
+  const std::int32_t dx = destination.x - source.x;
+  const std::int32_t dy = destination.y - source.y;
+  if (dx > 0 && dy >= 0) return Quadrant::kPosXPosY;
+  if (dx <= 0 && dy > 0) return Quadrant::kNegXPosY;
+  if (dx < 0 && dy <= 0) return Quadrant::kNegXNegY;
+  return Quadrant::kPosXNegY;  // dx >= 0 && dy < 0 (dx == dy == 0 excluded)
+}
+
+std::uint8_t quadrant_channel_copy(Quadrant q, std::int32_t dx, std::int32_t dy) {
+  // Copy assignment: +X copies -> {+X+Y: 0, +X-Y: 1}; -X -> {-X-Y: 0,
+  // -X+Y: 1}; +Y -> {+X+Y: 0, -X+Y: 1}; -Y -> {+X-Y: 0, -X-Y: 1}.
+  if (dx > 0) return q == Quadrant::kPosXPosY ? 0 : 1;
+  if (dx < 0) return q == Quadrant::kNegXNegY ? 0 : 1;
+  if (dy > 0) return q == Quadrant::kPosXPosY ? 0 : 1;
+  if (dy < 0) return q == Quadrant::kPosXNegY ? 0 : 1;
+  throw std::invalid_argument("zero direction");
+}
+
+MulticastRoute dc_xfirst_tree_route(const topo::Mesh2D& mesh,
+                                    const MulticastRequest& request) {
+  const Coord2 s = mesh.coord(request.source);
+  std::array<std::vector<NodeId>, 4> per_quadrant;
+  for (const NodeId d : request.destinations) {
+    per_quadrant[static_cast<std::size_t>(quadrant_of(s, mesh.coord(d)))].push_back(d);
+  }
+
+  static constexpr std::array<std::pair<std::int32_t, std::int32_t>, 4> kSigns = {
+      {{+1, +1}, {-1, +1}, {-1, -1}, {+1, -1}}};
+
+  MulticastRoute route;
+  route.source = request.source;
+  for (std::size_t q = 0; q < 4; ++q) {
+    if (per_quadrant[q].empty()) continue;
+    TreeRoute tree;
+    tree.source = request.source;
+    tree.channel_class = static_cast<std::uint8_t>(q);
+    forward(mesh, tree, request.source, -1, per_quadrant[q], kSigns[q].first,
+            kSigns[q].second);
+    route.trees.push_back(std::move(tree));
+  }
+  return route;
+}
+
+}  // namespace mcnet::mcast

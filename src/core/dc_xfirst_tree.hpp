@@ -1,0 +1,45 @@
+// The double-channel X-first tree-like multicast of Section 6.2.1
+// (Figures 6.5-6.7).
+//
+// Every mesh channel is doubled and the network is partitioned into four
+// acyclic subnetworks N_{+X,+Y}, N_{-X,+Y}, N_{-X,-Y}, N_{+X,-Y}, each
+// owning one copy of the channels in its two directions.  A multicast
+// splits into at most four sub-multicasts, one per quadrant of the
+// destination set relative to the source (half-open quadrants so each
+// destination belongs to exactly one), routed as an X-first tree entirely
+// inside one subnetwork.  Each subnetwork is acyclic, hence the scheme is
+// deadlock-free (Assertion 1) -- at the price of double channels and the
+// tree blocking behaviour measured in Figures 7.8-7.9.
+#pragma once
+
+#include "core/multicast.hpp"
+#include "topology/mesh2d.hpp"
+
+namespace mcnet::mcast {
+
+/// Quadrant subnetwork indices, also used as channel classes so the
+/// simulator can map each tree onto its own channel copies.
+enum class Quadrant : std::uint8_t {
+  kPosXPosY = 0,
+  kNegXPosY = 1,
+  kNegXNegY = 2,
+  kPosXNegY = 3,
+};
+
+/// Quadrant of destination (x, y) relative to source (x0, y0), using the
+/// paper's half-open partition:
+///   +X,+Y: x > x0, y >= y0      -X,+Y: x <= x0, y > y0
+///   -X,-Y: x < x0, y <= y0      +X,-Y: x >= x0, y < y0
+[[nodiscard]] Quadrant quadrant_of(topo::Coord2 source, topo::Coord2 destination);
+
+/// Physical channel copy (0 or 1) that quadrant subnetwork `q` owns for a
+/// hop in direction (dx, dy): each direction's two copies are shared by
+/// the two subnetworks that use it.
+[[nodiscard]] std::uint8_t quadrant_channel_copy(Quadrant q, std::int32_t dx, std::int32_t dy);
+
+/// Route a multicast as up to four X-first trees, one per quadrant; the
+/// TreeRoute channel_class carries the quadrant index.
+[[nodiscard]] MulticastRoute dc_xfirst_tree_route(const topo::Mesh2D& mesh,
+                                                  const MulticastRequest& request);
+
+}  // namespace mcnet::mcast

@@ -1,0 +1,103 @@
+#include "core/divided_greedy_mt.hpp"
+
+#include <array>
+#include <cstdlib>
+#include <stdexcept>
+
+namespace mcnet::mcast {
+
+namespace {
+
+using topo::Coord2;
+using topo::NodeId;
+
+enum Direction : std::size_t { kPosX = 0, kNegX = 1, kPosY = 2, kNegY = 3 };
+
+void forward(const topo::Mesh2D& mesh, TreeRoute& tree, NodeId w, std::int32_t link_into_w,
+             const std::vector<NodeId>& dests) {
+  const Coord2 c = mesh.coord(w);
+
+  std::array<std::vector<NodeId>, 4> out;  // direction lists, seeded by axis nodes
+  // Quadrants P0..P3 (NE, NW, SW, SE), each split into x- and y-halves.
+  std::array<std::vector<NodeId>, 4> sx, sy;
+
+  for (const NodeId d : dests) {
+    const Coord2 dc = mesh.coord(d);
+    const std::int32_t dx = dc.x - c.x;
+    const std::int32_t dy = dc.y - c.y;
+    if (dx == 0 && dy == 0) {
+      if (link_into_w < 0) throw std::logic_error("source cannot be a destination");
+      tree.delivery_links.push_back(static_cast<std::uint32_t>(link_into_w));
+      continue;
+    }
+    if (dy == 0) {
+      out[dx > 0 ? kPosX : kNegX].push_back(d);
+      continue;
+    }
+    if (dx == 0) {
+      out[dy > 0 ? kPosY : kNegY].push_back(d);
+      continue;
+    }
+    const std::size_t q = (dx > 0) ? (dy > 0 ? 0 : 3) : (dy > 0 ? 1 : 2);
+    (std::abs(dx) > std::abs(dy) ? sx : sy)[q].push_back(d);
+  }
+
+  // Candidate sets per direction: {quadrant half, sibling direction}.
+  struct Candidate {
+    const std::vector<NodeId>* set;
+    Direction own;
+    Direction sibling;  // direction of the same quadrant's other half
+  };
+  const std::array<Candidate, 8> candidates = {{
+      {&sx[0], kPosX, kPosY},
+      {&sx[3], kPosX, kNegY},
+      {&sx[1], kNegX, kPosY},
+      {&sx[2], kNegX, kNegY},
+      {&sy[0], kPosY, kPosX},
+      {&sy[1], kPosY, kNegX},
+      {&sy[2], kNegY, kNegX},
+      {&sy[3], kNegY, kPosX},
+  }};
+
+  // A direction is open when seeded or when both of its candidates are
+  // non-empty; openness is decided before any merging.
+  std::array<bool, 4> open{};
+  for (std::size_t dir = 0; dir < 4; ++dir) {
+    bool both = true;
+    for (const Candidate& cand : candidates) {
+      if (cand.own == static_cast<Direction>(dir) && cand.set->empty()) both = false;
+    }
+    open[dir] = !out[dir].empty() || both;
+  }
+
+  for (const Candidate& cand : candidates) {
+    if (cand.set->empty()) continue;
+    const Direction target =
+        (!open[cand.own] && open[cand.sibling]) ? cand.sibling : cand.own;
+    out[target].insert(out[target].end(), cand.set->begin(), cand.set->end());
+  }
+
+  static constexpr std::array<std::pair<std::int32_t, std::int32_t>, 4> kStep = {
+      {{+1, 0}, {-1, 0}, {0, +1}, {0, -1}}};
+  for (std::size_t dir = 0; dir < 4; ++dir) {
+    if (out[dir].empty()) continue;
+    const NodeId next = mesh.node(c.x + kStep[dir].first, c.y + kStep[dir].second);
+    const auto link = static_cast<std::int32_t>(tree.add_link(w, next, link_into_w));
+    forward(mesh, tree, next, link, out[dir]);
+  }
+}
+
+}  // namespace
+
+MulticastRoute divided_greedy_mt_route(const topo::Mesh2D& mesh,
+                                       const MulticastRequest& request) {
+  TreeRoute tree;
+  tree.source = request.source;
+  forward(mesh, tree, request.source, -1, request.destinations);
+  MulticastRoute route;
+  route.source = request.source;
+  route.trees.push_back(std::move(tree));
+  return route;
+}
+
+}  // namespace mcnet::mcast

@@ -1,0 +1,34 @@
+// The divided greedy multicast-tree algorithm of Section 5.3 (Fig. 5.6).
+//
+// Unlike X-first routing, the divided greedy algorithm considers the
+// positions of *all* destinations when choosing outgoing directions.  At a
+// forward node (x0, y0):
+//
+//  1. destinations on the local axes are seeded directly into the matching
+//     direction lists D+X / D-X / D+Y / D-Y;
+//  2. the remaining destinations fall into the four open quadrants
+//     P0 (NE), P1 (NW), P2 (SW), P3 (SE); each quadrant splits into Six
+//     (x-offset dominates) and Siy (otherwise);
+//  3. the x-halves of the two quadrants flanking each horizontal direction
+//     are its candidate sets (S0x, S3x -> D+X; S1x, S2x -> D-X), and the
+//     y-halves flank the vertical directions (S0y, S1y -> D+Y;
+//     S2y, S3y -> D-Y);
+//  4. a direction is *open* when its seed list is non-empty or both its
+//     candidate sets are non-empty; a lone candidate set whose direction is
+//     closed is merged into its quadrant sibling's direction when that
+//     direction is open (Section 5.4's example: S3x merged into D-Y),
+//     avoiding a nearly-empty extra branch.
+//
+// Every move still reduces the distance to all destinations it carries, so
+// all deliveries use shortest paths (Theorem 5.4).
+#pragma once
+
+#include "core/multicast.hpp"
+#include "topology/mesh2d.hpp"
+
+namespace mcnet::mcast {
+
+[[nodiscard]] MulticastRoute divided_greedy_mt_route(const topo::Mesh2D& mesh,
+                                                     const MulticastRequest& request);
+
+}  // namespace mcnet::mcast

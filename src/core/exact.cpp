@@ -1,0 +1,162 @@
+#include "core/exact.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <limits>
+#include <stdexcept>
+
+namespace mcnet::mcast::exact {
+
+namespace {
+
+constexpr std::uint32_t kInf = std::numeric_limits<std::uint32_t>::max() / 4;
+
+// Held-Karp table: dp[mask][i] = shortest walk from the source visiting
+// exactly the destinations in `mask`, ending at destination i.
+std::vector<std::vector<std::uint32_t>> held_karp(
+    const topo::Topology& topology, const MulticastRequest& request) {
+  const auto k = static_cast<std::uint32_t>(request.destinations.size());
+  if (k > 18) throw std::invalid_argument("Held-Karp limited to 18 destinations");
+  // Pairwise shortest distances among {source} + destinations only.
+  std::vector<std::uint32_t> from_source(k);
+  std::vector<std::vector<std::uint32_t>> between(k, std::vector<std::uint32_t>(k));
+  for (std::uint32_t i = 0; i < k; ++i) {
+    from_source[i] = topology.distance(request.source, request.destinations[i]);
+    for (std::uint32_t j = 0; j < k; ++j) {
+      between[i][j] = topology.distance(request.destinations[i], request.destinations[j]);
+    }
+  }
+  std::vector<std::vector<std::uint32_t>> dp(
+      std::size_t{1} << k, std::vector<std::uint32_t>(k, kInf));
+  for (std::uint32_t i = 0; i < k; ++i) dp[std::size_t{1} << i][i] = from_source[i];
+  for (std::size_t mask = 1; mask < dp.size(); ++mask) {
+    for (std::uint32_t i = 0; i < k; ++i) {
+      if (!(mask >> i & 1) || dp[mask][i] >= kInf) continue;
+      for (std::uint32_t j = 0; j < k; ++j) {
+        if (mask >> j & 1) continue;
+        const std::size_t next = mask | (std::size_t{1} << j);
+        dp[next][j] = std::min(dp[next][j], dp[mask][i] + between[i][j]);
+      }
+    }
+  }
+  return dp;
+}
+
+}  // namespace
+
+std::vector<std::vector<std::uint32_t>> all_pairs_distances(const topo::Topology& topology) {
+  const std::uint32_t n = topology.num_nodes();
+  std::vector<std::vector<std::uint32_t>> dist(n, std::vector<std::uint32_t>(n, kInf));
+  std::vector<topo::NodeId> queue;
+  for (topo::NodeId s = 0; s < n; ++s) {
+    auto& d = dist[s];
+    d[s] = 0;
+    queue.assign(1, s);
+    for (std::size_t head = 0; head < queue.size(); ++head) {
+      const topo::NodeId u = queue[head];
+      for (const topo::NodeId v : topology.neighbors(u)) {
+        if (d[v] == kInf) {
+          d[v] = d[u] + 1;
+          queue.push_back(v);
+        }
+      }
+    }
+  }
+  return dist;
+}
+
+std::uint64_t steiner_tree_optimum(const topo::Topology& topology,
+                                   const MulticastRequest& request) {
+  // Dreyfus-Wagner with the source as the root terminal.
+  const auto k = static_cast<std::uint32_t>(request.destinations.size());
+  if (k > 12) throw std::invalid_argument("Dreyfus-Wagner limited to 12 destinations");
+  const std::uint32_t n = topology.num_nodes();
+  const auto dist = all_pairs_distances(topology);
+
+  const std::size_t masks = std::size_t{1} << k;
+  // dp[mask][v]: optimal tree spanning destinations in `mask` plus node v.
+  std::vector<std::vector<std::uint32_t>> dp(masks, std::vector<std::uint32_t>(n, kInf));
+  for (std::uint32_t i = 0; i < k; ++i) {
+    for (topo::NodeId v = 0; v < n; ++v) {
+      dp[std::size_t{1} << i][v] = dist[request.destinations[i]][v];
+    }
+  }
+  std::vector<std::uint32_t> merged(n);
+  for (std::size_t mask = 1; mask < masks; ++mask) {
+    if (std::popcount(mask) < 2) continue;
+    // Merge step: two subtrees joined at v.
+    for (topo::NodeId v = 0; v < n; ++v) {
+      std::uint32_t best = kInf;
+      // Iterate proper submasks containing the lowest set bit (each split
+      // once).
+      const std::size_t low = mask & (~mask + 1);
+      for (std::size_t sub = (mask - 1) & mask; sub != 0; sub = (sub - 1) & mask) {
+        if (!(sub & low)) continue;
+        if (sub == mask) continue;
+        const std::uint32_t cost = dp[sub][v] + dp[mask ^ sub][v];
+        best = std::min(best, cost);
+      }
+      merged[v] = std::min(best, dp[mask][v]);
+    }
+    // Propagation step: attach v through the closest junction w.
+    for (topo::NodeId v = 0; v < n; ++v) {
+      std::uint32_t best = merged[v];
+      for (topo::NodeId w = 0; w < n; ++w) {
+        if (merged[w] >= kInf) continue;
+        best = std::min(best, merged[w] + dist[w][v]);
+      }
+      dp[mask][v] = best;
+    }
+  }
+  return dp[masks - 1][request.source];
+}
+
+std::uint64_t multicast_path_optimum_bound(const topo::Topology& topology,
+                                           const MulticastRequest& request) {
+  const auto dp = held_karp(topology, request);
+  const auto k = static_cast<std::uint32_t>(request.destinations.size());
+  std::uint32_t best = kInf;
+  for (std::uint32_t i = 0; i < k; ++i) best = std::min(best, dp.back()[i]);
+  return best;
+}
+
+std::uint64_t multicast_cycle_optimum_bound(const topo::Topology& topology,
+                                            const MulticastRequest& request) {
+  const auto dp = held_karp(topology, request);
+  const auto k = static_cast<std::uint32_t>(request.destinations.size());
+  std::uint32_t best = kInf;
+  for (std::uint32_t i = 0; i < k; ++i) {
+    const std::uint32_t back = topology.distance(request.destinations[i], request.source);
+    best = std::min(best, dp.back()[i] + back);
+  }
+  return best;
+}
+
+std::uint64_t multicast_star_optimum_bound(const topo::Topology& topology,
+                                           const MulticastRequest& request) {
+  const auto k = static_cast<std::uint32_t>(request.destinations.size());
+  if (k > 12) throw std::invalid_argument("star enumeration limited to 12 destinations");
+  const auto dp = held_karp(topology, request);
+  const std::size_t masks = std::size_t{1} << k;
+  // Best single-path (walk) cost per destination subset.
+  std::vector<std::uint32_t> walk(masks, kInf);
+  for (std::size_t mask = 1; mask < masks; ++mask) {
+    for (std::uint32_t i = 0; i < k; ++i) {
+      if (mask >> i & 1) walk[mask] = std::min(walk[mask], dp[mask][i]);
+    }
+  }
+  // Partition DP: star[mask] = best split of `mask` into walks.
+  std::vector<std::uint32_t> star(masks, kInf);
+  star[0] = 0;
+  for (std::size_t mask = 1; mask < masks; ++mask) {
+    const std::size_t low = mask & (~mask + 1);
+    for (std::size_t sub = mask; sub != 0; sub = (sub - 1) & mask) {
+      if (!(sub & low)) continue;  // the part containing the lowest bit
+      if (walk[sub] >= kInf || star[mask ^ sub] >= kInf) continue;
+      star[mask] = std::min(star[mask], walk[sub] + star[mask ^ sub]);
+    }
+  }
+  return star[masks - 1];
+}
+
+}  // namespace mcnet::mcast::exact

@@ -1,0 +1,55 @@
+// Exact / optimal solvers for the Chapter 3 multicast models on small
+// instances.  Chapter 4 proves OMP, OMC, MST and OMS NP-complete, so these
+// exponential-in-k algorithms exist to *calibrate the heuristics*: the
+// ablation bench compares heuristic traffic against the true optimum on
+// instances small enough to solve exactly.
+//
+//  * Dreyfus-Wagner dynamic programming for the minimal Steiner tree
+//    (O(3^t n + 2^t n^2 + n^3) for t terminals) -- exact MST.
+//  * Held-Karp dynamic programming over destination orderings for the
+//    optimal multicast path / cycle *length lower bound* (walks may revisit
+//    nodes, so this lower-bounds Definition 3.1's simple-path OMP; on the
+//    dense mesh/cube hosts the bound is almost always attainable).
+//  * Exhaustive partition search for the optimal multicast star bound
+//    (each part served by an optimal walk from the source).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/multicast.hpp"
+#include "topology/topology.hpp"
+
+namespace mcnet::mcast::exact {
+
+/// All-pairs shortest distances by BFS from each source (unit weights).
+/// O(n * (n + m)); intended for the small calibration hosts.
+[[nodiscard]] std::vector<std::vector<std::uint32_t>> all_pairs_distances(
+    const topo::Topology& topology);
+
+/// Exact minimal Steiner tree length for {source} union destinations
+/// (Dreyfus-Wagner).  Throws std::invalid_argument for more than 16
+/// terminals.
+[[nodiscard]] std::uint64_t steiner_tree_optimum(const topo::Topology& topology,
+                                                 const MulticastRequest& request);
+
+/// Minimal total length of a walk from the source visiting every
+/// destination (Held-Karp over visit orders, shortest paths between
+/// consecutive stops).  Lower bound on the OMP of Definition 3.1; equality
+/// holds whenever some optimal visiting order admits vertex-disjoint
+/// connecting shortest paths.  Throws for more than 20 destinations.
+[[nodiscard]] std::uint64_t multicast_path_optimum_bound(const topo::Topology& topology,
+                                                         const MulticastRequest& request);
+
+/// As above but the walk must return to the source (OMC bound).
+[[nodiscard]] std::uint64_t multicast_cycle_optimum_bound(const topo::Topology& topology,
+                                                          const MulticastRequest& request);
+
+/// Minimal total length over all partitions of the destinations into
+/// non-empty groups, each served by an optimal walk from the source (OMS
+/// bound, Definition 3.5).  Exponential in k; throws for more than 10
+/// destinations.
+[[nodiscard]] std::uint64_t multicast_star_optimum_bound(const topo::Topology& topology,
+                                                         const MulticastRequest& request);
+
+}  // namespace mcnet::mcast::exact

@@ -1,0 +1,145 @@
+#include "core/greedy_st.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+namespace mcnet::mcast {
+
+namespace {
+
+using topo::NodeId;
+
+struct StContext {
+  const topo::Topology& topology;
+  const cdg::RoutingFunction& unicast;
+  const ClosestOnPathsFn& closest;
+  std::unordered_set<NodeId> pending;  // destinations not yet delivered
+  TreeRoute tree;
+};
+
+// Relay the message from `from` to `to` along the deterministic shortest
+// path, appending links; returns the index of the link arriving at `to`.
+std::int32_t relay(StContext& ctx, NodeId from, NodeId to, std::int32_t parent_link) {
+  NodeId cur = from;
+  std::int32_t link = parent_link;
+  while (cur != to) {
+    const NodeId next = ctx.unicast(cur, to);
+    if (next == topo::kInvalidNode) throw std::logic_error("greedy ST relay stuck");
+    link = static_cast<std::int32_t>(ctx.tree.add_link(cur, next, link));
+    cur = next;
+  }
+  return link;
+}
+
+// The greedy tree built at a replicate node: edges are "virtual" node
+// pairs whose realisations are shortest-path bundles.
+struct VirtualTree {
+  std::vector<std::pair<NodeId, NodeId>> edges;
+};
+
+// Steps 3-4 of Fig. 5.4: grow the tree rooted at `u` over `list` in order.
+VirtualTree build_virtual_tree(const StContext& ctx, NodeId u,
+                               const std::vector<NodeId>& list) {
+  VirtualTree t;
+  t.edges.emplace_back(u, list[0]);
+  for (std::size_t i = 1; i < list.size(); ++i) {
+    const NodeId ui = list[i];
+    NodeId best_v = topo::kInvalidNode;
+    std::uint32_t best_d = 0;
+    std::size_t best_edge = 0;
+    for (std::size_t e = 0; e < t.edges.size(); ++e) {
+      const auto [s, tt] = t.edges[e];
+      const NodeId v = ctx.closest(s, tt, ui);
+      const std::uint32_t d = ctx.topology.distance(ui, v);
+      if (best_v == topo::kInvalidNode || d < best_d) {
+        best_v = v;
+        best_d = d;
+        best_edge = e;
+      }
+    }
+    const auto [s, tt] = t.edges[best_edge];
+    if (best_v != s && best_v != tt) {
+      // Step 4(c): split the edge at the interior attachment point.
+      t.edges[best_edge] = {s, best_v};
+      t.edges.emplace_back(best_v, tt);
+    }
+    if (ui != best_v) t.edges.emplace_back(best_v, ui);  // Step 4(d)
+  }
+  return t;
+}
+
+void replicate(StContext& ctx, NodeId u, std::int32_t link_into_u, std::vector<NodeId> list);
+
+// Step 5-6 of Fig. 5.4: partition `list` by the subtree of each son of `u`
+// in the virtual tree and forward a copy toward each son.
+void fan_out(StContext& ctx, NodeId u, std::int32_t link_into_u, const VirtualTree& vt,
+             const std::vector<NodeId>& list) {
+  // Adjacency of the virtual tree.
+  std::unordered_map<NodeId, std::vector<NodeId>> adj;
+  for (const auto& [a, b] : vt.edges) {
+    adj[a].push_back(b);
+    adj[b].push_back(a);
+  }
+  // Subtree membership: component containing each son after removing u.
+  for (const NodeId son : adj[u]) {
+    std::unordered_set<NodeId> subtree;
+    std::vector<NodeId> stack = {son};
+    subtree.insert(son);
+    while (!stack.empty()) {
+      const NodeId x = stack.back();
+      stack.pop_back();
+      for (const NodeId y : adj[x]) {
+        if (y != u && subtree.insert(y).second) stack.push_back(y);
+      }
+    }
+    std::vector<NodeId> sublist;
+    for (const NodeId d : list) {
+      if (subtree.contains(d)) sublist.push_back(d);
+    }
+    const std::int32_t link = relay(ctx, u, son, link_into_u);
+    replicate(ctx, son, link, std::move(sublist));
+  }
+}
+
+void replicate(StContext& ctx, NodeId u, std::int32_t link_into_u, std::vector<NodeId> list) {
+  // Deliver locally if this replicate node is itself a destination.
+  if (const auto it = ctx.pending.find(u); it != ctx.pending.end()) {
+    ctx.pending.erase(it);
+    if (link_into_u < 0) throw std::logic_error("source cannot be a destination");
+    ctx.tree.delivery_links.push_back(static_cast<std::uint32_t>(link_into_u));
+    std::erase(list, u);
+  }
+  if (list.empty()) return;
+  const VirtualTree vt = build_virtual_tree(ctx, u, list);
+  fan_out(ctx, u, link_into_u, vt, list);
+}
+
+}  // namespace
+
+MulticastRoute greedy_st_route(const topo::Topology& topology,
+                               const cdg::RoutingFunction& unicast,
+                               const ClosestOnPathsFn& closest,
+                               const MulticastRequest& request) {
+  // Message preparation (Fig. 5.3): ascending distance from the source
+  // (stable for ties, matching "arbitrary order" for equal keys).
+  std::vector<NodeId> sorted = request.destinations;
+  std::stable_sort(sorted.begin(), sorted.end(), [&](NodeId a, NodeId b) {
+    return topology.distance(request.source, a) < topology.distance(request.source, b);
+  });
+
+  StContext ctx{topology, unicast, closest,
+                std::unordered_set<NodeId>(sorted.begin(), sorted.end()),
+                TreeRoute{}};
+  ctx.tree.source = request.source;
+  replicate(ctx, request.source, -1, std::move(sorted));
+
+  MulticastRoute route;
+  route.source = request.source;
+  route.trees.push_back(std::move(ctx.tree));
+  return route;
+}
+
+}  // namespace mcnet::mcast

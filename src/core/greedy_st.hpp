@@ -1,0 +1,40 @@
+// The greedy Steiner-tree (ST) heuristic of Section 5.2 (Figures 5.3 and
+// 5.4), simulated as the distributed process the paper specifies:
+//
+//  * message preparation at the source sorts destinations by ascending
+//    distance from the source;
+//  * every *replicate* node rebuilds a greedy Steiner tree over its
+//    destination sublist: starting from the edge (u, u1), each further
+//    destination u_i attaches at the node v nearest to u_i among all nodes
+//    lying on shortest paths between the endpoints of existing tree edges
+//    (splitting the edge at v when v is interior);
+//  * the sublist of each subtree is forwarded toward that subtree's root
+//    through *bypass* nodes that simply relay along a deterministic
+//    shortest path.
+//
+// The nearest-node computation is the constant-time clamp of Section 5.2
+// (bounding box on meshes, bit-merge on hypercubes), supplied by the host
+// topology through `closest`.
+#pragma once
+
+#include <functional>
+
+#include "cdg/channel_graph.hpp"
+#include "core/multicast.hpp"
+#include "topology/topology.hpp"
+
+namespace mcnet::mcast {
+
+/// Nearest node to `w` among nodes on shortest paths between `s` and `t`.
+using ClosestOnPathsFn =
+    std::function<topo::NodeId(topo::NodeId s, topo::NodeId t, topo::NodeId w)>;
+
+/// Run the greedy ST algorithm.  `unicast` supplies the deterministic
+/// shortest-path relay used between replicate nodes (X-first on meshes,
+/// e-cube on hypercubes); `closest` supplies the Section 5.2 clamp.
+[[nodiscard]] MulticastRoute greedy_st_route(const topo::Topology& topology,
+                                             const cdg::RoutingFunction& unicast,
+                                             const ClosestOnPathsFn& closest,
+                                             const MulticastRequest& request);
+
+}  // namespace mcnet::mcast

@@ -1,0 +1,59 @@
+#include "core/len_tree.hpp"
+
+#include <stdexcept>
+
+namespace mcnet::mcast {
+
+namespace {
+
+using topo::NodeId;
+
+void forward(const topo::Hypercube& cube, TreeRoute& tree, NodeId u, std::int32_t link_into_u,
+             std::vector<NodeId> dests) {
+  // Local delivery.
+  std::erase_if(dests, [&](NodeId d) {
+    if (d != u) return false;
+    if (link_into_u < 0) throw std::logic_error("source cannot be a destination");
+    tree.delivery_links.push_back(static_cast<std::uint32_t>(link_into_u));
+    return true;
+  });
+
+  const std::uint32_t n = cube.dimensions();
+  while (!dests.empty()) {
+    // Dimension covering the most remaining destinations.
+    std::uint32_t best_dim = 0;
+    std::uint32_t best_count = 0;
+    for (std::uint32_t j = 0; j < n; ++j) {
+      std::uint32_t count = 0;
+      for (const NodeId d : dests) {
+        if (((d ^ u) >> j) & 1u) ++count;
+      }
+      if (count > best_count) {
+        best_count = count;
+        best_dim = j;
+      }
+    }
+    std::vector<NodeId> covered, rest;
+    for (const NodeId d : dests) {
+      (((d ^ u) >> best_dim) & 1u ? covered : rest).push_back(d);
+    }
+    const NodeId next = cube.across(u, best_dim);
+    const auto link = static_cast<std::int32_t>(tree.add_link(u, next, link_into_u));
+    forward(cube, tree, next, link, std::move(covered));
+    dests = std::move(rest);
+  }
+}
+
+}  // namespace
+
+MulticastRoute len_tree_route(const topo::Hypercube& cube, const MulticastRequest& request) {
+  TreeRoute tree;
+  tree.source = request.source;
+  forward(cube, tree, request.source, -1, request.destinations);
+  MulticastRoute route;
+  route.source = request.source;
+  route.trees.push_back(std::move(tree));
+  return route;
+}
+
+}  // namespace mcnet::mcast

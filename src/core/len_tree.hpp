@@ -1,0 +1,21 @@
+// The LEN greedy multicast-tree heuristic for hypercubes
+// [Lan, Esfahanian & Ni, "Multicast in hypercube multiprocessors",
+// JPDC 1990], the comparison baseline of Fig. 7.4.
+//
+// At each forward node u with destination list D, repeatedly pick the
+// dimension j covering the most remaining destinations (i.e. maximising
+// |{d in D : bit j of d xor u set}|, lowest j on ties), forward the covered
+// sublist to the neighbour across j, and remove it from D.  Every
+// destination moves strictly closer at every hop, so all deliveries use
+// shortest paths.
+#pragma once
+
+#include "core/multicast.hpp"
+#include "topology/hypercube.hpp"
+
+namespace mcnet::mcast {
+
+[[nodiscard]] MulticastRoute len_tree_route(const topo::Hypercube& cube,
+                                            const MulticastRequest& request);
+
+}  // namespace mcnet::mcast

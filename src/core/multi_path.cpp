@@ -1,0 +1,123 @@
+#include "core/multi_path.hpp"
+
+#include <algorithm>
+
+namespace mcnet::mcast {
+
+namespace {
+
+using topo::NodeId;
+
+// Neighbours of `u` on the given side of the labeling, sorted by label
+// (ascending for the high side, descending for the low side).
+std::vector<NodeId> side_neighbors(const topo::Topology& topology,
+                                   const ham::Labeling& labeling, NodeId u, bool high) {
+  const std::uint32_t lu = labeling.label(u);
+  std::vector<NodeId> result;
+  for (const NodeId p : topology.neighbors(u)) {
+    if ((labeling.label(p) > lu) == high) result.push_back(p);
+  }
+  std::sort(result.begin(), result.end(), [&](NodeId a, NodeId b) {
+    return high ? labeling.label(a) < labeling.label(b)
+                : labeling.label(a) > labeling.label(b);
+  });
+  return result;
+}
+
+// Mesh split of one side (Fig. 6.14 step 3): when two neighbours exist,
+// destinations on neighbour v1's x-side go through v1, the rest through v2.
+void emit_mesh_side(const topo::Mesh2D& mesh, const LabelRouter& router,
+                    const MulticastRequest& request, const std::vector<NodeId>& sorted_side,
+                    const std::vector<NodeId>& neighbors, std::uint8_t channel_class,
+                    MulticastRoute& route) {
+  if (sorted_side.empty()) return;
+  if (neighbors.size() < 2) {
+    route.paths.push_back(router.route_path(
+        request.source, sorted_side,
+        neighbors.empty() ? std::nullopt : std::make_optional(neighbors[0]), channel_class));
+    return;
+  }
+  const std::int32_t x1 = mesh.coord(neighbors[0]).x;
+  const std::int32_t x2 = mesh.coord(neighbors[1]).x;
+  std::vector<NodeId> d1, d2;
+  for (const NodeId d : sorted_side) {
+    const std::int32_t x = mesh.coord(d).x;
+    const bool to_v1 = (x1 < x2) ? (x <= x1) : (x >= x1);
+    (to_v1 ? d1 : d2).push_back(d);
+  }
+  if (!d1.empty()) {
+    route.paths.push_back(router.route_path(request.source, d1, neighbors[0], channel_class));
+  }
+  if (!d2.empty()) {
+    route.paths.push_back(router.route_path(request.source, d2, neighbors[1], channel_class));
+  }
+}
+
+}  // namespace
+
+MulticastRoute multi_path_route(const topo::Mesh2D& mesh,
+                                const ham::MeshBoustrophedonLabeling& labeling,
+                                const MulticastRequest& request) {
+  const LabelRouter router(mesh, labeling);
+  const DualPathSplit split = dual_path_prepare(labeling, request);
+  MulticastRoute route;
+  route.source = request.source;
+  emit_mesh_side(mesh, router, request, split.high,
+                 side_neighbors(mesh, labeling, request.source, /*high=*/true),
+                 kHighChannelClass, route);
+  emit_mesh_side(mesh, router, request, split.low,
+                 side_neighbors(mesh, labeling, request.source, /*high=*/false),
+                 kLowChannelClass, route);
+  return route;
+}
+
+MulticastRoute multi_path_route(const topo::Hypercube& cube,
+                                const ham::HypercubeGrayLabeling& labeling,
+                                const MulticastRequest& request) {
+  return multi_path_route(static_cast<const topo::Topology&>(cube),
+                          static_cast<const ham::Labeling&>(labeling), request);
+}
+
+MulticastRoute multi_path_route(const topo::Topology& topology, const ham::Labeling& labeling,
+                                const MulticastRequest& request) {
+  const LabelRouter router(topology, labeling);
+  const DualPathSplit split = dual_path_prepare(labeling, request);
+  MulticastRoute route;
+  route.source = request.source;
+
+  // Fig. 6.20 step 3/4: bucket each side by the label ranges of the side's
+  // neighbours.  Side lists are label-sorted, neighbour lists likewise, so
+  // a single merge pass assigns each destination to the nearest preceding
+  // neighbour.
+  const auto emit_side = [&](const std::vector<NodeId>& side,
+                             const std::vector<NodeId>& nbrs, bool high,
+                             std::uint8_t channel_class) {
+    if (side.empty()) return;
+    std::size_t b = 0;  // current neighbour bucket
+    std::vector<NodeId> bucket;
+    const auto flush = [&] {
+      if (!bucket.empty()) {
+        route.paths.push_back(
+            router.route_path(request.source, bucket, nbrs[b], channel_class));
+        bucket.clear();
+      }
+    };
+    for (const NodeId d : side) {
+      const std::uint32_t ld = labeling.label(d);
+      while (b + 1 < nbrs.size() &&
+             (high ? labeling.label(nbrs[b + 1]) <= ld : labeling.label(nbrs[b + 1]) >= ld)) {
+        flush();
+        ++b;
+      }
+      bucket.push_back(d);
+    }
+    flush();
+  };
+  emit_side(split.high, side_neighbors(topology, labeling, request.source, true), true,
+            kHighChannelClass);
+  emit_side(split.low, side_neighbors(topology, labeling, request.source, false), false,
+            kLowChannelClass);
+  return route;
+}
+
+}  // namespace mcnet::mcast

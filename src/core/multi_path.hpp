@@ -1,0 +1,37 @@
+// Multi-path deadlock-free multicast routing (Section 6.2.2, Figures 6.14
+// and 6.15 for the 2-D mesh; Fig. 6.20 for the hypercube).
+//
+// The dual-path split is refined further: on a mesh, D_H is divided by the
+// x-coordinates of the two higher-labeled neighbours of the source (each
+// sublist addressed through its neighbour); symmetrically for D_L, giving
+// up to four path worms.  On an n-cube, the higher-labeled neighbours
+// v_1 < v_2 < ... partition D_H into label ranges
+// [l(v_i), l(v_{i+1})), giving up to n worms per side.  All worms stay in
+// one acyclic subnetwork, so the scheme is deadlock-free (Assertion 3 /
+// Corollary 6.2).
+#pragma once
+
+#include "core/dual_path.hpp"
+#include "core/routing_function.hpp"
+#include "topology/hypercube.hpp"
+#include "topology/mesh2d.hpp"
+
+namespace mcnet::mcast {
+
+[[nodiscard]] MulticastRoute multi_path_route(const topo::Mesh2D& mesh,
+                                              const ham::MeshBoustrophedonLabeling& labeling,
+                                              const MulticastRequest& request);
+
+[[nodiscard]] MulticastRoute multi_path_route(const topo::Hypercube& cube,
+                                              const ham::HypercubeGrayLabeling& labeling,
+                                              const MulticastRequest& request);
+
+/// Generic multi-path for any topology with a Hamiltonian labeling (3-D
+/// meshes, k-ary n-cubes, ...): each side of the dual-path split is
+/// bucketed by the label ranges of the source's same-side neighbours, as in
+/// the hypercube variant.  Deadlock-free by the same subnetwork argument.
+[[nodiscard]] MulticastRoute multi_path_route(const topo::Topology& topology,
+                                              const ham::Labeling& labeling,
+                                              const MulticastRequest& request);
+
+}  // namespace mcnet::mcast

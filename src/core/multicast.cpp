@@ -1,0 +1,105 @@
+#include "core/multicast.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <unordered_map>
+
+namespace mcnet::mcast {
+
+void MulticastRequest::validate(std::uint32_t num_nodes) const {
+  if (source >= num_nodes) throw std::invalid_argument("source out of range");
+  if (destinations.empty()) throw std::invalid_argument("multicast needs >= 1 destination");
+  std::vector<NodeId> sorted = destinations;
+  std::sort(sorted.begin(), sorted.end());
+  if (std::adjacent_find(sorted.begin(), sorted.end()) != sorted.end()) {
+    throw std::invalid_argument("duplicate destination");
+  }
+  for (const NodeId d : sorted) {
+    if (d >= num_nodes) throw std::invalid_argument("destination out of range");
+    if (d == source) throw std::invalid_argument("destination equals source");
+  }
+}
+
+std::uint32_t TreeRoute::add_link(NodeId from, NodeId to, std::int32_t parent) {
+  Link link;
+  link.from = from;
+  link.to = to;
+  link.parent = parent;
+  link.depth = parent < 0 ? 1 : links[static_cast<std::size_t>(parent)].depth + 1;
+  links.push_back(link);
+  return static_cast<std::uint32_t>(links.size() - 1);
+}
+
+std::uint64_t MulticastRoute::traffic() const {
+  std::uint64_t t = 0;
+  for (const PathRoute& p : paths) t += p.hops();
+  for (const TreeRoute& tr : trees) t += tr.links.size();
+  return t;
+}
+
+std::uint32_t MulticastRoute::max_delivery_hops() const {
+  std::uint32_t m = 0;
+  for (const PathRoute& p : paths) {
+    for (const std::uint32_t h : p.delivery_hops) m = std::max(m, h);
+  }
+  for (const TreeRoute& tr : trees) {
+    for (const std::uint32_t li : tr.delivery_links) m = std::max(m, tr.links[li].depth);
+  }
+  return m;
+}
+
+std::uint32_t MulticastRoute::num_deliveries() const {
+  std::uint32_t n = 0;
+  for (const PathRoute& p : paths) n += static_cast<std::uint32_t>(p.delivery_hops.size());
+  for (const TreeRoute& t : trees) n += static_cast<std::uint32_t>(t.delivery_links.size());
+  return n;
+}
+
+void verify_route(const topo::Topology& topology, const MulticastRequest& request,
+                  const MulticastRoute& route) {
+  if (route.source != request.source) throw std::logic_error("route source mismatch");
+  std::unordered_map<NodeId, int> delivered;
+  for (const NodeId d : request.destinations) delivered[d] = 0;
+
+  for (const PathRoute& p : route.paths) {
+    if (p.nodes.empty()) throw std::logic_error("empty path");
+    if (p.nodes.front() != request.source) throw std::logic_error("path must start at source");
+    for (std::size_t i = 0; i + 1 < p.nodes.size(); ++i) {
+      if (!topology.adjacent(p.nodes[i], p.nodes[i + 1])) {
+        throw std::logic_error("path step between non-neighbours");
+      }
+    }
+    for (const std::uint32_t h : p.delivery_hops) {
+      if (h >= p.nodes.size()) throw std::logic_error("delivery hop out of range");
+      const auto it = delivered.find(p.nodes[h]);
+      if (it == delivered.end()) throw std::logic_error("delivery at non-destination");
+      ++it->second;
+    }
+  }
+  for (const TreeRoute& t : route.trees) {
+    if (t.source != request.source) throw std::logic_error("tree source mismatch");
+    for (std::size_t i = 0; i < t.links.size(); ++i) {
+      const TreeRoute::Link& l = t.links[i];
+      if (!topology.adjacent(l.from, l.to)) throw std::logic_error("tree link between non-neighbours");
+      const NodeId expected_from = l.parent < 0
+                                       ? t.source
+                                       : t.links[static_cast<std::size_t>(l.parent)].to;
+      if (l.parent >= static_cast<std::int32_t>(i)) throw std::logic_error("tree parent not topologically ordered");
+      if (l.from != expected_from) throw std::logic_error("tree link detached from parent");
+    }
+    for (const std::uint32_t li : t.delivery_links) {
+      if (li >= t.links.size()) throw std::logic_error("delivery link out of range");
+      const auto it = delivered.find(t.links[li].to);
+      if (it == delivered.end()) throw std::logic_error("delivery at non-destination");
+      ++it->second;
+    }
+  }
+  for (const auto& [node, count] : delivered) {
+    if (count != 1) {
+      throw std::logic_error("destination " + std::to_string(node) + " delivered " +
+                             std::to_string(count) + " times");
+    }
+  }
+}
+
+}  // namespace mcnet::mcast

@@ -1,0 +1,73 @@
+#include "core/naive_tree.hpp"
+
+#include <bit>
+#include <stdexcept>
+#include <unordered_set>
+
+namespace mcnet::mcast {
+
+namespace {
+
+using topo::NodeId;
+
+void binomial_expand(const topo::Hypercube& cube, TreeRoute& tree,
+                     const std::unordered_set<NodeId>& dests, NodeId u,
+                     std::int32_t link_into_u, std::uint32_t first_dim) {
+  for (std::uint32_t j = first_dim; j < cube.dimensions(); ++j) {
+    const NodeId next = cube.across(u, j);
+    const auto link = static_cast<std::int32_t>(tree.add_link(u, next, link_into_u));
+    if (dests.contains(next)) tree.delivery_links.push_back(static_cast<std::uint32_t>(link));
+    binomial_expand(cube, tree, dests, next, link, j + 1);
+  }
+}
+
+void ecube_expand(const topo::Hypercube& cube, TreeRoute& tree, NodeId u,
+                  std::int32_t link_into_u, std::vector<NodeId> dests) {
+  std::erase_if(dests, [&](NodeId d) {
+    if (d != u) return false;
+    if (link_into_u < 0) throw std::logic_error("source cannot be a destination");
+    tree.delivery_links.push_back(static_cast<std::uint32_t>(link_into_u));
+    return true;
+  });
+  while (!dests.empty()) {
+    // e-cube: every destination leaves across its lowest differing
+    // dimension; group by that dimension.
+    const auto dim_of = [&](NodeId d) {
+      return static_cast<std::uint32_t>(std::countr_zero(d ^ u));
+    };
+    const std::uint32_t dim = dim_of(dests.front());
+    std::vector<NodeId> covered, rest;
+    for (const NodeId d : dests) (dim_of(d) == dim ? covered : rest).push_back(d);
+    const NodeId next = cube.across(u, dim);
+    const auto link = static_cast<std::int32_t>(tree.add_link(u, next, link_into_u));
+    ecube_expand(cube, tree, next, link, std::move(covered));
+    dests = std::move(rest);
+  }
+}
+
+}  // namespace
+
+MulticastRoute binomial_broadcast_route(const topo::Hypercube& cube,
+                                        const MulticastRequest& request) {
+  TreeRoute tree;
+  tree.source = request.source;
+  const std::unordered_set<NodeId> dests(request.destinations.begin(),
+                                         request.destinations.end());
+  binomial_expand(cube, tree, dests, request.source, -1, 0);
+  MulticastRoute route;
+  route.source = request.source;
+  route.trees.push_back(std::move(tree));
+  return route;
+}
+
+MulticastRoute ecube_mt_route(const topo::Hypercube& cube, const MulticastRequest& request) {
+  TreeRoute tree;
+  tree.source = request.source;
+  ecube_expand(cube, tree, request.source, -1, request.destinations);
+  MulticastRoute route;
+  route.source = request.source;
+  route.trees.push_back(std::move(tree));
+  return route;
+}
+
+}  // namespace mcnet::mcast

@@ -1,0 +1,31 @@
+// The deadlock-prone tree-based wormhole multicast schemes of Section 6.1,
+// kept as named algorithms so the deadlock demonstrations (Figures 6.1-6.4)
+// can be reproduced in the wormhole simulator:
+//
+//  * the nCUBE-2-style binomial broadcast tree on a hypercube (a node
+//    reached across dimension j forwards across all dimensions > j);
+//  * the e-cube multicast tree on a hypercube (union of e-cube unicast
+//    paths, a tree because e-cube is deterministic);
+//  * the single-channel X-first multicast tree on a mesh is
+//    xfirst_mt_route (Fig. 6.3) from core/xfirst_mt.hpp.
+//
+// Under the nCUBE-2 lock-step branch semantics these trees hold channels
+// while waiting for others, so two concurrent multicasts can deadlock.
+#pragma once
+
+#include "core/multicast.hpp"
+#include "topology/hypercube.hpp"
+
+namespace mcnet::mcast {
+
+/// Binomial broadcast tree from `source` delivering to the request's
+/// destinations (the nCUBE-2 broadcast of Section 6.1, Fig. 6.1).
+[[nodiscard]] MulticastRoute binomial_broadcast_route(const topo::Hypercube& cube,
+                                                      const MulticastRequest& request);
+
+/// Multicast tree formed by the union of e-cube unicast paths to each
+/// destination (lowest differing dimension first).
+[[nodiscard]] MulticastRoute ecube_mt_route(const topo::Hypercube& cube,
+                                            const MulticastRequest& request);
+
+}  // namespace mcnet::mcast

@@ -1,0 +1,73 @@
+#include "core/sorted_mp.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace mcnet::mcast {
+
+namespace {
+
+MulticastRoute sorted_route(const topo::Topology& topology, const ham::HamiltonCycle& cycle,
+                            const MulticastRequest& request, bool close_cycle) {
+  const std::uint32_t n = cycle.size();
+  const NodeId source = request.source;
+
+  // f(v): cyclic position from the source; the source itself keys as N when
+  // it is the final (cycle-closing) target.
+  const auto key = [&](NodeId v, bool returning) -> std::uint32_t {
+    if (v == source) return returning ? n : 0;
+    return cycle.key_from(source, v);
+  };
+
+  std::vector<NodeId> targets = request.destinations;
+  std::sort(targets.begin(), targets.end(), [&](NodeId a, NodeId b) {
+    return key(a, false) < key(b, false);
+  });
+  if (close_cycle) targets.push_back(source);
+
+  PathRoute path;
+  path.nodes.push_back(source);
+  NodeId w = source;
+  for (std::size_t ti = 0; ti < targets.size(); ++ti) {
+    const NodeId d = targets[ti];
+    const bool returning = close_cycle && ti + 1 == targets.size();
+    const std::uint32_t fd = key(d, returning);
+    while (w != d) {
+      // Step 3 of Fig. 5.2: the neighbour with the greatest key <= f(d).
+      NodeId next = topo::kInvalidNode;
+      std::uint32_t best = 0;
+      for (const NodeId p : topology.neighbors(w)) {
+        const std::uint32_t fp = key(p, returning);
+        if (fp <= fd && fp > key(w, false) && (next == topo::kInvalidNode || fp > best)) {
+          next = p;
+          best = fp;
+        }
+      }
+      if (next == topo::kInvalidNode) throw std::logic_error("sorted MP routing stuck");
+      path.nodes.push_back(next);
+      w = next;
+    }
+    if (!returning) {
+      path.delivery_hops.push_back(static_cast<std::uint32_t>(path.nodes.size() - 1));
+    }
+  }
+
+  MulticastRoute route;
+  route.source = source;
+  route.paths.push_back(std::move(path));
+  return route;
+}
+
+}  // namespace
+
+MulticastRoute sorted_mp_route(const topo::Topology& topology, const ham::HamiltonCycle& cycle,
+                               const MulticastRequest& request) {
+  return sorted_route(topology, cycle, request, /*close_cycle=*/false);
+}
+
+MulticastRoute sorted_mc_route(const topo::Topology& topology, const ham::HamiltonCycle& cycle,
+                               const MulticastRequest& request) {
+  return sorted_route(topology, cycle, request, /*close_cycle=*/true);
+}
+
+}  // namespace mcnet::mcast

@@ -1,0 +1,33 @@
+// The sorted multicast-path (MP) and multicast-cycle (MC) heuristics of
+// Section 5.1 (Figures 5.1 and 5.2).
+//
+// Message preparation (at the source): compute the cyclic key
+// f(v) = position of v along a fixed Hamiltonian cycle starting from the
+// source, and sort the destinations by ascending f.
+//
+// Message routing (at every forward node): with d the first remaining
+// destination, forward to the neighbour w' with the greatest f(w') <= f(d).
+// Theorem 5.1 shows the selected edges induce a multicast path; Fact 2
+// guarantees progress because the Hamiltonian-cycle successor of w always
+// satisfies f = f(w) + 1.
+#pragma once
+
+#include "core/multicast.hpp"
+#include "topology/hamiltonian.hpp"
+
+namespace mcnet::mcast {
+
+/// Sorted-MP: a single path from the source visiting every destination in
+/// cyclic-key order.
+[[nodiscard]] MulticastRoute sorted_mp_route(const topo::Topology& topology,
+                                             const ham::HamiltonCycle& cycle,
+                                             const MulticastRequest& request);
+
+/// Sorted-MC: as sorted-MP, but the path additionally returns to the source
+/// (the source is appended with key N), providing the cycle-based
+/// acknowledgement of Definition 3.2.
+[[nodiscard]] MulticastRoute sorted_mc_route(const topo::Topology& topology,
+                                             const ham::HamiltonCycle& cycle,
+                                             const MulticastRequest& request);
+
+}  // namespace mcnet::mcast

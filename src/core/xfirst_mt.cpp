@@ -1,0 +1,56 @@
+#include "core/xfirst_mt.hpp"
+
+#include <stdexcept>
+
+namespace mcnet::mcast {
+
+namespace {
+
+using topo::Coord2;
+using topo::NodeId;
+
+void forward(const topo::Mesh2D& mesh, TreeRoute& tree, NodeId w, std::int32_t link_into_w,
+             const std::vector<NodeId>& dests) {
+  const Coord2 c = mesh.coord(w);
+  std::vector<NodeId> pos_x, neg_x, pos_y, neg_y;
+  for (const NodeId d : dests) {
+    const Coord2 dc = mesh.coord(d);
+    if (dc.x > c.x) {
+      pos_x.push_back(d);
+    } else if (dc.x < c.x) {
+      neg_x.push_back(d);
+    } else if (dc.y > c.y) {
+      pos_y.push_back(d);
+    } else if (dc.y < c.y) {
+      neg_y.push_back(d);
+    } else {
+      // Local delivery: record on the link that carried the message here.
+      if (link_into_w < 0) throw std::logic_error("source cannot be a destination");
+      tree.delivery_links.push_back(static_cast<std::uint32_t>(link_into_w));
+    }
+  }
+  const auto send = [&](const std::vector<NodeId>& sublist, std::int32_t dx, std::int32_t dy) {
+    if (sublist.empty()) return;
+    const NodeId next = mesh.node(c.x + dx, c.y + dy);
+    const auto link = static_cast<std::int32_t>(tree.add_link(w, next, link_into_w));
+    forward(mesh, tree, next, link, sublist);
+  };
+  send(pos_x, +1, 0);
+  send(neg_x, -1, 0);
+  send(pos_y, 0, +1);
+  send(neg_y, 0, -1);
+}
+
+}  // namespace
+
+MulticastRoute xfirst_mt_route(const topo::Mesh2D& mesh, const MulticastRequest& request) {
+  TreeRoute tree;
+  tree.source = request.source;
+  forward(mesh, tree, request.source, -1, request.destinations);
+  MulticastRoute route;
+  route.source = request.source;
+  route.trees.push_back(std::move(tree));
+  return route;
+}
+
+}  // namespace mcnet::mcast

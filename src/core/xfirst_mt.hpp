@@ -1,0 +1,20 @@
+// The X-first multicast-tree algorithm of Section 5.3 (Fig. 5.5): the
+// natural multicast extension of X-first (XY) unicast routing.  At every
+// forward node the destination list splits into +X / -X (x differs) and
+// +Y / -Y (x matches) sublists, each forwarded one hop in its direction.
+// All destinations are reached along X-first shortest paths.
+//
+// This is also exactly the single-channel multicast tree of Fig. 6.3 that
+// Section 6.1 proves deadlock-prone under wormhole switching; the naive
+// tree demonstrations reuse it.
+#pragma once
+
+#include "core/multicast.hpp"
+#include "topology/mesh2d.hpp"
+
+namespace mcnet::mcast {
+
+[[nodiscard]] MulticastRoute xfirst_mt_route(const topo::Mesh2D& mesh,
+                                             const MulticastRequest& request);
+
+}  // namespace mcnet::mcast

@@ -1,0 +1,9 @@
+// Facility and Mailbox are header-only; this translation unit anchors the
+// module in the library.
+#include "evsim/facility.hpp"
+
+namespace mcnet::evsim {
+
+// (no out-of-line definitions)
+
+}  // namespace mcnet::evsim

@@ -1,0 +1,132 @@
+// CSIM-style facilities (FCFS servers) and typed mailboxes for coroutine
+// processes.  Both use direct hand-off on release/send: the released
+// server (or sent message) is assigned to the waiting process before it is
+// rescheduled, so a process that arrives between the release and the
+// resumption cannot steal it (FCFS is strict).
+#pragma once
+
+#include <coroutine>
+#include <cstdint>
+#include <deque>
+#include <optional>
+#include <stdexcept>
+#include <utility>
+
+#include "evsim/scheduler.hpp"
+
+namespace mcnet::evsim {
+
+/// A FCFS facility with `servers` identical servers.  Processes co_await
+/// acquire() and must call release() when done.
+class Facility {
+ public:
+  explicit Facility(Scheduler& sched, std::uint32_t servers = 1)
+      : sched_(&sched), free_(servers), servers_(servers) {
+    if (servers == 0) throw std::invalid_argument("facility needs >= 1 server");
+  }
+
+  Facility(const Facility&) = delete;
+  Facility& operator=(const Facility&) = delete;
+
+  class Acquire {
+   public:
+    explicit Acquire(Facility& f) : f_(&f) {}
+    [[nodiscard]] bool await_ready() const noexcept { return false; }
+    bool await_suspend(std::coroutine_handle<> h) {
+      if (f_->free_ > 0) {
+        --f_->free_;
+        return false;  // server taken; resume immediately
+      }
+      f_->waiters_.push_back(h);
+      return true;  // the server will be handed off by release()
+    }
+    void await_resume() const noexcept {}
+
+   private:
+    Facility* f_;
+  };
+
+  /// co_await fac.acquire(); pairs with release().
+  [[nodiscard]] Acquire acquire() { return Acquire(*this); }
+
+  void release() {
+    if (!waiters_.empty()) {
+      // Hand the server to the head waiter without returning it to the
+      // free pool.
+      const auto h = waiters_.front();
+      waiters_.pop_front();
+      sched_->schedule_in(0.0, [h] { h.resume(); });
+      return;
+    }
+    if (free_ == servers_) throw std::logic_error("facility released more than acquired");
+    ++free_;
+  }
+
+  [[nodiscard]] std::uint32_t busy() const { return servers_ - free_; }
+  [[nodiscard]] std::size_t queue_length() const { return waiters_.size(); }
+
+ private:
+  Scheduler* sched_;
+  std::uint32_t free_;
+  std::uint32_t servers_;
+  std::deque<std::coroutine_handle<>> waiters_;
+};
+
+/// A typed CSIM-style mailbox: receive() suspends until a message arrives;
+/// messages are handed to receivers in FCFS order.
+template <typename T>
+class Mailbox {
+ public:
+  explicit Mailbox(Scheduler& sched) : sched_(&sched) {}
+
+  Mailbox(const Mailbox&) = delete;
+  Mailbox& operator=(const Mailbox&) = delete;
+
+  class Receive {
+   public:
+    explicit Receive(Mailbox& m) : m_(&m) {}
+    [[nodiscard]] bool await_ready() const noexcept { return false; }
+    bool await_suspend(std::coroutine_handle<> h) {
+      if (!m_->messages_.empty()) {
+        value_ = std::move(m_->messages_.front());
+        m_->messages_.pop_front();
+        return false;  // message taken; resume immediately
+      }
+      handle_ = h;
+      m_->receivers_.push_back(this);
+      return true;
+    }
+    T await_resume() { return std::move(*value_); }
+
+   private:
+    friend class Mailbox;
+    Mailbox* m_;
+    std::coroutine_handle<> handle_;
+    std::optional<T> value_;
+  };
+
+  void send(T value) {
+    if (!receivers_.empty()) {
+      Receive* r = receivers_.front();
+      receivers_.pop_front();
+      r->value_ = std::move(value);
+      const auto h = r->handle_;
+      sched_->schedule_in(0.0, [h] { h.resume(); });
+      return;
+    }
+    messages_.push_back(std::move(value));
+  }
+
+  /// co_await mbox.receive().
+  [[nodiscard]] Receive receive() { return Receive(*this); }
+
+  [[nodiscard]] std::size_t queued() const { return messages_.size(); }
+  [[nodiscard]] std::size_t waiting_receivers() const { return receivers_.size(); }
+
+ private:
+  Scheduler* sched_;
+  std::deque<T> messages_;
+  std::deque<Receive*> receivers_;
+};
+
+}  // namespace mcnet::evsim

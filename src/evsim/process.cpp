@@ -1,0 +1,9 @@
+// Intentionally minimal: Process and DelayAwaitable are header-only; this
+// translation unit anchors the module in the library.
+#include "evsim/process.hpp"
+
+namespace mcnet::evsim {
+
+// (no out-of-line definitions)
+
+}  // namespace mcnet::evsim

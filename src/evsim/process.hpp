@@ -1,0 +1,53 @@
+// CSIM-style quasi-parallel processes built on C++20 coroutines.
+//
+// A Process coroutine models one CSIM pseudo-process: it runs until it
+// co_awaits a delay (CSIM "hold"), a Facility acquisition, or a Mailbox
+// receive, at which point control returns to the Scheduler.  Processes are
+// detached: the coroutine frame destroys itself when the body returns, so
+// a process must terminate on its own (e.g. by checking a stop flag);
+// experiment harnesses drain the event queue before tearing down.
+#pragma once
+
+#include <coroutine>
+#include <exception>
+#include <utility>
+
+#include "evsim/scheduler.hpp"
+
+namespace mcnet::evsim {
+
+/// Return type for detached simulation processes.
+class Process {
+ public:
+  struct promise_type {
+    Process get_return_object() { return Process{}; }
+    // Eager start: the body runs inline until its first suspension.
+    std::suspend_never initial_suspend() noexcept { return {}; }
+    // Self-destroy on completion: never suspend at the end.
+    std::suspend_never final_suspend() noexcept { return {}; }
+    void return_void() noexcept {}
+    [[noreturn]] void unhandled_exception() { std::terminate(); }
+  };
+};
+
+/// Awaitable that suspends the process for `dt` simulated seconds.
+class DelayAwaitable {
+ public:
+  DelayAwaitable(Scheduler& sched, SimTime dt) : sched_(&sched), dt_(dt) {}
+  [[nodiscard]] bool await_ready() const noexcept { return dt_ <= 0.0; }
+  void await_suspend(std::coroutine_handle<> h) const {
+    sched_->schedule_in(dt_, [h] { h.resume(); });
+  }
+  void await_resume() const noexcept {}
+
+ private:
+  Scheduler* sched_;
+  SimTime dt_;
+};
+
+/// CSIM "hold": co_await delay(sched, dt).
+[[nodiscard]] inline DelayAwaitable delay(Scheduler& sched, SimTime dt) {
+  return DelayAwaitable(sched, dt);
+}
+
+}  // namespace mcnet::evsim

@@ -1,0 +1,41 @@
+#include "evsim/scheduler.hpp"
+
+#include <stdexcept>
+#include <utility>
+
+namespace mcnet::evsim {
+
+void Scheduler::schedule_at(SimTime t, Handler h) {
+  if (t < now_) throw std::invalid_argument("cannot schedule into the past");
+  queue_.push(Event{t, next_seq_++, std::move(h)});
+}
+
+bool Scheduler::step() {
+  if (queue_.empty()) return false;
+  // priority_queue::top() is const; the handler is moved out via a copy of
+  // the shared_ptr-backed std::function, then the event is popped.
+  Event ev = std::move(const_cast<Event&>(queue_.top()));
+  queue_.pop();
+  now_ = ev.t;
+  ++dispatched_;
+  ev.h();
+  return true;
+}
+
+std::uint64_t Scheduler::run() {
+  std::uint64_t n = 0;
+  while (step()) ++n;
+  return n;
+}
+
+std::uint64_t Scheduler::run_until(SimTime t_end) {
+  std::uint64_t n = 0;
+  while (!queue_.empty() && queue_.top().t <= t_end) {
+    step();
+    ++n;
+  }
+  if (now_ < t_end) now_ = t_end;
+  return n;
+}
+
+}  // namespace mcnet::evsim

@@ -1,0 +1,62 @@
+// Event-driven simulation kernel: the substrate standing in for the CSIM
+// package the paper's simulations were written with.  A Scheduler owns a
+// time-ordered event queue; ties break in schedule order so runs are fully
+// deterministic.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+namespace mcnet::evsim {
+
+/// Simulated time in seconds.
+using SimTime = double;
+
+class Scheduler {
+ public:
+  using Handler = std::function<void()>;
+
+  /// Current simulated time (the timestamp of the last dispatched event).
+  [[nodiscard]] SimTime now() const { return now_; }
+
+  /// Schedule `h` at absolute time `t` (must be >= now()).
+  void schedule_at(SimTime t, Handler h);
+
+  /// Schedule `h` after a delay of `dt` (must be >= 0).
+  void schedule_in(SimTime dt, Handler h) { schedule_at(now_ + dt, std::move(h)); }
+
+  /// Dispatch the next event; returns false when the queue is empty.
+  bool step();
+
+  /// Dispatch until the queue is empty; returns the number of events run.
+  std::uint64_t run();
+
+  /// Dispatch events with timestamps <= `t_end`, then advance the clock to
+  /// `t_end`; returns the number of events run.
+  std::uint64_t run_until(SimTime t_end);
+
+  [[nodiscard]] bool empty() const { return queue_.empty(); }
+  [[nodiscard]] std::size_t pending() const { return queue_.size(); }
+  [[nodiscard]] std::uint64_t events_dispatched() const { return dispatched_; }
+
+ private:
+  struct Event {
+    SimTime t;
+    std::uint64_t seq;
+    Handler h;
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const {
+      return a.t > b.t || (a.t == b.t && a.seq > b.seq);
+    }
+  };
+
+  SimTime now_ = 0.0;
+  std::uint64_t next_seq_ = 0;
+  std::uint64_t dispatched_ = 0;
+  std::priority_queue<Event, std::vector<Event>, Later> queue_;
+};
+
+}  // namespace mcnet::evsim

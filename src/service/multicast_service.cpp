@@ -1,0 +1,87 @@
+#include "service/multicast_service.hpp"
+
+#include <stdexcept>
+
+#include "wormhole/worm.hpp"
+
+namespace mcnet::svc {
+
+MulticastService::MulticastService(const topo::Topology& topology,
+                                   const worm::WormholeParams& params,
+                                   evsim::Scheduler& sched, RoutePolicy route,
+                                   SpecPolicy specs)
+    : topology_(&topology),
+      sched_(&sched),
+      network_(std::make_unique<worm::Network>(topology, params, sched)),
+      route_(std::move(route)),
+      specs_(std::move(specs)) {
+  worm::NetworkHooks hooks;
+  hooks.on_delivery = [this](std::uint64_t msg, topo::NodeId dest, double latency) {
+    const auto it = pending_.find(msg);
+    if (it != pending_.end() && it->second.on_delivery) it->second.on_delivery(dest, latency);
+  };
+  hooks.on_message_done = [this](std::uint64_t msg, double latency) {
+    const auto it = pending_.find(msg);
+    if (it == pending_.end()) return;
+    // Detach before invoking: the callback may send again.
+    const DoneFn done = std::move(it->second.on_done);
+    pending_.erase(it);
+    if (done) done(latency);
+  };
+  network_->set_hooks(std::move(hooks));
+}
+
+MulticastService::Handle MulticastService::multicast(const mcast::MulticastRequest& request,
+                                                     DeliveryFn on_delivery, DoneFn on_done) {
+  request.validate(topology_->num_nodes());
+  const mcast::MulticastRoute route = route_(request);
+  const Handle h = network_->inject(specs_(route));
+  if (on_delivery || on_done) {
+    pending_[h] = Pending{std::move(on_delivery), std::move(on_done)};
+  }
+  return h;
+}
+
+MulticastService::Handle MulticastService::unicast(topo::NodeId source,
+                                                   topo::NodeId destination, DoneFn on_done) {
+  return multicast(mcast::MulticastRequest{source, {destination}}, {}, std::move(on_done));
+}
+
+void MulticastService::barrier(topo::NodeId root,
+                               std::function<void(double)> on_released) {
+  auto arrived = std::make_shared<std::uint32_t>(0);
+  const std::uint32_t expected = topology_->num_nodes() - 1;
+  auto released = std::move(on_released);
+  for (topo::NodeId n = 0; n < topology_->num_nodes(); ++n) {
+    if (n == root) continue;
+    unicast(n, root, [this, arrived, expected, root, released](double) {
+      if (++*arrived != expected) return;
+      broadcast(root, [this, released](double) {
+        if (released) released(sched_->now());
+      });
+    });
+  }
+}
+
+MulticastService::Handle MulticastService::broadcast(topo::NodeId root, DoneFn on_done) {
+  mcast::MulticastRequest req{root, {}};
+  req.destinations.reserve(topology_->num_nodes() - 1);
+  for (topo::NodeId d = 0; d < topology_->num_nodes(); ++d) {
+    if (d != root) req.destinations.push_back(d);
+  }
+  return multicast(req, {}, std::move(on_done));
+}
+
+void MulticastService::gather(topo::NodeId root, std::function<void(double)> on_done) {
+  auto arrived = std::make_shared<std::uint32_t>(0);
+  const std::uint32_t expected = topology_->num_nodes() - 1;
+  auto done = std::move(on_done);
+  for (topo::NodeId n = 0; n < topology_->num_nodes(); ++n) {
+    if (n == root) continue;
+    unicast(n, root, [this, arrived, expected, done](double) {
+      if (++*arrived == expected && done) done(sched_->now());
+    });
+  }
+}
+
+}  // namespace mcnet::svc

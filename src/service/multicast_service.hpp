@@ -1,0 +1,80 @@
+// System-supported multicast service (the Section 8.2 "future research"
+// item made concrete): a process-facing message-passing interface layered
+// over the routing algorithms and the wormhole simulator.
+//
+// The service owns a Network and a routing policy; user code calls
+// multicast()/unicast() and receives completion callbacks, without touching
+// worms or channels.  Collective operations (barrier, broadcast, gather)
+// are built on the same primitive, mirroring how the paper motivates
+// multicast with barrier synchronisation and data distribution.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <unordered_map>
+
+#include "core/multicast.hpp"
+#include "evsim/scheduler.hpp"
+#include "wormhole/network.hpp"
+
+namespace mcnet::svc {
+
+/// Routing policy: produce a multicast route for a request (bind a
+/// RoutingSuite + Algorithm, an adaptive router, ...).
+using RoutePolicy = std::function<mcast::MulticastRoute(const mcast::MulticastRequest&)>;
+
+/// Spec conversion policy (handles channel-copy pinning per topology).
+using SpecPolicy = std::function<std::vector<worm::WormSpec>(const mcast::MulticastRoute&)>;
+
+class MulticastService {
+ public:
+  /// Wire the service onto an existing scheduler; `params` configure the
+  /// simulated hardware.
+  MulticastService(const topo::Topology& topology, const worm::WormholeParams& params,
+                   evsim::Scheduler& sched, RoutePolicy route, SpecPolicy specs);
+
+  using Handle = std::uint64_t;
+  /// Callback fired once per destination as the full message arrives.
+  using DeliveryFn = std::function<void(topo::NodeId destination, double latency_s)>;
+  /// Callback fired when every destination has the message and the tail
+  /// has drained.
+  using DoneFn = std::function<void(double latency_s)>;
+
+  /// Send `request` (validated); callbacks are optional.
+  Handle multicast(const mcast::MulticastRequest& request, DeliveryFn on_delivery = {},
+                   DoneFn on_done = {});
+
+  /// One-destination convenience.
+  Handle unicast(topo::NodeId source, topo::NodeId destination, DoneFn on_done = {});
+
+  /// Barrier: every node reports to `root` (unicast); once all reports are
+  /// in, `root` multicasts the release; `on_released` fires when the last
+  /// node is released.  Report payloads use the same message size as data.
+  void barrier(topo::NodeId root, std::function<void(double finish_time_s)> on_released);
+
+  /// Broadcast from `root` to all other nodes.
+  Handle broadcast(topo::NodeId root, DoneFn on_done = {});
+
+  /// Gather: every other node sends one message to `root`; `on_done` fires
+  /// when the last one arrives.
+  void gather(topo::NodeId root, std::function<void(double finish_time_s)> on_done);
+
+  [[nodiscard]] const worm::Network& network() const { return *network_; }
+  [[nodiscard]] worm::Network& network() { return *network_; }
+
+ private:
+  const topo::Topology* topology_;
+  evsim::Scheduler* sched_;
+  std::unique_ptr<worm::Network> network_;
+  RoutePolicy route_;
+  SpecPolicy specs_;
+
+  struct Pending {
+    DeliveryFn on_delivery;
+    DoneFn on_done;
+  };
+  std::unordered_map<std::uint64_t, Pending> pending_;
+};
+
+}  // namespace mcnet::svc

@@ -1,0 +1,99 @@
+#include "switching/circuit.hpp"
+
+#include <stdexcept>
+
+namespace mcnet::sw {
+
+CircuitNetwork::CircuitNetwork(const topo::Topology& topology,
+                               const cdg::RoutingFunction& route,
+                               const CircuitParams& params, evsim::Scheduler& sched)
+    : topology_(&topology),
+      route_(route),
+      params_(params),
+      sched_(&sched),
+      rng_(params.seed),
+      channel_holder_(topology.num_channels(), kFree),
+      channel_queue_(topology.num_channels()) {}
+
+std::uint32_t CircuitNetwork::inject(topo::NodeId source, topo::NodeId destination) {
+  if (source == destination) throw std::invalid_argument("self-addressed circuit");
+  const std::uint32_t id = next_id_++;
+  circuits_.push_back(Circuit{source, destination, source, sched_->now(), {}});
+  try_next_channel(id);
+  return id;
+}
+
+void CircuitNetwork::try_next_channel(std::uint32_t id) {
+  Circuit& c = circuits_[id];
+  const topo::NodeId next = route_(c.probe_at, c.destination);
+  if (next == topo::kInvalidNode) throw std::logic_error("circuit routing stuck");
+  const topo::ChannelId ch = topology_->channel(c.probe_at, next);
+  if (channel_holder_[ch] == kFree) {
+    channel_holder_[ch] = id;
+    c.held.push_back(ch);
+    // The probe crosses the reserved channel.
+    sched_->schedule_in(params_.probe_hop_time, [this, id] { probe_step(id); });
+    return;
+  }
+  if (params_.drop_and_retry) {
+    drop_and_backoff(id);
+  } else {
+    channel_queue_[ch].push_back(id);  // hold the prefix, wait FCFS
+  }
+}
+
+void CircuitNetwork::probe_step(std::uint32_t id) {
+  Circuit& c = circuits_[id];
+  c.probe_at = topology_->channel_ends(c.held.back()).to;
+  if (c.probe_at == c.destination) {
+    // Circuit established: stream the message, then tear down.
+    sched_->schedule_in(params_.transfer_time, [this, id] { complete(id); });
+    return;
+  }
+  try_next_channel(id);
+}
+
+void CircuitNetwork::channel_granted(std::uint32_t id) {
+  // The blocked channel has been handed to this circuit's probe.
+  Circuit& c = circuits_[id];
+  const topo::NodeId next = route_(c.probe_at, c.destination);
+  c.held.push_back(topology_->channel(c.probe_at, next));
+  sched_->schedule_in(params_.probe_hop_time, [this, id] { probe_step(id); });
+}
+
+void CircuitNetwork::complete(std::uint32_t id) {
+  Circuit& c = circuits_[id];
+  const double latency = sched_->now() - c.t_injected;
+  // Tear the circuit down; hand each channel to its first FCFS waiter.
+  std::vector<topo::ChannelId> held;
+  held.swap(c.held);
+  ++delivered_;
+  for (const topo::ChannelId ch : held) {
+    auto& q = channel_queue_[ch];
+    if (!q.empty()) {
+      const std::uint32_t waiter = q.front();
+      q.pop_front();
+      channel_holder_[ch] = waiter;
+      sched_->schedule_in(0.0, [this, waiter] { channel_granted(waiter); });
+    } else {
+      channel_holder_[ch] = kFree;
+    }
+  }
+  if (on_delivered_) on_delivered_(id, latency);
+}
+
+void CircuitNetwork::drop_and_backoff(std::uint32_t id) {
+  Circuit& c = circuits_[id];
+  ++retries_;
+  std::vector<topo::ChannelId> held;
+  held.swap(c.held);
+  for (const topo::ChannelId ch : held) {
+    // Drop-and-retry never queues, so nobody waits on these channels.
+    channel_holder_[ch] = kFree;
+  }
+  c.probe_at = c.source;
+  sched_->schedule_in(rng_.uniform(0.0, 2.0 * params_.retry_backoff_mean),
+                      [this, id] { try_next_channel(id); });
+}
+
+}  // namespace mcnet::sw

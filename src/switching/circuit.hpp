@@ -1,0 +1,89 @@
+// Circuit-switched network (Section 2.2.3): a control probe reserves every
+// channel from source to destination, the message streams over the
+// reserved circuit in one burst, and the circuit is torn down after the
+// tail is delivered.
+//
+// Two establishment protocols (the paper: "If a circuit cannot be set up
+// due to the contention for channels, various protocols can be used to
+// reestablish the circuit"):
+//
+//  * holding: the probe waits FCFS on the busy channel while keeping the
+//    circuit prefix reserved.  Requires a dependency-acyclic routing
+//    function (e.g. X-first / e-cube) to be deadlock-free.
+//  * drop-and-retry: a blocked probe releases the whole prefix and retries
+//    after a randomised backoff; deadlock-free with any routing at the
+//    cost of wasted establishment work.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <vector>
+
+#include "cdg/channel_graph.hpp"
+#include "evsim/random.hpp"
+#include "evsim/scheduler.hpp"
+#include "topology/topology.hpp"
+
+namespace mcnet::sw {
+
+struct CircuitParams {
+  double probe_hop_time = 0.1e-6;   // L_c / B per hop
+  double transfer_time = 6.4e-6;    // L / B over the established circuit
+  bool drop_and_retry = false;      // holding protocol by default
+  double retry_backoff_mean = 5e-6; // mean uniform backoff when dropping
+  std::uint64_t seed = 1;
+};
+
+class CircuitNetwork {
+ public:
+  CircuitNetwork(const topo::Topology& topology, const cdg::RoutingFunction& route,
+                 const CircuitParams& params, evsim::Scheduler& sched);
+
+  /// Start establishing a circuit at the current simulated time.
+  std::uint32_t inject(topo::NodeId source, topo::NodeId destination);
+
+  /// Latency from inject to tail delivery.
+  void set_on_delivered(std::function<void(std::uint32_t, double)> cb) {
+    on_delivered_ = std::move(cb);
+  }
+
+  [[nodiscard]] std::uint32_t circuits_injected() const { return next_id_; }
+  [[nodiscard]] std::uint32_t circuits_delivered() const { return delivered_; }
+  [[nodiscard]] bool idle() const { return delivered_ == next_id_; }
+  [[nodiscard]] std::uint32_t retries() const { return retries_; }
+
+ private:
+  struct Circuit {
+    topo::NodeId source = topo::kInvalidNode;
+    topo::NodeId destination = topo::kInvalidNode;
+    topo::NodeId probe_at = topo::kInvalidNode;
+    double t_injected = 0.0;
+    std::vector<topo::ChannelId> held;
+  };
+
+  void probe_step(std::uint32_t id);
+  void try_next_channel(std::uint32_t id);
+  void channel_granted(std::uint32_t id);
+  void complete(std::uint32_t id);
+  void drop_and_backoff(std::uint32_t id);
+
+  const topo::Topology* topology_;
+  cdg::RoutingFunction route_;
+  CircuitParams params_;
+  evsim::Scheduler* sched_;
+  evsim::Rng rng_;
+
+  std::vector<Circuit> circuits_;
+  std::uint32_t next_id_ = 0;
+  std::uint32_t delivered_ = 0;
+  std::uint32_t retries_ = 0;
+
+  std::vector<std::uint32_t> channel_holder_;  // circuit id or kFree
+  std::vector<std::deque<std::uint32_t>> channel_queue_;
+  std::function<void(std::uint32_t, double)> on_delivered_;
+
+  static constexpr std::uint32_t kFree = static_cast<std::uint32_t>(-1);
+};
+
+}  // namespace mcnet::sw

@@ -1,0 +1,21 @@
+#include "switching/latency_models.hpp"
+
+namespace mcnet::sw {
+
+double store_and_forward_latency(const SwitchingParams& p, std::uint32_t hops) {
+  return (p.message_bytes / p.bandwidth) * (hops + 1.0);
+}
+
+double virtual_cut_through_latency(const SwitchingParams& p, std::uint32_t hops) {
+  return (p.header_bytes / p.bandwidth) * hops + p.message_bytes / p.bandwidth;
+}
+
+double circuit_switching_latency(const SwitchingParams& p, std::uint32_t hops) {
+  return (p.control_bytes / p.bandwidth) * hops + p.message_bytes / p.bandwidth;
+}
+
+double wormhole_latency(const SwitchingParams& p, std::uint32_t hops) {
+  return (p.flit_bytes / p.bandwidth) * hops + p.message_bytes / p.bandwidth;
+}
+
+}  // namespace mcnet::sw

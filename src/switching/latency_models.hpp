@@ -1,0 +1,32 @@
+// Analytic network-latency models of Section 2.2 (Fig. 2.3): the
+// contention-free latency of moving an L-byte message D hops over
+// B-bytes/s channels under each switching technology.
+#pragma once
+
+#include <cstdint>
+
+namespace mcnet::sw {
+
+struct SwitchingParams {
+  double message_bytes = 128;   // L
+  double bandwidth = 20e6;      // B, bytes/s
+  double header_bytes = 2;      // L_h (virtual cut-through header)
+  double control_bytes = 2;     // L_c (circuit probe)
+  double flit_bytes = 1;        // L_f (wormhole flit)
+};
+
+/// Store-and-forward: (L/B) * (D + 1) -- the whole packet is stored at
+/// every hop.
+[[nodiscard]] double store_and_forward_latency(const SwitchingParams& p, std::uint32_t hops);
+
+/// Virtual cut-through: (L_h/B) * D + L/B.
+[[nodiscard]] double virtual_cut_through_latency(const SwitchingParams& p, std::uint32_t hops);
+
+/// Circuit switching: (L_c/B) * D + L/B (probe out, then one streamed
+/// transfer over the reserved circuit).
+[[nodiscard]] double circuit_switching_latency(const SwitchingParams& p, std::uint32_t hops);
+
+/// Wormhole routing: (L_f/B) * D + L/B.
+[[nodiscard]] double wormhole_latency(const SwitchingParams& p, std::uint32_t hops);
+
+}  // namespace mcnet::sw

@@ -1,0 +1,122 @@
+#include "switching/saf.hpp"
+
+#include <stdexcept>
+
+namespace mcnet::sw {
+
+SafNetwork::SafNetwork(const topo::Topology& topology, const cdg::RoutingFunction& route,
+                       const SafParams& params, evsim::Scheduler& sched)
+    : topology_(&topology), route_(route), params_(params), sched_(&sched) {
+  num_classes_ = params.structured
+                     ? (params.classes > 0 ? params.classes : topology.diameter() + 1)
+                     : 1;
+  const std::uint32_t per_class =
+      params.structured ? params.buffers_per_class : params.buffers_per_node;
+  if (per_class == 0) throw std::invalid_argument("need >= 1 buffer");
+  free_buffers_.assign(static_cast<std::size_t>(topology.num_nodes()) * num_classes_,
+                       per_class);
+  buffer_queue_.resize(free_buffers_.size());
+  channel_busy_.assign(topology.num_channels(), false);
+  channel_queue_.resize(topology.num_channels());
+}
+
+std::uint32_t SafNetwork::inject(topo::NodeId source, topo::NodeId destination) {
+  if (source == destination) throw std::invalid_argument("self-addressed packet");
+  const std::uint32_t id = next_packet_++;
+  packets_.push_back(Packet{source, destination, 0, sched_->now(), false});
+  try_acquire_buffer(id, source, 0);
+  return id;
+}
+
+void SafNetwork::try_acquire_buffer(std::uint32_t packet, topo::NodeId node,
+                                    std::uint32_t cls) {
+  const std::size_t idx = pool_index(node, cls);
+  if (free_buffers_[idx] > 0) {
+    --free_buffers_[idx];
+    buffer_granted(packet);
+  } else {
+    buffer_queue_[idx].push_back(packet);
+  }
+}
+
+void SafNetwork::buffer_granted(std::uint32_t packet) {
+  Packet& p = packets_[packet];
+  if (!p.holds_buffer) {
+    // Injection buffer at the source: the packet is now stored in the
+    // network.  The next-hop buffer reservation is made only once the
+    // store has completed (a zero-delay event), so simultaneous injections
+    // claim their local buffers before anyone reserves remotely -- the
+    // timing under which the Section 2.3.4 buffer deadlock actually forms.
+    p.holds_buffer = true;
+    sched_->schedule_in(0.0, [this, packet] {
+      const Packet& pp = packets_[packet];
+      const topo::NodeId next = route_(pp.at, pp.destination);
+      const std::uint32_t next_cls =
+          params_.structured ? std::min(pp.hops_taken + 1, num_classes_ - 1) : 0;
+      try_acquire_buffer(packet, next, next_cls);
+    });
+    return;
+  }
+  // The next-node buffer is reserved; now contend for the channel.
+  const topo::NodeId next = route_(p.at, p.destination);
+  const topo::ChannelId c = topology_->channel(p.at, next);
+  if (!channel_busy_[c]) {
+    channel_busy_[c] = true;
+    channel_granted(packet);
+  } else {
+    channel_queue_[c].push_back(packet);
+  }
+}
+
+void SafNetwork::channel_granted(std::uint32_t packet) {
+  sched_->schedule_in(params_.packet_time, [this, packet] { arrive(packet); });
+}
+
+void SafNetwork::arrive(std::uint32_t packet) {
+  Packet& p = packets_[packet];
+  const topo::NodeId old_node = p.at;
+  const std::uint32_t old_cls = class_of(p);
+  const topo::NodeId next = route_(old_node, p.destination);
+  release_channel(topology_->channel(old_node, next));
+  release_buffer(old_node, old_cls);
+  p.at = next;
+  ++p.hops_taken;
+
+  if (p.at == p.destination) {
+    // Consumed by the destination processor: free its buffer.
+    release_buffer(p.at, class_of(p));
+    p.holds_buffer = false;
+    ++delivered_;
+    if (on_delivered_) on_delivered_(packet, sched_->now() - p.t_injected);
+    return;
+  }
+  const std::uint32_t next_cls =
+      params_.structured ? std::min(p.hops_taken + 1, num_classes_ - 1) : 0;
+  try_acquire_buffer(packet, route_(p.at, p.destination), next_cls);
+}
+
+void SafNetwork::release_buffer(topo::NodeId node, std::uint32_t cls) {
+  const std::size_t idx = pool_index(node, cls);
+  auto& q = buffer_queue_[idx];
+  if (!q.empty()) {
+    const std::uint32_t waiter = q.front();
+    q.pop_front();
+    // Hand the buffer straight to the waiter.
+    sched_->schedule_in(0.0, [this, waiter] { buffer_granted(waiter); });
+    return;
+  }
+  ++free_buffers_[idx];
+}
+
+void SafNetwork::release_channel(topo::ChannelId c) {
+  auto& q = channel_queue_[c];
+  if (!q.empty()) {
+    const std::uint32_t waiter = q.front();
+    q.pop_front();
+    sched_->schedule_in(0.0, [this, waiter] { channel_granted(waiter); });
+    return;
+  }
+  channel_busy_[c] = false;
+}
+
+}  // namespace mcnet::sw

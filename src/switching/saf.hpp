@@ -1,0 +1,103 @@
+// Store-and-forward packet network with the two buffer-pool disciplines of
+// Section 2.3.4:
+//
+//  * naive: every node owns one shared pool of buffers; packets wait for
+//    any free buffer at the next node.  Cyclic buffer dependencies can --
+//    and do -- produce buffer deadlock.
+//  * structured buffer pool: buffers are partitioned into classes
+//    0..C (C = longest route); a packet that has taken h hops occupies a
+//    class-h buffer and may only move into a class-(h+1) buffer at the next
+//    node.  Buffer classes are partially ordered, so no deadlock is
+//    possible (at the cost of buffer utilisation, exactly as the paper
+//    discusses).
+//
+// Packets hold their buffer while waiting for the next-node buffer, then
+// for the (one-packet-at-a-time, FCFS) channel; a hop transfer takes
+// message_bytes / bandwidth seconds.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <optional>
+#include <vector>
+
+#include "cdg/channel_graph.hpp"
+#include "evsim/scheduler.hpp"
+#include "topology/topology.hpp"
+
+namespace mcnet::sw {
+
+struct SafParams {
+  double packet_time = 6.4e-6;  // L/B per hop (128 bytes at 20 Mbyte/s)
+  bool structured = true;       // structured classes vs naive shared pool
+  std::uint32_t buffers_per_class = 1;  // structured: per class per node
+  std::uint32_t classes = 0;            // structured: 0 -> diameter + 1
+  std::uint32_t buffers_per_node = 4;   // naive: shared pool size
+};
+
+class SafNetwork {
+ public:
+  SafNetwork(const topo::Topology& topology, const cdg::RoutingFunction& route,
+             const SafParams& params, evsim::Scheduler& sched);
+
+  /// Inject a packet at the current simulated time; it queues for a source
+  /// buffer if none is free.  Returns the packet id.
+  std::uint32_t inject(topo::NodeId source, topo::NodeId destination);
+
+  /// Called when a packet reaches its destination (latency from inject).
+  void set_on_delivered(std::function<void(std::uint32_t, double)> cb) {
+    on_delivered_ = std::move(cb);
+  }
+
+  [[nodiscard]] std::uint32_t packets_injected() const { return next_packet_; }
+  [[nodiscard]] std::uint32_t packets_delivered() const { return delivered_; }
+  [[nodiscard]] bool idle() const { return delivered_ == next_packet_; }
+
+  /// True when undelivered packets remain but no event can make progress
+  /// (call after the scheduler has drained): buffer deadlock.
+  [[nodiscard]] bool stuck() const { return !idle(); }
+
+ private:
+  struct Packet {
+    topo::NodeId at = topo::kInvalidNode;
+    topo::NodeId destination = topo::kInvalidNode;
+    std::uint32_t hops_taken = 0;
+    double t_injected = 0.0;
+    bool holds_buffer = false;
+  };
+
+  // Buffer pool index: node * num_classes + class (class 0 in naive mode).
+  [[nodiscard]] std::size_t pool_index(topo::NodeId node, std::uint32_t cls) const {
+    return static_cast<std::size_t>(node) * num_classes_ + cls;
+  }
+  [[nodiscard]] std::uint32_t class_of(const Packet& p) const {
+    return params_.structured ? std::min(p.hops_taken, num_classes_ - 1) : 0;
+  }
+
+  void try_acquire_buffer(std::uint32_t packet, topo::NodeId node, std::uint32_t cls);
+  void buffer_granted(std::uint32_t packet);
+  void channel_granted(std::uint32_t packet);
+  void arrive(std::uint32_t packet);
+  void release_buffer(topo::NodeId node, std::uint32_t cls);
+  void release_channel(topo::ChannelId c);
+
+  const topo::Topology* topology_;
+  cdg::RoutingFunction route_;
+  SafParams params_;
+  evsim::Scheduler* sched_;
+  std::uint32_t num_classes_;
+
+  std::vector<Packet> packets_;
+  std::uint32_t next_packet_ = 0;
+  std::uint32_t delivered_ = 0;
+
+  std::vector<std::uint32_t> free_buffers_;             // per (node, class)
+  std::vector<std::deque<std::uint32_t>> buffer_queue_; // waiting packets
+  std::vector<bool> channel_busy_;                      // per channel
+  std::vector<std::deque<std::uint32_t>> channel_queue_;
+
+  std::function<void(std::uint32_t, double)> on_delivered_;
+};
+
+}  // namespace mcnet::sw

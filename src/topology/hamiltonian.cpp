@@ -1,0 +1,169 @@
+#include "topology/hamiltonian.hpp"
+
+#include <stdexcept>
+
+namespace mcnet::ham {
+
+std::uint32_t HypercubeGrayLabeling::paper_label(std::uint32_t address, std::uint32_t n) {
+  // c_{n-1} = 0; c_{n-j} = d_{n-1} xor ... xor d_{n-j+1} for 1 < j <= n,
+  // i.e. c_i is the parity of the address bits strictly above bit i.
+  std::uint32_t label = 0;
+  for (std::uint32_t i = 0; i < n; ++i) {
+    std::uint32_t c = 0;
+    for (std::uint32_t j = i + 1; j < n; ++j) c ^= (address >> j) & 1u;
+    const std::uint32_t d = (address >> i) & 1u;
+    label |= (c ^ d) << i;  // c*!d + !c*d == c xor d
+  }
+  return label;
+}
+
+MixedRadixGrayLabeling::MixedRadixGrayLabeling(
+    std::vector<std::uint32_t> sizes,
+    std::function<std::uint32_t(NodeId, std::uint32_t)> digit_of,
+    std::function<NodeId(const std::vector<std::uint32_t>&)> node_of)
+    : sizes_(std::move(sizes)), digit_of_(std::move(digit_of)), node_of_(std::move(node_of)) {
+  if (sizes_.empty()) throw std::invalid_argument("need >= 1 dimension");
+  total_ = 1;
+  for (const std::uint32_t s : sizes_) {
+    if (s == 0) throw std::invalid_argument("dimension size must be positive");
+    total_ *= s;
+  }
+}
+
+std::uint32_t MixedRadixGrayLabeling::label(NodeId u) const {
+  // Most-significant dimension first; dimension i is reflected when the
+  // parity of the *node* digits above it is odd -- the mixed-radix
+  // generalisation of the paper's c_i = d_{n-1} xor ... xor d_{i+1}.
+  std::uint32_t out = 0;
+  bool reflect = false;
+  for (std::size_t i = sizes_.size(); i-- > 0;) {
+    const std::uint32_t d = digit_of_(u, static_cast<std::uint32_t>(i));
+    const std::uint32_t g = reflect ? sizes_[i] - 1 - d : d;
+    out = out * sizes_[i] + g;
+    reflect ^= (d % 2 == 1);
+  }
+  return out;
+}
+
+topo::NodeId MixedRadixGrayLabeling::node_at(std::uint32_t l) const {
+  // Invert: peel output digits most-significant first.
+  std::vector<std::uint32_t> gray(sizes_.size());
+  std::uint32_t divisor = total_;
+  for (std::size_t i = sizes_.size(); i-- > 0;) {
+    divisor /= sizes_[i];
+    gray[i] = l / divisor;
+    l %= divisor;
+  }
+  std::vector<std::uint32_t> digits(sizes_.size());
+  bool reflect = false;
+  for (std::size_t i = sizes_.size(); i-- > 0;) {
+    digits[i] = reflect ? sizes_[i] - 1 - gray[i] : gray[i];
+    reflect ^= (digits[i] % 2 == 1);  // parity of the node digits above
+  }
+  return node_of_(digits);
+}
+
+MixedRadixGrayLabeling MixedRadixGrayLabeling::for_mesh3d(const topo::Mesh3D& mesh) {
+  return MixedRadixGrayLabeling(
+      {mesh.nx(), mesh.ny(), mesh.nz()},
+      [&mesh](NodeId u, std::uint32_t dim) -> std::uint32_t {
+        const topo::Coord3 c = mesh.coord(u);
+        return static_cast<std::uint32_t>(dim == 0 ? c.x : (dim == 1 ? c.y : c.z));
+      },
+      [&mesh](const std::vector<std::uint32_t>& d) {
+        return mesh.node({static_cast<std::int32_t>(d[0]), static_cast<std::int32_t>(d[1]),
+                          static_cast<std::int32_t>(d[2])});
+      });
+}
+
+MixedRadixGrayLabeling MixedRadixGrayLabeling::for_kary(const topo::KAryNCube& cube) {
+  return MixedRadixGrayLabeling(
+      std::vector<std::uint32_t>(cube.dimensions(), cube.radix()),
+      [&cube](NodeId u, std::uint32_t dim) { return cube.digit(u, dim); },
+      [&cube](const std::vector<std::uint32_t>& d) {
+        NodeId u = 0;
+        for (std::uint32_t i = 0; i < d.size(); ++i) {
+          u = cube.with_digit(u, i, d[i]);
+        }
+        return u;
+      });
+}
+
+HamiltonCycle::HamiltonCycle(const topo::Topology& topology, std::vector<NodeId> order)
+    : order_(std::move(order)) {
+  const std::uint32_t n = topology.num_nodes();
+  if (order_.size() != n) throw std::invalid_argument("cycle must visit every node once");
+  position_.assign(n, topo::kInvalidNode);
+  for (std::uint32_t i = 0; i < n; ++i) {
+    const NodeId u = order_[i];
+    if (u >= n || position_[u] != topo::kInvalidNode) {
+      throw std::invalid_argument("cycle repeats or skips a node");
+    }
+    position_[u] = i;
+  }
+  for (std::uint32_t i = 0; i < n; ++i) {
+    const NodeId u = order_[i];
+    const NodeId v = order_[(i + 1) % n];
+    if (n > 1 && !topology.adjacent(u, v)) {
+      throw std::invalid_argument("consecutive cycle nodes are not adjacent");
+    }
+  }
+}
+
+namespace {
+
+// Comb cycle for a mesh whose *height* is even: row 0 rightward, rows
+// 1..H-1 serpentine over columns 1..W-1, then down column 0.  `transpose`
+// swaps the roles of x and y (used when only the width is even).
+std::vector<NodeId> comb_order(const topo::Mesh2D& mesh, bool transpose) {
+  const auto w = static_cast<std::int32_t>(transpose ? mesh.height() : mesh.width());
+  const auto h = static_cast<std::int32_t>(transpose ? mesh.width() : mesh.height());
+  const auto at = [&](std::int32_t x, std::int32_t y) {
+    return transpose ? mesh.node(y, x) : mesh.node(x, y);
+  };
+  std::vector<NodeId> order;
+  order.reserve(static_cast<std::size_t>(w) * static_cast<std::size_t>(h));
+  for (std::int32_t x = 0; x < w; ++x) order.push_back(at(x, 0));
+  if (h > 1) {
+    if (w == 1) {
+      // Degenerate single column: the path up and back is only a valid
+      // cycle for h == 2; larger cases are rejected by the caller.
+      for (std::int32_t y = 1; y < h; ++y) order.push_back(at(0, y));
+      return order;
+    }
+    for (std::int32_t y = 1; y < h; ++y) {
+      const bool leftward = (y % 2 == 1);
+      if (leftward) {
+        for (std::int32_t x = w - 1; x >= 1; --x) order.push_back(at(x, y));
+      } else {
+        for (std::int32_t x = 1; x <= w - 1; ++x) order.push_back(at(x, y));
+      }
+    }
+    // The serpentine over h-1 rows ends at column 1 of the top row exactly
+    // when h-1 is odd (h even); step to column 0 and descend.
+    for (std::int32_t y = h - 1; y >= 1; --y) order.push_back(at(0, y));
+  }
+  return order;
+}
+
+}  // namespace
+
+HamiltonCycle mesh_comb_cycle(const topo::Mesh2D& mesh) {
+  if (mesh.num_nodes() == 1) return HamiltonCycle(mesh, {0});
+  if (mesh.height() % 2 == 0 && mesh.width() >= 2) {
+    return HamiltonCycle(mesh, comb_order(mesh, /*transpose=*/false));
+  }
+  if (mesh.width() % 2 == 0 && mesh.height() >= 2) {
+    return HamiltonCycle(mesh, comb_order(mesh, /*transpose=*/true));
+  }
+  throw std::invalid_argument(
+      "a mesh Hamiltonian cycle requires at least one even dimension >= 2 (fact F1)");
+}
+
+HamiltonCycle hypercube_gray_cycle(const topo::Hypercube& cube) {
+  std::vector<NodeId> order(cube.num_nodes());
+  for (std::uint32_t i = 0; i < cube.num_nodes(); ++i) order[i] = i ^ (i >> 1);
+  return HamiltonCycle(cube, std::move(order));
+}
+
+}  // namespace mcnet::ham

@@ -1,0 +1,179 @@
+// Hamiltonian-path labelings and Hamiltonian cycles.
+//
+// Two constructions from the paper:
+//
+//  * Node labelings l(v) based on a Hamiltonian path (Section 6.2.2 for
+//    the 2-D mesh, Section 6.3 for the hypercube).  The labeling splits the
+//    network into an acyclic high-channel subnetwork (channels from lower
+//    to higher labels) and an acyclic low-channel subnetwork; the
+//    label-order-preserving routing function R routes on shortest paths
+//    within one subnetwork, which is what makes the dual-/multi-/fixed-path
+//    multicast algorithms deadlock-free.
+//
+//  * Hamiltonian cycles with a position map h (Section 5.1, Tables 5.1 and
+//    5.3) used by the sorted-MP/MC heuristics: f(v) is the position of v
+//    along the cycle starting from the source.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "topology/hypercube.hpp"
+#include "topology/kary_ncube.hpp"
+#include "topology/mesh2d.hpp"
+#include "topology/mesh3d.hpp"
+#include "topology/topology.hpp"
+
+namespace mcnet::ham {
+
+using topo::NodeId;
+
+/// A bijection between nodes and label values 0..N-1 induced by a
+/// Hamiltonian path: consecutive labels are adjacent nodes.
+class Labeling {
+ public:
+  virtual ~Labeling() = default;
+  /// Label of node `u` (its position along the Hamiltonian path).
+  [[nodiscard]] virtual std::uint32_t label(NodeId u) const = 0;
+  /// Node carrying label `l` (inverse of label()).
+  [[nodiscard]] virtual NodeId node_at(std::uint32_t l) const = 0;
+  /// Number of nodes N.
+  [[nodiscard]] virtual std::uint32_t size() const = 0;
+};
+
+/// Boustrophedon (snake) labeling of an N1 x N2 mesh, the paper's
+///   l(x, y) = y*n + x        if y even
+///   l(x, y) = y*n + n - x - 1 if y odd          (n = mesh width).
+class MeshBoustrophedonLabeling final : public Labeling {
+ public:
+  explicit MeshBoustrophedonLabeling(const topo::Mesh2D& mesh) : mesh_(&mesh) {}
+
+  [[nodiscard]] std::uint32_t label(NodeId u) const override {
+    const topo::Coord2 c = mesh_->coord(u);
+    const std::uint32_t n = mesh_->width();
+    const auto y = static_cast<std::uint32_t>(c.y);
+    const auto x = static_cast<std::uint32_t>(c.x);
+    return (y % 2 == 0) ? y * n + x : y * n + n - x - 1;
+  }
+  [[nodiscard]] NodeId node_at(std::uint32_t l) const override {
+    const std::uint32_t n = mesh_->width();
+    const std::uint32_t y = l / n;
+    const std::uint32_t r = l % n;
+    const std::uint32_t x = (y % 2 == 0) ? r : n - r - 1;
+    return mesh_->node(static_cast<std::int32_t>(x), static_cast<std::int32_t>(y));
+  }
+  [[nodiscard]] std::uint32_t size() const override { return mesh_->num_nodes(); }
+
+  [[nodiscard]] const topo::Mesh2D& mesh() const { return *mesh_; }
+
+ private:
+  const topo::Mesh2D* mesh_;
+};
+
+/// The paper's hypercube labeling (Section 6.3):
+///   l(d_{n-1}..d_0) = sum_i (c_i * !d_i + !c_i * d_i) * 2^i,
+///   c_{n-1} = 0, c_{n-j} = d_{n-1} xor ... xor d_{n-j+1},
+/// which is exactly the inverse binary-reflected-Gray-code map: nodes in
+/// label order form the Gray-code Hamiltonian path.
+class HypercubeGrayLabeling final : public Labeling {
+ public:
+  explicit HypercubeGrayLabeling(const topo::Hypercube& cube) : cube_(&cube) {}
+
+  [[nodiscard]] std::uint32_t label(NodeId u) const override { return gray_decode(u); }
+  [[nodiscard]] NodeId node_at(std::uint32_t l) const override { return l ^ (l >> 1); }
+  [[nodiscard]] std::uint32_t size() const override { return cube_->num_nodes(); }
+
+  [[nodiscard]] const topo::Hypercube& cube() const { return *cube_; }
+
+  /// Gray-code decode: b_i = g_{n-1} xor ... xor g_i.
+  [[nodiscard]] static std::uint32_t gray_decode(std::uint32_t g) {
+    std::uint32_t b = 0;
+    for (; g != 0; g >>= 1) b ^= g;
+    return b;
+  }
+
+  /// The paper's label formula evaluated literally (used in tests to prove
+  /// it coincides with the Gray-code decode above).
+  [[nodiscard]] static std::uint32_t paper_label(std::uint32_t address, std::uint32_t n);
+
+ private:
+  const topo::Hypercube* cube_;
+};
+
+/// Mixed-radix reflected-Gray labeling: the generalisation of both the
+/// mesh boustrophedon (2 dimensions) and the hypercube Gray labeling
+/// (radix 2) to any k-ary n-cube or box-shaped mesh.  Digits are processed
+/// from the most significant dimension down; a digit is reflected whenever
+/// the sum of the more significant *output* digits is odd, which makes
+/// consecutive labels differ by +/-1 in exactly one digit -- a Hamiltonian
+/// path in the (non-wraparound) box graph.  This extends the Chapter 6
+/// path-based multicast algorithms to 3-D meshes and k-ary n-cubes
+/// (Section 8.2: "these routing algorithms can be applied to any
+/// multicomputer networks that have Hamilton paths").
+class MixedRadixGrayLabeling final : public Labeling {
+ public:
+  /// `sizes[i]` is the extent of dimension i (dimension 0 least
+  /// significant); `digit_of(node, dim)` / `node_of(digits)` convert
+  /// between node ids and digit vectors.
+  MixedRadixGrayLabeling(std::vector<std::uint32_t> sizes,
+                         std::function<std::uint32_t(NodeId, std::uint32_t)> digit_of,
+                         std::function<NodeId(const std::vector<std::uint32_t>&)> node_of);
+
+  /// Convenience constructors for the shipped topologies.
+  [[nodiscard]] static MixedRadixGrayLabeling for_mesh3d(const topo::Mesh3D& mesh);
+  [[nodiscard]] static MixedRadixGrayLabeling for_kary(const topo::KAryNCube& cube);
+
+  [[nodiscard]] std::uint32_t label(NodeId u) const override;
+  [[nodiscard]] NodeId node_at(std::uint32_t l) const override;
+  [[nodiscard]] std::uint32_t size() const override { return total_; }
+
+ private:
+  std::vector<std::uint32_t> sizes_;
+  std::uint32_t total_;
+  std::function<std::uint32_t(NodeId, std::uint32_t)> digit_of_;
+  std::function<NodeId(const std::vector<std::uint32_t>&)> node_of_;
+};
+
+/// A Hamiltonian cycle with its position map h: h(order()[i]) == i.
+/// Validates adjacency of consecutive nodes (including the closing edge).
+class HamiltonCycle {
+ public:
+  HamiltonCycle(const topo::Topology& topology, std::vector<NodeId> order);
+
+  /// Nodes in cycle order.
+  [[nodiscard]] const std::vector<NodeId>& order() const { return order_; }
+  /// Position of node `u` along the cycle (0-based h map).
+  [[nodiscard]] std::uint32_t position(NodeId u) const { return position_[u]; }
+  [[nodiscard]] std::uint32_t size() const { return static_cast<std::uint32_t>(order_.size()); }
+
+  /// Cyclic sort key relative to a source: f(v) = (h(v) - h(u0)) mod N,
+  /// so f(u0) = 0 and f increases along the cycle from the source.  This is
+  /// the paper's f shifted by -h(u0), which preserves all comparisons.
+  [[nodiscard]] std::uint32_t key_from(NodeId source, NodeId v) const {
+    const std::uint32_t n = size();
+    return (position_[v] + n - position_[source]) % n;
+  }
+
+ private:
+  std::vector<NodeId> order_;
+  std::vector<std::uint32_t> position_;  // indexed by node id
+};
+
+/// The comb-shaped Hamiltonian cycle of an N1 x N2 mesh used in Table 5.1:
+/// row 0 left-to-right, rows 1..N2-1 serpentine over columns 1..N1-1, then
+/// return down column 0.  Requires at least one even dimension (fact F1);
+/// the construction transposes automatically when only the width is even.
+[[nodiscard]] HamiltonCycle mesh_comb_cycle(const topo::Mesh2D& mesh);
+
+/// The binary-reflected-Gray-code Hamiltonian cycle of an n-cube
+/// (Table 5.3): node at position i is i ^ (i >> 1).
+[[nodiscard]] HamiltonCycle hypercube_gray_cycle(const topo::Hypercube& cube);
+
+/// True if directed channel (from, to) belongs to the high-channel
+/// subnetwork induced by `lab` (labels increase across it).
+[[nodiscard]] inline bool is_high_channel(const Labeling& lab, NodeId from, NodeId to) {
+  return lab.label(from) < lab.label(to);
+}
+
+}  // namespace mcnet::ham

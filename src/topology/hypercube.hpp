@@ -1,0 +1,42 @@
+// n-dimensional hypercube (n-cube) topology, Definition 4.2 of the paper.
+// Node addresses are n-bit binary strings; two nodes are adjacent iff their
+// addresses differ in exactly one bit.
+#pragma once
+
+#include <bit>
+#include <cstdint>
+
+#include "topology/topology.hpp"
+
+namespace mcnet::topo {
+
+/// An n-cube with 2^n nodes.  The neighbour of node u across dimension i is
+/// u XOR (1 << i); neighbours are listed in dimension order 0..n-1.
+class Hypercube final : public DenseTopology {
+ public:
+  explicit Hypercube(std::uint32_t dimensions);
+
+  [[nodiscard]] std::string name() const override;
+  [[nodiscard]] std::uint32_t distance(NodeId u, NodeId v) const override {
+    return static_cast<std::uint32_t>(std::popcount(u ^ v));
+  }
+  [[nodiscard]] std::uint32_t diameter() const override { return n_; }
+
+  [[nodiscard]] std::uint32_t dimensions() const { return n_; }
+
+  /// Neighbour of `u` across dimension `dim`.
+  [[nodiscard]] NodeId across(NodeId u, std::uint32_t dim) const { return u ^ (NodeId{1} << dim); }
+
+  /// Closest node to `w` among all nodes on shortest paths between `s` and
+  /// `t`: bit j is w's bit where s and t differ, s's bit where they agree
+  /// (Section 5.2).
+  [[nodiscard]] NodeId closest_on_shortest_paths(NodeId s, NodeId t, NodeId w) const {
+    const NodeId differ = s ^ t;
+    return (w & differ) | (s & ~differ);
+  }
+
+ private:
+  std::uint32_t n_;
+};
+
+}  // namespace mcnet::topo

@@ -1,0 +1,41 @@
+// k-ary n-cube topology: n dimensions with k nodes per dimension connected
+// as a ring (Section 2.1.3).  Hypercube (k = 2) and tori are special cases;
+// the paper's mesh is the non-wraparound variant which this class also
+// supports via the `wrap` flag.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "topology/topology.hpp"
+
+namespace mcnet::topo {
+
+/// General k-ary n-cube.  Node digits d_{n-1}..d_0 in radix k; node id is
+/// the radix-k value.  Neighbour order: for each dimension 0..n-1, the +1
+/// then -1 ring neighbour (deduplicated for k <= 2, clipped when !wrap).
+class KAryNCube final : public DenseTopology {
+ public:
+  KAryNCube(std::uint32_t k, std::uint32_t n, bool wrap = true);
+
+  [[nodiscard]] std::string name() const override;
+  [[nodiscard]] std::uint32_t distance(NodeId u, NodeId v) const override;
+  [[nodiscard]] std::uint32_t diameter() const override;
+
+  [[nodiscard]] std::uint32_t radix() const { return k_; }
+  [[nodiscard]] std::uint32_t dimensions() const { return n_; }
+  [[nodiscard]] bool wraps() const { return wrap_; }
+
+  /// Digit of node `u` in dimension `dim`.
+  [[nodiscard]] std::uint32_t digit(NodeId u, std::uint32_t dim) const;
+  /// Node with digit `dim` replaced by `value`.
+  [[nodiscard]] NodeId with_digit(NodeId u, std::uint32_t dim, std::uint32_t value) const;
+
+ private:
+  std::uint32_t k_;
+  std::uint32_t n_;
+  bool wrap_;
+  std::vector<std::uint32_t> pow_;  // pow_[i] = k^i
+};
+
+}  // namespace mcnet::topo

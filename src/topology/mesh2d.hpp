@@ -1,0 +1,55 @@
+// Two-dimensional mesh topology (non-wraparound rectangular grid), the
+// "2D mesh" host graph of the paper (Definition 4.1).
+#pragma once
+
+#include <cstdint>
+#include <cstdlib>
+
+#include "topology/topology.hpp"
+
+namespace mcnet::topo {
+
+/// Integer grid coordinate of a mesh node.
+struct Coord2 {
+  std::int32_t x = 0;
+  std::int32_t y = 0;
+  friend bool operator==(const Coord2&, const Coord2&) = default;
+};
+
+/// An N1 x N2 mesh.  Node (x, y), 0 <= x < width, 0 <= y < height, has id
+/// y * width + x (row-major).  Interior nodes have degree 4; the neighbour
+/// order is +X, -X, +Y, -Y (skipping directions that leave the grid).
+class Mesh2D final : public DenseTopology {
+ public:
+  Mesh2D(std::uint32_t width, std::uint32_t height);
+
+  [[nodiscard]] std::string name() const override;
+  [[nodiscard]] std::uint32_t distance(NodeId u, NodeId v) const override;
+  [[nodiscard]] std::uint32_t diameter() const override { return width_ + height_ - 2; }
+
+  [[nodiscard]] std::uint32_t width() const { return width_; }
+  [[nodiscard]] std::uint32_t height() const { return height_; }
+
+  [[nodiscard]] Coord2 coord(NodeId u) const {
+    return {static_cast<std::int32_t>(u % width_), static_cast<std::int32_t>(u / width_)};
+  }
+  [[nodiscard]] NodeId node(Coord2 c) const {
+    return static_cast<NodeId>(c.y) * width_ + static_cast<NodeId>(c.x);
+  }
+  [[nodiscard]] NodeId node(std::int32_t x, std::int32_t y) const { return node(Coord2{x, y}); }
+  [[nodiscard]] bool contains(Coord2 c) const {
+    return c.x >= 0 && c.y >= 0 && c.x < static_cast<std::int32_t>(width_) &&
+           c.y < static_cast<std::int32_t>(height_);
+  }
+
+  /// Closest node to `w` among all nodes lying on some shortest path
+  /// between `s` and `t` (the bounding-box clamp of Section 5.2).  Used by
+  /// the greedy Steiner-tree heuristic.
+  [[nodiscard]] NodeId closest_on_shortest_paths(NodeId s, NodeId t, NodeId w) const;
+
+ private:
+  std::uint32_t width_;
+  std::uint32_t height_;
+};
+
+}  // namespace mcnet::topo

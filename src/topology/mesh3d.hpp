@@ -1,0 +1,57 @@
+// Three-dimensional mesh topology.  Chapter 4 extends the 2-D complexity
+// results to 3-D meshes (Corollaries 4.1-4.4); the routing substrate here
+// lets the same multicast machinery run on 3-D hosts.
+#pragma once
+
+#include <cstdint>
+#include <cstdlib>
+
+#include "topology/topology.hpp"
+
+namespace mcnet::topo {
+
+/// Integer coordinate of a 3-D mesh node.
+struct Coord3 {
+  std::int32_t x = 0;
+  std::int32_t y = 0;
+  std::int32_t z = 0;
+  friend bool operator==(const Coord3&, const Coord3&) = default;
+};
+
+/// An NX x NY x NZ mesh.  Node (x, y, z) has id (z * NY + y) * NX + x.
+/// Neighbour order: +X, -X, +Y, -Y, +Z, -Z (skipping off-grid directions).
+class Mesh3D final : public DenseTopology {
+ public:
+  Mesh3D(std::uint32_t nx, std::uint32_t ny, std::uint32_t nz);
+
+  [[nodiscard]] std::string name() const override;
+  [[nodiscard]] std::uint32_t distance(NodeId u, NodeId v) const override;
+  [[nodiscard]] std::uint32_t diameter() const override { return nx_ + ny_ + nz_ - 3; }
+
+  [[nodiscard]] std::uint32_t nx() const { return nx_; }
+  [[nodiscard]] std::uint32_t ny() const { return ny_; }
+  [[nodiscard]] std::uint32_t nz() const { return nz_; }
+
+  [[nodiscard]] Coord3 coord(NodeId u) const {
+    return {static_cast<std::int32_t>(u % nx_),
+            static_cast<std::int32_t>((u / nx_) % ny_),
+            static_cast<std::int32_t>(u / (nx_ * ny_))};
+  }
+  [[nodiscard]] NodeId node(Coord3 c) const {
+    return (static_cast<NodeId>(c.z) * ny_ + static_cast<NodeId>(c.y)) * nx_ +
+           static_cast<NodeId>(c.x);
+  }
+  [[nodiscard]] bool contains(Coord3 c) const {
+    return c.x >= 0 && c.y >= 0 && c.z >= 0 && c.x < static_cast<std::int32_t>(nx_) &&
+           c.y < static_cast<std::int32_t>(ny_) && c.z < static_cast<std::int32_t>(nz_);
+  }
+
+  /// Closest node to `w` on the shortest-path bundle between `s` and `t`
+  /// (box clamp, the 3-D analogue of the Section 5.2 formula).
+  [[nodiscard]] NodeId closest_on_shortest_paths(NodeId s, NodeId t, NodeId w) const;
+
+ private:
+  std::uint32_t nx_, ny_, nz_;
+};
+
+}  // namespace mcnet::topo

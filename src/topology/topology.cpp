@@ -1,0 +1,53 @@
+#include "topology/topology.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace mcnet::topo {
+
+void DenseTopology::build(const std::vector<std::vector<NodeId>>& adj) {
+  const std::size_t n = adj.size();
+  row_start_.assign(n + 1, 0);
+  for (std::size_t u = 0; u < n; ++u) {
+    row_start_[u + 1] = row_start_[u] + static_cast<std::uint32_t>(adj[u].size());
+  }
+  adj_flat_.reserve(row_start_[n]);
+  channel_of_edge_.reserve(row_start_[n]);
+  channel_ends_.reserve(row_start_[n]);
+  ChannelId next = 0;
+  for (std::size_t u = 0; u < n; ++u) {
+    for (NodeId v : adj[u]) {
+      if (v >= n) throw std::invalid_argument("adjacency refers to node out of range");
+      adj_flat_.push_back(v);
+      channel_of_edge_.push_back(next);
+      channel_ends_.push_back({static_cast<NodeId>(u), v});
+      ++next;
+    }
+  }
+}
+
+std::span<const NodeId> DenseTopology::neighbors(NodeId u) const {
+  return {adj_flat_.data() + row_start_[u], adj_flat_.data() + row_start_[u + 1]};
+}
+
+ChannelId DenseTopology::channel(NodeId u, NodeId v) const {
+  if (u >= num_nodes()) return kInvalidChannel;
+  for (std::uint32_t i = row_start_[u]; i < row_start_[u + 1]; ++i) {
+    if (adj_flat_[i] == v) return channel_of_edge_[i];
+  }
+  return kInvalidChannel;
+}
+
+ChannelEnds DenseTopology::channel_ends(ChannelId c) const {
+  return channel_ends_.at(c);
+}
+
+std::uint32_t DenseTopology::max_degree() const {
+  std::uint32_t d = 0;
+  for (std::uint32_t u = 0; u < num_nodes(); ++u) {
+    d = std::max(d, row_start_[u + 1] - row_start_[u]);
+  }
+  return d;
+}
+
+}  // namespace mcnet::topo

@@ -1,0 +1,87 @@
+#include "viz/ascii.hpp"
+
+#include <algorithm>
+#include <sstream>
+#include <vector>
+
+namespace mcnet::viz {
+
+namespace {
+using topo::Coord2;
+using topo::NodeId;
+}  // namespace
+
+std::string render_mesh_route(const topo::Mesh2D& mesh,
+                              const mcast::MulticastRequest& request,
+                              const mcast::MulticastRoute& route) {
+  const auto w = static_cast<std::int32_t>(mesh.width());
+  const auto h = static_cast<std::int32_t>(mesh.height());
+  std::vector<std::string> canvas(2 * h - 1, std::string(4 * w - 3, ' '));
+  const auto cell = [&](std::int32_t x, std::int32_t y) -> char& {
+    return canvas[2 * (h - 1 - y)][4 * x];
+  };
+  for (std::int32_t y = 0; y < h; ++y) {
+    for (std::int32_t x = 0; x < w; ++x) cell(x, y) = '.';
+  }
+  const auto mark_link = [&](NodeId a, NodeId b) {
+    const Coord2 ca = mesh.coord(a);
+    const Coord2 cb = mesh.coord(b);
+    if (ca.y == cb.y) {
+      const std::int32_t x = std::min(ca.x, cb.x);
+      for (int i = 1; i <= 3; ++i) canvas[2 * (h - 1 - ca.y)][4 * x + i] = '-';
+    } else {
+      const std::int32_t y = std::min(ca.y, cb.y);
+      canvas[2 * (h - 1 - y) - 1][4 * ca.x] = '|';
+    }
+    if (cell(ca.x, ca.y) == '.') cell(ca.x, ca.y) = '*';
+    if (cell(cb.x, cb.y) == '.') cell(cb.x, cb.y) = '*';
+  };
+  for (const auto& p : route.paths) {
+    for (std::size_t i = 0; i + 1 < p.nodes.size(); ++i) mark_link(p.nodes[i], p.nodes[i + 1]);
+  }
+  for (const auto& t : route.trees) {
+    for (const auto& l : t.links) mark_link(l.from, l.to);
+  }
+  for (const NodeId d : request.destinations) {
+    const Coord2 c = mesh.coord(d);
+    cell(c.x, c.y) = 'D';
+  }
+  const Coord2 s = mesh.coord(request.source);
+  cell(s.x, s.y) = 'S';
+
+  std::ostringstream os;
+  for (const std::string& line : canvas) os << line << '\n';
+  return os.str();
+}
+
+std::string describe_route(const mcast::MulticastRoute& route) {
+  std::ostringstream os;
+  for (std::size_t pi = 0; pi < route.paths.size(); ++pi) {
+    const auto& p = route.paths[pi];
+    os << "path " << pi << " (class " << int(p.channel_class) << "):";
+    for (std::size_t i = 0; i < p.nodes.size(); ++i) {
+      os << ' ' << p.nodes[i];
+      if (std::find(p.delivery_hops.begin(), p.delivery_hops.end(),
+                    static_cast<std::uint32_t>(i)) != p.delivery_hops.end()) {
+        os << '!';
+      }
+    }
+    os << '\n';
+  }
+  for (std::size_t ti = 0; ti < route.trees.size(); ++ti) {
+    const auto& t = route.trees[ti];
+    os << "tree " << ti << " (class " << int(t.channel_class) << "):";
+    for (std::size_t li = 0; li < t.links.size(); ++li) {
+      os << " [" << t.links[li].from << "->" << t.links[li].to;
+      if (std::find(t.delivery_links.begin(), t.delivery_links.end(),
+                    static_cast<std::uint32_t>(li)) != t.delivery_links.end()) {
+        os << '!';
+      }
+      os << ']';
+    }
+    os << '\n';
+  }
+  return os.str();
+}
+
+}  // namespace mcnet::viz

@@ -1,0 +1,24 @@
+// ASCII rendering of mesh routing patterns -- the library form of the
+// paper's Figs. 5.7-5.12 / 6.13-6.17 diagrams (used by the
+// routing_patterns example and handy in test failure output).
+#pragma once
+
+#include <string>
+
+#include "core/multicast.hpp"
+#include "topology/mesh2d.hpp"
+
+namespace mcnet::viz {
+
+/// Render a route on a 2-D mesh: 'S' source, 'D' destinations, '*' transit
+/// nodes, '.' untouched nodes, '-'/'|' used links.  Row y = height-1 is
+/// printed first (mathematical orientation, matching the paper's figures).
+[[nodiscard]] std::string render_mesh_route(const topo::Mesh2D& mesh,
+                                            const mcast::MulticastRequest& request,
+                                            const mcast::MulticastRoute& route);
+
+/// One-line-per-component textual summary of a route (works for any
+/// topology): path node sequences and tree link lists with delivery marks.
+[[nodiscard]] std::string describe_route(const mcast::MulticastRoute& route);
+
+}  // namespace mcnet::viz

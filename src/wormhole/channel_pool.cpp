@@ -1,0 +1,94 @@
+#include "wormhole/channel_pool.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace mcnet::worm {
+
+ChannelPool::ChannelPool(std::uint32_t num_channels, std::uint8_t copies,
+                         Arbitration arbitration,
+                         std::function<double(std::uint32_t)> priority, std::uint64_t seed)
+    : copies_(copies),
+      arbitration_(arbitration),
+      priority_(std::move(priority)),
+      rng_(seed),
+      holder_(static_cast<std::size_t>(num_channels) * copies, kNoWorm),
+      queues_(num_channels) {
+  if (copies == 0) throw std::invalid_argument("need >= 1 channel copy");
+  if (arbitration == Arbitration::kOldestFirst && !priority_) {
+    throw std::invalid_argument("oldest-first arbitration needs a priority function");
+  }
+}
+
+std::optional<std::uint8_t> ChannelPool::acquire(ChannelId c, const ChannelRequest& req) {
+  if (req.copy == kAnyCopy) {
+    for (std::uint8_t k = 0; k < copies_; ++k) {
+      if (holder_[index(c, k)] == kNoWorm) {
+        holder_[index(c, k)] = req.worm_id;
+        ++busy_;
+        return k;
+      }
+    }
+  } else {
+    const auto k = static_cast<std::uint8_t>(req.copy);
+    if (k >= copies_) throw std::invalid_argument("copy index out of range");
+    if (holder_[index(c, k)] == kNoWorm) {
+      holder_[index(c, k)] = req.worm_id;
+      ++busy_;
+      return k;
+    }
+  }
+  queues_[c].push_back(req);
+  return std::nullopt;
+}
+
+std::optional<std::pair<ChannelRequest, std::uint8_t>> ChannelPool::release(
+    ChannelId c, std::uint8_t copy) {
+  auto& slot = holder_[index(c, copy)];
+  if (slot == kNoWorm) throw std::logic_error("releasing a free channel");
+  slot = kNoWorm;
+  --busy_;
+  auto& q = queues_[c];
+  // Collect the compatible waiters, then arbitrate (Section 2.3.3).
+  std::vector<std::size_t> compatible;
+  for (std::size_t i = 0; i < q.size(); ++i) {
+    if (q[i].copy == kAnyCopy || q[i].copy == static_cast<std::int8_t>(copy)) {
+      compatible.push_back(i);
+      if (arbitration_ == Arbitration::kFcfs) break;  // first wins
+    }
+  }
+  if (compatible.empty()) return std::nullopt;
+  std::size_t pick = compatible.front();
+  if (arbitration_ == Arbitration::kOldestFirst) {
+    for (const std::size_t i : compatible) {
+      if (priority_(q[i].worm_id) < priority_(q[pick].worm_id)) pick = i;
+    }
+  } else if (arbitration_ == Arbitration::kRandom) {
+    pick = compatible[rng_.uniform_int(0, static_cast<std::uint32_t>(compatible.size() - 1))];
+  }
+  const ChannelRequest req = q[pick];
+  q.erase(q.begin() + static_cast<std::ptrdiff_t>(pick));
+  holder_[index(c, copy)] = req.worm_id;
+  ++busy_;
+  return std::make_pair(req, copy);
+}
+
+bool ChannelPool::retarget(ChannelId c, std::uint32_t old_worm, std::uint32_t old_link,
+                           std::uint32_t new_worm, std::uint32_t new_link) {
+  for (ChannelRequest& r : queues_[c]) {
+    if (r.worm_id == old_worm && r.link_index == old_link) {
+      r.worm_id = new_worm;
+      r.link_index = new_link;
+      return true;
+    }
+  }
+  return false;
+}
+
+void ChannelPool::cancel_requests(std::uint32_t worm_id) {
+  for (auto& q : queues_) {
+    std::erase_if(q, [worm_id](const ChannelRequest& r) { return r.worm_id == worm_id; });
+  }
+}
+
+}  // namespace mcnet::worm

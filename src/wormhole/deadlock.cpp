@@ -1,0 +1,21 @@
+#include "wormhole/deadlock.hpp"
+
+#include <sstream>
+
+namespace mcnet::worm {
+
+DeadlockReport check_deadlock(const Network& network) {
+  DeadlockReport report;
+  report.cycle = network.find_deadlock();
+  if (!report.cycle.empty()) {
+    std::ostringstream os;
+    os << "deadlock cycle of " << report.cycle.size() << " worm(s):\n";
+    for (const std::uint32_t id : report.cycle) {
+      os << "  " << network.describe_worm(id) << "\n";
+    }
+    report.description = os.str();
+  }
+  return report;
+}
+
+}  // namespace mcnet::worm

@@ -1,0 +1,23 @@
+// Deadlock reporting helpers over the network's wait-for graph.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "wormhole/network.hpp"
+
+namespace mcnet::worm {
+
+struct DeadlockReport {
+  /// Worm ids forming a wait-for cycle; empty when no deadlock exists.
+  std::vector<std::uint32_t> cycle;
+  /// Human-readable dump of the cycle (one line per worm).
+  std::string description;
+
+  [[nodiscard]] bool deadlocked() const { return !cycle.empty(); }
+};
+
+/// Inspect the network for a deadlock cycle.
+[[nodiscard]] DeadlockReport check_deadlock(const Network& network);
+
+}  // namespace mcnet::worm

@@ -1,0 +1,76 @@
+#include "wormhole/experiment.hpp"
+
+#include <algorithm>
+#include <atomic>
+
+#include "evsim/scheduler.hpp"
+
+namespace mcnet::worm {
+
+DynamicResult run_dynamic(const topo::Topology& topology, const RouteBuilder& builder,
+                          const DynamicConfig& config) {
+  evsim::Scheduler sched;
+  Network network(topology, config.params, sched);
+  TrafficDriver driver(sched, network, config.traffic, builder);
+
+  evsim::BatchMeans latency(config.batch_size, /*discard=*/1);
+  evsim::Summary completion;
+  NetworkHooks hooks;
+  hooks.on_delivery = [&](std::uint64_t, topo::NodeId, double l) { latency.add(l); };
+  hooks.on_message_done = [&](std::uint64_t, double l) { completion.add(l); };
+  network.set_hooks(std::move(hooks));
+
+  driver.start();
+  bool converged = false;
+  while (sched.step()) {
+    if (network.messages_completed() >= config.target_messages &&
+        latency.converged(config.rel_precision, config.min_batches)) {
+      converged = true;
+      break;
+    }
+    if (network.messages_completed() >= config.max_messages ||
+        sched.now() >= config.max_sim_time_s) {
+      break;
+    }
+  }
+  driver.stop();
+
+  DynamicResult result;
+  result.mean_latency_us = latency.mean() * 1e6;
+  result.ci_half_us = latency.effective_batches() >= 2 ? latency.half_width() * 1e6 : 0.0;
+  result.mean_completion_us = completion.mean() * 1e6;
+  result.deliveries = latency.samples();
+  result.messages_completed = network.messages_completed();
+  result.messages_injected = network.messages_injected();
+  result.sim_time_s = sched.now();
+  result.utilization = network.utilization();
+  result.mean_blocking_us =
+      result.messages_completed > 0
+          ? network.total_blocked_time() / static_cast<double>(result.messages_completed) * 1e6
+          : 0.0;
+  result.converged = converged;
+  result.saturated =
+      !converged && result.messages_injected > 0 &&
+      result.messages_completed * 10 < result.messages_injected * 9;  // >10 % backlog
+  return result;
+}
+
+void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn,
+                  unsigned threads) {
+  threads = std::max(1u, std::min<unsigned>(threads, static_cast<unsigned>(n)));
+  if (threads == 1) {
+    for (std::size_t i = 0; i < n; ++i) fn(i);
+    return;
+  }
+  std::atomic<std::size_t> next{0};
+  std::vector<std::thread> pool;
+  pool.reserve(threads);
+  for (unsigned t = 0; t < threads; ++t) {
+    pool.emplace_back([&] {
+      for (std::size_t i = next.fetch_add(1); i < n; i = next.fetch_add(1)) fn(i);
+    });
+  }
+  for (std::thread& th : pool) th.join();
+}
+
+}  // namespace mcnet::worm

@@ -1,0 +1,61 @@
+// Dynamic-experiment harness: wires topology + routing algorithm + traffic
+// into one simulation run and collects latency statistics with the paper's
+// batch-means stopping rule.  A small thread-pool map parallelises sweeps
+// over independent parameter points.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <thread>
+#include <vector>
+
+#include "evsim/stats.hpp"
+#include "wormhole/network.hpp"
+#include "wormhole/traffic.hpp"
+
+namespace mcnet::worm {
+
+struct DynamicConfig {
+  WormholeParams params;
+  TrafficConfig traffic;
+  /// Stop once this many multicasts have completed and the latency CI has
+  /// converged (saturated runs stop at the hard caps below).
+  std::uint64_t target_messages = 2000;
+  std::uint64_t max_messages = 8000;
+  double max_sim_time_s = 0.5;
+  std::uint32_t batch_size = 1000;  // per-delivery samples per batch
+  double rel_precision = 0.05;
+  std::uint32_t min_batches = 10;
+};
+
+struct DynamicResult {
+  double mean_latency_us = 0.0;      // per-destination network latency
+  double ci_half_us = 0.0;           // 95 % CI half-width
+  double mean_completion_us = 0.0;   // whole-multicast completion latency
+  std::uint64_t deliveries = 0;
+  std::uint64_t messages_completed = 0;
+  std::uint64_t messages_injected = 0;
+  double sim_time_s = 0.0;
+  /// Mean physical-channel utilisation over the run.
+  double utilization = 0.0;
+  /// Mean blocking time per completed message (us) -- the contention
+  /// component of the Section 2.2 latency decomposition.
+  double mean_blocking_us = 0.0;
+  bool converged = false;
+  /// True when the run hit a hard cap with injections outpacing
+  /// completions (the network is saturated at this load).
+  bool saturated = false;
+};
+
+/// Run one dynamic experiment on `topology` with the algorithm embodied by
+/// `builder`.
+[[nodiscard]] DynamicResult run_dynamic(const topo::Topology& topology,
+                                        const RouteBuilder& builder,
+                                        const DynamicConfig& config);
+
+/// Map `fn` over [0, n) on up to `threads` std::threads (independent
+/// simulations only; results land in caller-provided storage inside `fn`).
+void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn,
+                  unsigned threads = std::thread::hardware_concurrency());
+
+}  // namespace mcnet::worm

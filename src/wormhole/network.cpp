@@ -1,0 +1,384 @@
+#include "wormhole/network.hpp"
+
+#include <algorithm>
+#include <sstream>
+#include <stdexcept>
+
+namespace mcnet::worm {
+
+namespace {
+constexpr std::uint8_t kNotGranted = 0xFF;
+}
+
+Network::Network(const topo::Topology& topology, const WormholeParams& params,
+                 evsim::Scheduler& sched)
+    : topology_(&topology),
+      params_(params),
+      sched_(&sched),
+      pool_(topology.num_channels(), params.channel_copies, params.arbitration,
+            [this](std::uint32_t worm_id) { return worms_[worm_id].t_created; }) {
+  if (params.message_flits == 0) throw std::invalid_argument("message needs >= 1 flit");
+  if (params.flit_time <= 0.0) throw std::invalid_argument("flit time must be positive");
+  acquired_at_.assign(static_cast<std::size_t>(topology.num_channels()) *
+                          params.channel_copies,
+                      0.0);
+}
+
+void Network::note_grant(ChannelId c, std::uint8_t copy) {
+  acquired_at_[phys_index(c, copy)] = sched_->now();
+  if (hooks_.on_channel_grant) {
+    hooks_.on_channel_grant(c, copy, pool_.holder(c, copy), sched_->now());
+  }
+}
+
+void Network::note_release(ChannelId c, std::uint8_t copy) {
+  busy_time_ += sched_->now() - acquired_at_[phys_index(c, copy)];
+  if (hooks_.on_channel_release) {
+    hooks_.on_channel_release(c, copy, pool_.holder(c, copy), sched_->now());
+  }
+}
+
+double Network::utilization() const {
+  const double elapsed = sched_->now();
+  if (elapsed <= 0.0) return 0.0;
+  // In-flight holds are counted up to "now".
+  double busy = busy_time_;
+  for (ChannelId c = 0; c < pool_.num_channels(); ++c) {
+    for (std::uint8_t k = 0; k < pool_.copies(); ++k) {
+      if (pool_.holder(c, k) != kNoWorm) busy += elapsed - acquired_at_[phys_index(c, k)];
+    }
+  }
+  return busy / (elapsed * static_cast<double>(acquired_at_.size()));
+}
+
+std::uint64_t Network::inject(std::vector<WormSpec> specs) {
+  const std::uint64_t msg = next_message_++;
+  messages_.push_back(Message{sched_->now(), static_cast<std::uint32_t>(specs.size())});
+  if (specs.empty()) {
+    ++messages_completed_;
+    if (hooks_.on_message_done) hooks_.on_message_done(msg, 0.0);
+    return msg;
+  }
+  for (WormSpec& spec : specs) {
+    const std::uint32_t id = allocate_worm();
+    Worm& w = worms_[id];
+    w = Worm{};
+    w.message = msg;
+    w.t_created = sched_->now();
+    w.links = std::move(spec.links);
+    w.deliveries = std::move(spec.deliveries);
+    w.max_depth = w.links.back().depth;
+    w.copy_used.assign(w.links.size(), kNotGranted);
+    // depth_start[d] = first link index at depth >= d, for d in [1, max+1].
+    w.depth_start.assign(w.max_depth + 2, static_cast<std::uint32_t>(w.links.size()));
+    for (std::uint32_t i = w.links.size(); i-- > 0;) {
+      w.depth_start[w.links[i].depth] = i;
+    }
+    for (std::uint32_t d = w.max_depth; d >= 1; --d) {
+      w.depth_start[d] = std::min(w.depth_start[d], w.depth_start[d + 1]);
+    }
+    w.active = true;
+    ++active_worms_;
+    begin_frontier(id);
+  }
+  return msg;
+}
+
+std::uint32_t Network::allocate_worm() {
+  if (!free_worm_slots_.empty()) {
+    const std::uint32_t id = free_worm_slots_.back();
+    free_worm_slots_.pop_back();
+    return id;
+  }
+  worms_.emplace_back();
+  return static_cast<std::uint32_t>(worms_.size() - 1);
+}
+
+void Network::begin_frontier(std::uint32_t worm_id) {
+  Worm& w = worms_[worm_id];
+  const std::uint32_t depth = w.progress + 1;
+  w.frontier_begin = w.depth_start[depth];
+  w.frontier_end = w.depth_start[depth + 1];
+  w.granted = 0;
+  const std::uint32_t frontier_size = w.frontier_end - w.frontier_begin;
+  for (std::uint32_t i = w.frontier_begin; i < w.frontier_end; ++i) {
+    const WormLink& link = w.links[i];
+    if (const auto copy = pool_.acquire(link.channel, ChannelRequest{worm_id, i, link.copy})) {
+      note_grant(link.channel, *copy);
+      w.copy_used[i] = *copy;
+      ++w.granted;
+    }
+  }
+  if (w.granted == frontier_size) {
+    sched_->schedule_in(params_.flit_time, [this, worm_id] { advance(worm_id); });
+  } else {
+    w.block_started = sched_->now();
+    if (params_.virtual_cut_through) vct_absorb(worm_id);
+  }
+}
+
+// Virtual cut-through blocking: the message is buffered at the head node.
+// The worm's held prefix drains and releases (exactly the completion drain
+// with the route truncated at the head), while a continuation worm takes
+// over the queued FCFS wait and the remaining route suffix.
+void Network::vct_absorb(std::uint32_t worm_id) {
+  Worm& w = worms_[worm_id];
+  if (w.frontier_end - w.frontier_begin != 1) {
+    throw std::logic_error("virtual cut-through supports path worms only");
+  }
+  const std::uint32_t blocked = w.frontier_begin;  // index of the refused link
+  if (w.next_release >= blocked) {
+    // Nothing is held upstream: waiting in place is free, identical to
+    // wormhole semantics (this also covers blocking at injection).
+    return;
+  }
+  const std::uint32_t p = w.progress;
+
+  // Build the continuation: the route suffix rebased to depth 1.
+  const std::uint32_t cont = allocate_worm();
+  // NOTE: `w` may dangle after allocate_worm (vector growth); re-fetch.
+  Worm& old_w = worms_[worm_id];
+  Worm& cw = worms_[cont];
+  cw = Worm{};
+  cw.message = old_w.message;
+  cw.t_created = old_w.t_created;
+  cw.links.assign(old_w.links.begin() + blocked, old_w.links.end());
+  for (WormLink& l : cw.links) l.depth -= p;
+  for (const auto& [depth, dest] : old_w.deliveries) {
+    if (depth > p) cw.deliveries.emplace_back(depth - p, dest);
+  }
+  cw.max_depth = cw.links.back().depth;
+  cw.copy_used.assign(cw.links.size(), 0xFF);
+  cw.depth_start.assign(cw.max_depth + 2, static_cast<std::uint32_t>(cw.links.size()));
+  for (std::uint32_t i = static_cast<std::uint32_t>(cw.links.size()); i-- > 0;) {
+    cw.depth_start[cw.links[i].depth] = i;
+  }
+  for (std::uint32_t d = cw.max_depth; d >= 1; --d) {
+    cw.depth_start[d] = std::min(cw.depth_start[d], cw.depth_start[d + 1]);
+  }
+  cw.frontier_begin = 0;
+  cw.frontier_end = cw.depth_start[2];
+  cw.granted = 0;
+  cw.block_started = sched_->now();  // it is waiting from birth
+  cw.blocked_time = old_w.blocked_time;
+  old_w.blocked_time = 0.0;
+  old_w.block_started = -1.0;
+  cw.active = true;
+  ++active_worms_;
+  ++messages_[cw.message].worms_left;
+  if (!pool_.retarget(cw.links[0].channel, worm_id, blocked, cont, 0)) {
+    throw std::logic_error("VCT retarget failed: no queued request");
+  }
+
+  // Truncate the original worm at the head node and drain it there.
+  old_w.links.resize(blocked);
+  std::erase_if(old_w.deliveries, [p](const auto& d) { return d.first > p; });
+  old_w.next_delivery = std::min<std::uint32_t>(
+      old_w.next_delivery, static_cast<std::uint32_t>(old_w.deliveries.size()));
+  old_w.copy_used.resize(blocked);
+  old_w.max_depth = p;
+  drain(worm_id);
+}
+
+void Network::on_grant(std::uint32_t worm_id, std::uint32_t link_index, std::uint8_t copy) {
+  Worm& w = worms_[worm_id];
+  w.copy_used[link_index] = copy;
+  ++w.granted;
+  if (w.granted == w.frontier_end - w.frontier_begin) {
+    if (w.block_started >= 0.0) {
+      w.blocked_time += sched_->now() - w.block_started;
+      w.block_started = -1.0;
+    }
+    sched_->schedule_in(params_.flit_time, [this, worm_id] { advance(worm_id); });
+  }
+}
+
+void Network::release_link(Worm& w, std::uint32_t link_index) {
+  const std::uint8_t copy = w.copy_used[link_index];
+  if (copy == kNotGranted) throw std::logic_error("releasing an ungranted link");
+  const ChannelId channel = w.links[link_index].channel;
+  note_release(channel, copy);
+  if (const auto grant = pool_.release(channel, copy)) {
+    note_grant(channel, grant->second);
+    on_grant(grant->first.worm_id, grant->first.link_index, grant->second);
+  }
+}
+
+void Network::advance(std::uint32_t worm_id) {
+  // NOTE: hooks may call inject(), which can reallocate worms_; never hold
+  // a Worm reference across a hook invocation.
+  const std::uint32_t l = params_.message_flits;
+  worms_[worm_id].progress += 1;
+
+  // Tail release: link at depth d frees at progress d + L.  release_link
+  // never fires hooks (grant cascades only schedule events).
+  while (true) {
+    Worm& w = worms_[worm_id];
+    if (w.next_release >= w.links.size() ||
+        w.links[w.next_release].depth + l > w.progress) {
+      break;
+    }
+    const std::uint32_t idx = w.next_release++;
+    release_link(w, idx);
+  }
+  // Deliveries: destination at depth d completes at progress d + L - 1.
+  while (true) {
+    Worm& w = worms_[worm_id];
+    if (w.next_delivery >= w.deliveries.size() ||
+        w.deliveries[w.next_delivery].first + l - 1 > w.progress) {
+      break;
+    }
+    const auto [depth, dest] = w.deliveries[w.next_delivery++];
+    const std::uint64_t message = w.message;
+    const double latency = sched_->now() - w.t_created;
+    if (hooks_.on_delivery) hooks_.on_delivery(message, dest, latency);  // may inject
+  }
+
+  if (worms_[worm_id].progress < worms_[worm_id].max_depth) {
+    begin_frontier(worm_id);
+  } else {
+    drain(worm_id);
+  }
+}
+
+void Network::drain(std::uint32_t worm_id) {
+  Worm& w = worms_[worm_id];
+  w.frontier_begin = w.frontier_end = 0;  // nothing left to acquire
+  const std::uint32_t l = params_.message_flits;
+  const double tau = params_.flit_time;
+  const std::uint32_t p = w.progress;
+
+  for (std::uint32_t i = w.next_delivery; i < w.deliveries.size(); ++i) {
+    const auto [depth, dest] = w.deliveries[i];
+    const double dt = static_cast<double>(depth + l - 1 - p) * tau;
+    sched_->schedule_in(dt, [this, worm_id, dest] {
+      const Worm& worm = worms_[worm_id];
+      if (hooks_.on_delivery) {
+        hooks_.on_delivery(worm.message, dest, sched_->now() - worm.t_created);
+      }
+    });
+  }
+  w.next_delivery = static_cast<std::uint32_t>(w.deliveries.size());
+
+  for (std::uint32_t i = w.next_release; i < w.links.size(); ++i) {
+    const double dt = static_cast<double>(w.links[i].depth + l - p) * tau;
+    sched_->schedule_in(dt, [this, worm_id, i] { release_link(worms_[worm_id], i); });
+  }
+  w.next_release = static_cast<std::uint32_t>(w.links.size());
+
+  // All releases (and the last delivery) lie at most L flit times out; the
+  // finish event is scheduled last so equal-time releases run first.
+  sched_->schedule_in(static_cast<double>(l) * tau, [this, worm_id] { finish_worm(worm_id); });
+}
+
+void Network::finish_worm(std::uint32_t worm_id) {
+  // Retire the worm slot completely before firing the completion hook: the
+  // hook may inject new multicasts, reallocating worms_ / messages_ and
+  // reusing this slot.
+  const std::uint64_t message_id = worms_[worm_id].message;
+  blocked_time_total_ += worms_[worm_id].blocked_time;
+  {
+    Worm& w = worms_[worm_id];
+    w.active = false;
+    w.links.clear();
+    w.links.shrink_to_fit();
+    w.deliveries.clear();
+    w.copy_used.clear();
+    w.depth_start.clear();
+  }
+  --active_worms_;
+  free_worm_slots_.push_back(worm_id);
+
+  const double t_created = messages_[message_id].t_created;
+  const bool message_done = (--messages_[message_id].worms_left == 0);
+  if (message_done) {
+    ++messages_completed_;
+    if (hooks_.on_message_done) {
+      hooks_.on_message_done(message_id, sched_->now() - t_created);  // may inject
+    }
+  }
+}
+
+std::vector<std::uint32_t> Network::find_deadlock() const {
+  // Wait-for edges: blocked worm -> every worm holding a copy that could
+  // satisfy one of its ungranted frontier links.
+  const std::uint32_t n = static_cast<std::uint32_t>(worms_.size());
+  std::vector<std::vector<std::uint32_t>> edges(n);
+  for (std::uint32_t id = 0; id < n; ++id) {
+    const Worm& w = worms_[id];
+    if (!w.blocked()) continue;
+    for (std::uint32_t i = w.frontier_begin; i < w.frontier_end; ++i) {
+      if (w.copy_used[i] != kNotGranted) continue;
+      const WormLink& link = w.links[i];
+      for (std::uint8_t k = 0; k < pool_.copies(); ++k) {
+        if (link.copy != kAnyCopy && link.copy != static_cast<std::int8_t>(k)) continue;
+        const std::uint32_t holder = pool_.holder(link.channel, k);
+        if (holder != kNoWorm && holder != id) edges[id].push_back(holder);
+      }
+    }
+  }
+  // DFS cycle detection over the wait-for graph.
+  enum class Colour : std::uint8_t { White, Grey, Black };
+  std::vector<Colour> colour(n, Colour::White);
+  std::vector<std::uint32_t> path;
+  std::vector<std::pair<std::uint32_t, std::size_t>> stack;
+  for (std::uint32_t root = 0; root < n; ++root) {
+    if (colour[root] != Colour::White || edges[root].empty()) continue;
+    stack.emplace_back(root, 0);
+    colour[root] = Colour::Grey;
+    path.push_back(root);
+    while (!stack.empty()) {
+      auto& [u, idx] = stack.back();
+      if (idx < edges[u].size()) {
+        const std::uint32_t v = edges[u][idx++];
+        if (colour[v] == Colour::Grey) {
+          const auto it = std::find(path.begin(), path.end(), v);
+          return {it, path.end()};
+        }
+        if (colour[v] == Colour::White) {
+          colour[v] = Colour::Grey;
+          stack.emplace_back(v, 0);
+          path.push_back(v);
+        }
+      } else {
+        colour[u] = Colour::Black;
+        stack.pop_back();
+        path.pop_back();
+      }
+    }
+  }
+  return {};
+}
+
+std::string Network::describe_worm(std::uint32_t worm_id) const {
+  const Worm& w = worms_[worm_id];
+  std::ostringstream os;
+  os << "worm " << worm_id << " (message " << w.message << ", progress " << w.progress << "/"
+     << w.max_depth << ")";
+  if (!w.active) {
+    os << " [finished]";
+    return os.str();
+  }
+  os << " holds {";
+  bool first = true;
+  for (std::uint32_t i = 0; i < w.links.size(); ++i) {
+    if (w.copy_used[i] == kNotGranted) continue;
+    if (i < w.next_release) continue;  // already released
+    os << (first ? "" : ", ") << "[" << w.links[i].from << "->" << w.links[i].to << "]";
+    first = false;
+  }
+  os << "}";
+  if (w.blocked()) {
+    os << " waits {";
+    first = true;
+    for (std::uint32_t i = w.frontier_begin; i < w.frontier_end; ++i) {
+      if (w.copy_used[i] != kNotGranted) continue;
+      os << (first ? "" : ", ") << "[" << w.links[i].from << "->" << w.links[i].to << "]";
+      first = false;
+    }
+    os << "}";
+  }
+  return os.str();
+}
+
+}  // namespace mcnet::worm

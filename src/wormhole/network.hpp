@@ -1,0 +1,146 @@
+// The wormhole network simulator: drives worm trees through the channel
+// pool on an evsim::Scheduler, records per-destination latency, and exposes
+// the blocked-worm wait-for graph for deadlock analysis.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <limits>
+#include <vector>
+
+#include "evsim/scheduler.hpp"
+#include "topology/topology.hpp"
+#include "wormhole/channel_pool.hpp"
+#include "wormhole/worm.hpp"
+
+namespace mcnet::worm {
+
+struct WormholeParams {
+  /// Seconds for one flit to cross one channel.  The paper's setting:
+  /// 1-byte flits over 20 Mbyte/s channels = 50 ns.
+  double flit_time = 50e-9;
+  /// Message length L in flits (128-byte messages, 1-byte flits).
+  std::uint32_t message_flits = 128;
+  /// Physical copies of every directed channel (2 = double-channel network).
+  std::uint8_t channel_copies = 1;
+  /// Channel arbitration policy (Section 2.3.3).
+  Arbitration arbitration = Arbitration::kFcfs;
+  /// Virtual cut-through mode (Section 2.2.2): a blocked message is
+  /// absorbed into the blocking node's buffer -- its held channels drain
+  /// and release while a continuation worm keeps the FCFS wait -- instead
+  /// of stalling in the network like a wormhole worm.  Path worms only
+  /// (node buffers are unbounded, as in the Kermani-Kleinrock model).
+  bool virtual_cut_through = false;
+};
+
+/// Observer callbacks (all optional).
+struct NetworkHooks {
+  /// A destination received the complete message.
+  std::function<void(std::uint64_t message_id, NodeId destination, double latency_s)>
+      on_delivery;
+  /// Every worm of a message finished (all deliveries + tail drained).
+  std::function<void(std::uint64_t message_id, double latency_s)> on_message_done;
+  /// Channel-level trace (for audits/visualisation): a worm acquired /
+  /// released physical copy `copy` of channel `c` at the current time.
+  std::function<void(ChannelId c, std::uint8_t copy, std::uint32_t worm_id, double t)>
+      on_channel_grant;
+  std::function<void(ChannelId c, std::uint8_t copy, std::uint32_t worm_id, double t)>
+      on_channel_release;
+};
+
+class Network {
+ public:
+  Network(const topo::Topology& topology, const WormholeParams& params,
+          evsim::Scheduler& sched);
+
+  /// Inject a multicast as a set of worms created at the current simulated
+  /// time; returns the message id.
+  std::uint64_t inject(std::vector<WormSpec> specs);
+
+  void set_hooks(NetworkHooks hooks) { hooks_ = std::move(hooks); }
+
+  [[nodiscard]] const topo::Topology& topology() const { return *topology_; }
+  [[nodiscard]] const WormholeParams& params() const { return params_; }
+  [[nodiscard]] std::uint64_t messages_injected() const { return next_message_; }
+  [[nodiscard]] std::uint64_t messages_completed() const { return messages_completed_; }
+  [[nodiscard]] std::uint32_t active_worms() const { return active_worms_; }
+  [[nodiscard]] bool idle() const { return active_worms_ == 0; }
+  [[nodiscard]] const ChannelPool& pool() const { return pool_; }
+
+  /// Total channel-hold time accumulated over all physical channels (s).
+  [[nodiscard]] double channel_busy_time() const { return busy_time_; }
+  /// Total time finished worms spent blocked waiting for channels -- the
+  /// "blocking time" component of communication latency (Section 2.2).
+  [[nodiscard]] double total_blocked_time() const { return blocked_time_total_; }
+  /// Mean utilisation of the physical channels over [0, now].
+  [[nodiscard]] double utilization() const;
+
+  /// Worm ids forming a deadlock cycle in the wait-for graph (worm ->
+  /// holders of the channels it waits on); empty when deadlock-free.
+  [[nodiscard]] std::vector<std::uint32_t> find_deadlock() const;
+
+  /// Human-readable description of a blocked worm (for the deadlock demo).
+  [[nodiscard]] std::string describe_worm(std::uint32_t worm_id) const;
+
+ private:
+  struct Worm {
+    std::uint64_t message = 0;
+    double t_created = 0.0;
+    std::vector<WormLink> links;
+    std::vector<std::pair<std::uint32_t, NodeId>> deliveries;
+    std::vector<std::uint32_t> depth_start;  // index of first link at each depth
+    std::vector<std::uint8_t> copy_used;     // granted copy per link
+    std::uint32_t progress = 0;
+    std::uint32_t max_depth = 0;
+    std::uint32_t frontier_begin = 0;
+    std::uint32_t frontier_end = 0;
+    std::uint32_t granted = 0;
+    std::uint32_t next_delivery = 0;
+    std::uint32_t next_release = 0;  // first link not yet released
+    double block_started = -1.0;     // time the current blocked wait began
+    double blocked_time = 0.0;       // accumulated blocking (Sec. 2.2's term)
+    bool active = false;
+
+    [[nodiscard]] bool blocked() const {
+      return active && frontier_end > frontier_begin && granted < frontier_end - frontier_begin;
+    }
+  };
+
+  struct Message {
+    double t_created = 0.0;
+    std::uint32_t worms_left = 0;
+  };
+
+  [[nodiscard]] std::size_t phys_index(ChannelId c, std::uint8_t copy) const {
+    return static_cast<std::size_t>(c) * params_.channel_copies + copy;
+  }
+  void note_grant(ChannelId c, std::uint8_t copy);
+  void note_release(ChannelId c, std::uint8_t copy);
+
+  void begin_frontier(std::uint32_t worm_id);
+  void vct_absorb(std::uint32_t worm_id);
+  std::uint32_t allocate_worm();
+  void on_grant(std::uint32_t worm_id, std::uint32_t link_index, std::uint8_t copy);
+  void advance(std::uint32_t worm_id);
+  void drain(std::uint32_t worm_id);
+  void release_link(Worm& w, std::uint32_t link_index);
+  void finish_worm(std::uint32_t worm_id);
+
+  const topo::Topology* topology_;
+  WormholeParams params_;
+  evsim::Scheduler* sched_;
+  ChannelPool pool_;
+  NetworkHooks hooks_;
+
+  std::vector<Worm> worms_;
+  std::vector<std::uint32_t> free_worm_slots_;
+  std::vector<Message> messages_;  // indexed by message id
+  std::uint64_t next_message_ = 0;
+  std::uint64_t messages_completed_ = 0;
+  std::uint32_t active_worms_ = 0;
+  double busy_time_ = 0.0;
+  double blocked_time_total_ = 0.0;
+  std::vector<double> acquired_at_;  // per physical channel copy
+};
+
+}  // namespace mcnet::worm

@@ -1,0 +1,90 @@
+// Randomised-adaptive dual-path routing (Section 8.2 extension).
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "core/adaptive_path.hpp"
+#include "topology/hamiltonian.hpp"
+#include "topology/mesh2d.hpp"
+
+namespace {
+
+using namespace mcnet;
+using mcast::MulticastRequest;
+using mcast::MulticastRoute;
+using topo::Mesh2D;
+using topo::NodeId;
+
+TEST(AdaptivePath, CandidatesAreMonotoneAndReducing) {
+  const Mesh2D mesh(6, 6);
+  const ham::MeshBoustrophedonLabeling lab(mesh);
+  for (NodeId u = 0; u < mesh.num_nodes(); ++u) {
+    for (NodeId v = 0; v < mesh.num_nodes(); ++v) {
+      if (u == v) continue;
+      const auto cand = mcast::monotone_candidates(mesh, lab, u, v);
+      ASSERT_FALSE(cand.empty()) << u << "->" << v;
+      const bool high = lab.label(v) > lab.label(u);
+      for (const NodeId p : cand) {
+        if (high) {
+          EXPECT_GT(lab.label(p), lab.label(u));
+          EXPECT_LE(lab.label(p), lab.label(v));
+        } else {
+          EXPECT_LT(lab.label(p), lab.label(u));
+          EXPECT_GE(lab.label(p), lab.label(v));
+        }
+      }
+    }
+  }
+}
+
+TEST(AdaptivePath, RoutesAreValidAndMonotone) {
+  const Mesh2D mesh(8, 8);
+  const ham::MeshBoustrophedonLabeling lab(mesh);
+  evsim::Rng rng(401);
+  for (int trial = 0; trial < 60; ++trial) {
+    const NodeId src = rng.uniform_int(0, mesh.num_nodes() - 1);
+    const std::uint32_t k = rng.uniform_int(1, 20);
+    const MulticastRequest req{src, rng.sample_destinations(mesh.num_nodes(), src, k)};
+    const MulticastRoute route = adaptive_dual_path_route(mesh, lab, req, rng);
+    verify_route(mesh, req, route);
+    for (const auto& p : route.paths) {
+      for (std::size_t i = 0; i + 1 < p.nodes.size(); ++i) {
+        if (p.channel_class == mcast::kHighChannelClass) {
+          EXPECT_LT(lab.label(p.nodes[i]), lab.label(p.nodes[i + 1]));
+        } else {
+          EXPECT_GT(lab.label(p.nodes[i]), lab.label(p.nodes[i + 1]));
+        }
+      }
+    }
+  }
+}
+
+TEST(AdaptivePath, SameTrafficAsDeterministicDualPathOnMesh) {
+  // On the 2-D mesh every monotone reducing choice lies on a shortest
+  // path (Lemma 6.1), so the adaptive variant matches dual-path traffic
+  // exactly -- it only diversifies *which* shortest path is used.
+  const Mesh2D mesh(8, 8);
+  const ham::MeshBoustrophedonLabeling lab(mesh);
+  evsim::Rng rng(409);
+  for (int trial = 0; trial < 40; ++trial) {
+    const NodeId src = rng.uniform_int(0, mesh.num_nodes() - 1);
+    const std::uint32_t k = rng.uniform_int(1, 15);
+    const MulticastRequest req{src, rng.sample_destinations(mesh.num_nodes(), src, k)};
+    EXPECT_EQ(adaptive_dual_path_route(mesh, lab, req, rng).traffic(),
+              dual_path_route(mesh, lab, req).traffic());
+  }
+}
+
+TEST(AdaptivePath, ActuallyDiversifiesPaths) {
+  const Mesh2D mesh(8, 8);
+  const ham::MeshBoustrophedonLabeling lab(mesh);
+  evsim::Rng rng(419);
+  const MulticastRequest req{mesh.node(0, 0), {mesh.node(6, 5)}};
+  std::set<std::vector<NodeId>> distinct;
+  for (int i = 0; i < 50; ++i) {
+    distinct.insert(adaptive_dual_path_route(mesh, lab, req, rng).paths[0].nodes);
+  }
+  EXPECT_GT(distinct.size(), 5u) << "randomisation should explore multiple shortest paths";
+}
+
+}  // namespace

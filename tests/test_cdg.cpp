@@ -1,0 +1,134 @@
+#include <gtest/gtest.h>
+
+#include "cdg/analyzers.hpp"
+#include "cdg/channel_graph.hpp"
+#include "topology/hamiltonian.hpp"
+
+namespace {
+
+using namespace mcnet;
+using cdg::ChannelGraph;
+using topo::Hypercube;
+using topo::Mesh2D;
+using topo::NodeId;
+
+TEST(ChannelGraph, DetectsCycles) {
+  ChannelGraph g(4);
+  g.add_dependency(0, 1);
+  g.add_dependency(1, 2);
+  g.add_dependency(2, 3);
+  EXPECT_TRUE(g.acyclic());
+  g.add_dependency(3, 1);
+  EXPECT_FALSE(g.acyclic());
+  const auto cycle = g.find_cycle();
+  ASSERT_TRUE(cycle.has_value());
+  // The cycle should be 1 -> 2 -> 3 (-> 1).
+  EXPECT_EQ(cycle->size(), 3u);
+}
+
+TEST(ChannelGraph, DeduplicatesDependencies) {
+  ChannelGraph g(2);
+  g.add_dependency(0, 1);
+  g.add_dependency(0, 1);
+  EXPECT_EQ(g.num_dependencies(), 1u);
+}
+
+TEST(Cdg, XFirstRoutingIsDeadlockFreeOnMesh) {
+  // Fig. 2.5: the CDG of X-first routing has no cycle.
+  const Mesh2D mesh(4, 4);
+  const ChannelGraph g = cdg::build_unicast_cdg(mesh, cdg::xfirst_routing(mesh));
+  EXPECT_TRUE(g.acyclic());
+  EXPECT_GT(g.num_dependencies(), 0u);
+}
+
+TEST(Cdg, QuadrantTurnRoutingHasCycles) {
+  // A deliberately bad deterministic routing that produces all four turn
+  // types (east->north, north->west, west->south, south->east), closing
+  // the classic four-channel cycle of Fig. 2.4: X-first in the NE/SW
+  // quadrants, Y-first in the NW/SE quadrants.
+  const Mesh2D mesh(3, 3);
+  const auto bad = [&mesh](NodeId cur, NodeId dst) -> NodeId {
+    if (cur == dst) return topo::kInvalidNode;
+    const topo::Coord2 c = mesh.coord(cur);
+    const topo::Coord2 d = mesh.coord(dst);
+    const std::int32_t sx = d.x > c.x ? 1 : (d.x < c.x ? -1 : 0);
+    const std::int32_t sy = d.y > c.y ? 1 : (d.y < c.y ? -1 : 0);
+    if (sx == 0) return mesh.node(c.x, c.y + sy);
+    if (sy == 0) return mesh.node(c.x + sx, c.y);
+    const bool x_first = (sx > 0) == (sy > 0);  // NE & SW quadrants
+    return x_first ? mesh.node(c.x + sx, c.y) : mesh.node(c.x, c.y + sy);
+  };
+  const ChannelGraph g = cdg::build_unicast_cdg(mesh, bad);
+  EXPECT_FALSE(g.acyclic());
+}
+
+TEST(Cdg, EcubeRoutingIsDeadlockFreeOnCube) {
+  const Hypercube cube(4);
+  const ChannelGraph g = cdg::build_unicast_cdg(cube, cdg::ecube_routing(cube));
+  EXPECT_TRUE(g.acyclic());
+}
+
+TEST(Cdg, LabelRoutingSubnetworksAreAcyclic) {
+  // The key deadlock-freedom argument of Chapter 6: R restricted to the
+  // high (resp. low) channel subnetwork produces an acyclic CDG.
+  const Mesh2D mesh(4, 4);
+  const ham::MeshBoustrophedonLabeling mlab(mesh);
+  for (const bool high : {true, false}) {
+    const ChannelGraph g =
+        cdg::build_unicast_cdg(mesh, cdg::label_routing(mesh, mlab, high));
+    EXPECT_TRUE(g.acyclic()) << "mesh high=" << high;
+  }
+
+  const Hypercube cube(4);
+  const ham::HypercubeGrayLabeling clab(cube);
+  for (const bool high : {true, false}) {
+    const ChannelGraph g =
+        cdg::build_unicast_cdg(cube, cdg::label_routing(cube, clab, high));
+    EXPECT_TRUE(g.acyclic()) << "cube high=" << high;
+  }
+}
+
+TEST(Cdg, HighChannelSubnetworkIsAcyclicAsNodeGraph) {
+  const Mesh2D mesh(6, 6);
+  const ham::MeshBoustrophedonLabeling lab(mesh);
+  EXPECT_TRUE(cdg::subnetwork_is_acyclic(mesh, [&](NodeId u, NodeId v) {
+    return lab.label(u) < lab.label(v);
+  }));
+  EXPECT_TRUE(cdg::subnetwork_is_acyclic(mesh, [&](NodeId u, NodeId v) {
+    return lab.label(u) > lab.label(v);
+  }));
+  // The whole network, by contrast, has node-graph cycles.
+  EXPECT_FALSE(cdg::subnetwork_is_acyclic(mesh, [](NodeId, NodeId) { return true; }));
+}
+
+TEST(Cdg, QuadrantSubnetworksAreAcyclic) {
+  // Section 6.2.1: each N_{sx,sy} quadrant subnetwork is acyclic.
+  const Mesh2D mesh(4, 3);
+  const auto in_quadrant = [&mesh](std::int32_t sx, std::int32_t sy) {
+    return [&mesh, sx, sy](NodeId u, NodeId v) {
+      const topo::Coord2 a = mesh.coord(u);
+      const topo::Coord2 b = mesh.coord(v);
+      return (b.x - a.x == sx && b.y == a.y) || (b.y - a.y == sy && b.x == a.x);
+    };
+  };
+  EXPECT_TRUE(cdg::subnetwork_is_acyclic(mesh, in_quadrant(+1, +1)));
+  EXPECT_TRUE(cdg::subnetwork_is_acyclic(mesh, in_quadrant(-1, +1)));
+  EXPECT_TRUE(cdg::subnetwork_is_acyclic(mesh, in_quadrant(-1, -1)));
+  EXPECT_TRUE(cdg::subnetwork_is_acyclic(mesh, in_quadrant(+1, -1)));
+}
+
+TEST(Cdg, RoutingFunctionSanityChecks) {
+  const Mesh2D mesh(3, 3);
+  // A routing function that returns non-neighbours must be rejected.
+  const auto teleport = [](NodeId cur, NodeId dst) -> NodeId {
+    return cur == dst ? topo::kInvalidNode : dst;
+  };
+  EXPECT_THROW(cdg::build_unicast_cdg(mesh, teleport), std::logic_error);
+  // A non-terminating routing function must be rejected.
+  const auto pingpong = [&mesh](NodeId cur, NodeId) -> NodeId {
+    return mesh.neighbors(cur)[0];
+  };
+  EXPECT_THROW(cdg::build_unicast_cdg(mesh, pingpong), std::logic_error);
+}
+
+}  // namespace

@@ -1,0 +1,102 @@
+// Circuit-switched network (Section 2.2.3).
+#include <gtest/gtest.h>
+
+#include "cdg/analyzers.hpp"
+#include "evsim/scheduler.hpp"
+#include "switching/circuit.hpp"
+#include "switching/latency_models.hpp"
+#include "topology/mesh2d.hpp"
+
+namespace {
+
+using namespace mcnet;
+using topo::Mesh2D;
+using topo::NodeId;
+
+TEST(Circuit, UncontendedLatencyMatchesAnalyticModel) {
+  const Mesh2D mesh(9, 1);
+  evsim::Scheduler sched;
+  sw::CircuitParams params;
+  params.probe_hop_time = 0.1e-6;
+  params.transfer_time = 6.4e-6;
+  sw::CircuitNetwork net(mesh, cdg::xfirst_routing(mesh), params, sched);
+  double latency = -1.0;
+  net.set_on_delivered([&](std::uint32_t, double l) { latency = l; });
+  net.inject(0, 8);  // 8 hops
+  sched.run();
+  const sw::SwitchingParams model{.message_bytes = 128,
+                                  .bandwidth = 20e6,
+                                  .header_bytes = 2,
+                                  .control_bytes = 2,
+                                  .flit_bytes = 1};
+  EXPECT_NEAR(latency, sw::circuit_switching_latency(model, 8), 1e-12);
+  EXPECT_TRUE(net.idle());
+}
+
+TEST(Circuit, HoldingProtocolSerialisesSharedChannel) {
+  const Mesh2D mesh(3, 1);
+  evsim::Scheduler sched;
+  sw::CircuitParams params;
+  params.probe_hop_time = 1.0;
+  params.transfer_time = 10.0;
+  sw::CircuitNetwork net(mesh, cdg::xfirst_routing(mesh), params, sched);
+  std::vector<double> latencies;
+  net.set_on_delivered([&](std::uint32_t, double l) { latencies.push_back(l); });
+  net.inject(0, 2);
+  net.inject(0, 2);
+  sched.run();
+  ASSERT_EQ(latencies.size(), 2u);
+  // First: 2 probe hops + transfer = 12.  Second waits until the first's
+  // teardown at t = 12, then needs 12 more.
+  EXPECT_DOUBLE_EQ(latencies[0], 12.0);
+  EXPECT_DOUBLE_EQ(latencies[1], 24.0);
+  EXPECT_EQ(net.retries(), 0u);
+}
+
+TEST(Circuit, DropAndRetryEventuallyDelivers) {
+  const Mesh2D mesh(4, 4);
+  evsim::Scheduler sched;
+  sw::CircuitParams params;
+  params.probe_hop_time = 0.1;
+  params.transfer_time = 10.0;
+  params.drop_and_retry = true;
+  params.retry_backoff_mean = 3.0;
+  params.seed = 99;
+  sw::CircuitNetwork net(mesh, cdg::xfirst_routing(mesh), params, sched);
+  int done = 0;
+  net.set_on_delivered([&](std::uint32_t, double) { ++done; });
+  // Several crossing circuits through the mesh centre.
+  net.inject(mesh.node(0, 1), mesh.node(3, 1));
+  net.inject(mesh.node(3, 2), mesh.node(0, 2));
+  net.inject(mesh.node(1, 0), mesh.node(1, 3));
+  net.inject(mesh.node(2, 3), mesh.node(2, 0));
+  net.inject(mesh.node(0, 0), mesh.node(3, 3));
+  sched.run();
+  EXPECT_EQ(done, 5);
+  EXPECT_TRUE(net.idle());
+}
+
+TEST(Circuit, HoldingProtocolDrainsUnderStress) {
+  // X-first routing has an acyclic CDG, so holding probes cannot deadlock.
+  const Mesh2D mesh(5, 5);
+  evsim::Scheduler sched;
+  sw::CircuitParams params;
+  params.probe_hop_time = 0.05;
+  params.transfer_time = 4.0;
+  sw::CircuitNetwork net(mesh, cdg::xfirst_routing(mesh), params, sched);
+  evsim::Rng rng(701);
+  std::uint32_t injected = 0;
+  for (int i = 0; i < 200; ++i) {
+    const NodeId s = rng.uniform_int(0, mesh.num_nodes() - 1);
+    const NodeId d = rng.uniform_int(0, mesh.num_nodes() - 1);
+    if (s == d) continue;
+    const double t = rng.uniform(0.0, 100.0);
+    sched.schedule_at(t, [&net, s, d] { (void)net.inject(s, d); });
+    ++injected;
+  }
+  sched.run();
+  EXPECT_EQ(net.circuits_delivered(), injected);
+  EXPECT_TRUE(net.idle());
+}
+
+}  // namespace

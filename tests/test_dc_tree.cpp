@@ -1,0 +1,143 @@
+// Double-channel X-first tree multicast (Section 6.2.1).
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "core/dc_xfirst_tree.hpp"
+#include "core/xfirst_mt.hpp"
+#include "evsim/random.hpp"
+#include "topology/mesh2d.hpp"
+
+namespace {
+
+using namespace mcnet;
+using mcast::MulticastRequest;
+using mcast::MulticastRoute;
+using mcast::Quadrant;
+using topo::Coord2;
+using topo::Mesh2D;
+using topo::NodeId;
+
+TEST(Quadrants, HalfOpenPartitionCoversEverything) {
+  // Every destination != source falls in exactly one quadrant.
+  const Coord2 s{3, 3};
+  int counts[4] = {0, 0, 0, 0};
+  for (std::int32_t x = 0; x < 8; ++x) {
+    for (std::int32_t y = 0; y < 8; ++y) {
+      if (x == s.x && y == s.y) continue;
+      ++counts[static_cast<int>(mcast::quadrant_of(s, Coord2{x, y}))];
+    }
+  }
+  EXPECT_EQ(counts[0] + counts[1] + counts[2] + counts[3], 63);
+  for (const int c : counts) EXPECT_GT(c, 0);
+}
+
+TEST(Quadrants, AxisTieRules) {
+  const Coord2 s{3, 3};
+  EXPECT_EQ(mcast::quadrant_of(s, {5, 3}), Quadrant::kPosXPosY);  // +X axis
+  EXPECT_EQ(mcast::quadrant_of(s, {3, 5}), Quadrant::kNegXPosY);  // +Y axis
+  EXPECT_EQ(mcast::quadrant_of(s, {1, 3}), Quadrant::kNegXNegY);  // -X axis
+  EXPECT_EQ(mcast::quadrant_of(s, {3, 1}), Quadrant::kPosXNegY);  // -Y axis
+}
+
+TEST(Quadrants, ChannelCopyAssignmentIsDisjoint) {
+  // The two subnetworks sharing a direction must own different copies.
+  using mcast::quadrant_channel_copy;
+  EXPECT_NE(quadrant_channel_copy(Quadrant::kPosXPosY, 1, 0),
+            quadrant_channel_copy(Quadrant::kPosXNegY, 1, 0));
+  EXPECT_NE(quadrant_channel_copy(Quadrant::kNegXPosY, -1, 0),
+            quadrant_channel_copy(Quadrant::kNegXNegY, -1, 0));
+  EXPECT_NE(quadrant_channel_copy(Quadrant::kPosXPosY, 0, 1),
+            quadrant_channel_copy(Quadrant::kNegXPosY, 0, 1));
+  EXPECT_NE(quadrant_channel_copy(Quadrant::kPosXNegY, 0, -1),
+            quadrant_channel_copy(Quadrant::kNegXNegY, 0, -1));
+}
+
+TEST(DcXFirstTree, Fig63ExampleQuadrantSplit) {
+  // Section 6.2.1's example: 6x6 mesh, source (3,2), destinations split as
+  // D_{+X,+Y} = {(4,5),(5,3),(5,4)}, D_{-X,+Y} = {(0,5),(1,3)},
+  // D_{-X,-Y} = {(0,0),(0,2)}, D_{+X,-Y} = {(5,0),(5,1)}.
+  const Mesh2D mesh(6, 6);
+  const MulticastRequest req{
+      mesh.node(3, 2),
+      {mesh.node(0, 0), mesh.node(0, 2), mesh.node(0, 5), mesh.node(1, 3), mesh.node(4, 5),
+       mesh.node(5, 0), mesh.node(5, 1), mesh.node(5, 3), mesh.node(5, 4)}};
+  const MulticastRoute route = dc_xfirst_tree_route(mesh, req);
+  verify_route(mesh, req, route);
+  ASSERT_EQ(route.trees.size(), 4u);
+
+  const auto dests_of = [&](Quadrant q) {
+    std::set<NodeId> out;
+    for (const auto& t : route.trees) {
+      if (t.channel_class != static_cast<std::uint8_t>(q)) continue;
+      for (const std::uint32_t li : t.delivery_links) out.insert(t.links[li].to);
+    }
+    return out;
+  };
+  EXPECT_EQ(dests_of(Quadrant::kPosXPosY),
+            (std::set<NodeId>{mesh.node(4, 5), mesh.node(5, 3), mesh.node(5, 4)}));
+  EXPECT_EQ(dests_of(Quadrant::kNegXPosY),
+            (std::set<NodeId>{mesh.node(0, 5), mesh.node(1, 3)}));
+  EXPECT_EQ(dests_of(Quadrant::kNegXNegY),
+            (std::set<NodeId>{mesh.node(0, 0), mesh.node(0, 2)}));
+  EXPECT_EQ(dests_of(Quadrant::kPosXNegY),
+            (std::set<NodeId>{mesh.node(5, 0), mesh.node(5, 1)}));
+}
+
+TEST(DcXFirstTree, LinksStayInsideTheirQuadrantSubnetwork) {
+  const Mesh2D mesh(8, 8);
+  evsim::Rng rng(67);
+  static constexpr std::pair<std::int32_t, std::int32_t> kSigns[4] = {
+      {+1, +1}, {-1, +1}, {-1, -1}, {+1, -1}};
+  for (int trial = 0; trial < 60; ++trial) {
+    const NodeId src = rng.uniform_int(0, mesh.num_nodes() - 1);
+    const std::uint32_t k = rng.uniform_int(1, 25);
+    const MulticastRequest req{src, rng.sample_destinations(mesh.num_nodes(), src, k)};
+    const MulticastRoute route = dc_xfirst_tree_route(mesh, req);
+    verify_route(mesh, req, route);
+    for (const auto& t : route.trees) {
+      const auto [sx, sy] = kSigns[t.channel_class];
+      for (const auto& l : t.links) {
+        const Coord2 a = mesh.coord(l.from);
+        const Coord2 b = mesh.coord(l.to);
+        const bool x_move = (b.x - a.x == sx) && (b.y == a.y);
+        const bool y_move = (b.y - a.y == sy) && (b.x == a.x);
+        EXPECT_TRUE(x_move || y_move)
+            << "link leaves subnetwork " << int(t.channel_class);
+      }
+    }
+  }
+}
+
+TEST(DcXFirstTree, DeliveriesUseShortestPaths) {
+  const Mesh2D mesh(8, 8);
+  evsim::Rng rng(71);
+  for (int trial = 0; trial < 40; ++trial) {
+    const NodeId src = rng.uniform_int(0, mesh.num_nodes() - 1);
+    const std::uint32_t k = rng.uniform_int(1, 20);
+    const MulticastRequest req{src, rng.sample_destinations(mesh.num_nodes(), src, k)};
+    const MulticastRoute route = dc_xfirst_tree_route(mesh, req);
+    for (const auto& t : route.trees) {
+      for (const std::uint32_t li : t.delivery_links) {
+        EXPECT_EQ(t.links[li].depth, mesh.distance(src, t.links[li].to));
+      }
+    }
+  }
+}
+
+TEST(DcXFirstTree, AtLeastAsMuchTrafficAsSingleChannelXFirst) {
+  // Per-destination paths match plain X-first multicast, but the quadrant
+  // partition sends upper- and lower-quadrant branches separately instead
+  // of sharing an X run, so total traffic can only grow.
+  const Mesh2D mesh(8, 8);
+  evsim::Rng rng(73);
+  for (int trial = 0; trial < 40; ++trial) {
+    const NodeId src = rng.uniform_int(0, mesh.num_nodes() - 1);
+    const std::uint32_t k = rng.uniform_int(1, 30);
+    const MulticastRequest req{src, rng.sample_destinations(mesh.num_nodes(), src, k)};
+    EXPECT_GE(dc_xfirst_tree_route(mesh, req).traffic(),
+              xfirst_mt_route(mesh, req).traffic());
+  }
+}
+
+}  // namespace

@@ -1,0 +1,237 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+#include <vector>
+
+#include "evsim/facility.hpp"
+#include "evsim/process.hpp"
+#include "evsim/random.hpp"
+#include "evsim/scheduler.hpp"
+#include "evsim/stats.hpp"
+
+namespace {
+
+using namespace mcnet::evsim;
+
+TEST(Scheduler, DispatchesInTimeOrder) {
+  Scheduler s;
+  std::vector<int> order;
+  s.schedule_at(3.0, [&] { order.push_back(3); });
+  s.schedule_at(1.0, [&] { order.push_back(1); });
+  s.schedule_at(2.0, [&] { order.push_back(2); });
+  EXPECT_EQ(s.run(), 3u);
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_DOUBLE_EQ(s.now(), 3.0);
+}
+
+TEST(Scheduler, TiesBreakInScheduleOrder) {
+  Scheduler s;
+  std::vector<int> order;
+  for (int i = 0; i < 5; ++i) {
+    s.schedule_at(1.0, [&order, i] { order.push_back(i); });
+  }
+  s.run();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(Scheduler, HandlersCanScheduleMoreEvents) {
+  Scheduler s;
+  int fired = 0;
+  std::function<void()> chain = [&] {
+    if (++fired < 10) s.schedule_in(1.0, chain);
+  };
+  s.schedule_in(1.0, chain);
+  s.run();
+  EXPECT_EQ(fired, 10);
+  EXPECT_DOUBLE_EQ(s.now(), 10.0);
+}
+
+TEST(Scheduler, RunUntilStopsAndAdvancesClock) {
+  Scheduler s;
+  int fired = 0;
+  s.schedule_at(1.0, [&] { ++fired; });
+  s.schedule_at(5.0, [&] { ++fired; });
+  EXPECT_EQ(s.run_until(2.5), 1u);
+  EXPECT_EQ(fired, 1);
+  EXPECT_DOUBLE_EQ(s.now(), 2.5);
+  EXPECT_EQ(s.pending(), 1u);
+}
+
+TEST(Scheduler, RejectsPastEvents) {
+  Scheduler s;
+  s.schedule_at(2.0, [] {});
+  s.run();
+  EXPECT_THROW(s.schedule_at(1.0, [] {}), std::invalid_argument);
+}
+
+TEST(Process, DelaySuspendsAndResumes) {
+  Scheduler s;
+  std::vector<double> times;
+  const auto proc = [](Scheduler& sched, std::vector<double>& t) -> Process {
+    t.push_back(sched.now());
+    co_await delay(sched, 1.5);
+    t.push_back(sched.now());
+    co_await delay(sched, 2.5);
+    t.push_back(sched.now());
+  };
+  proc(s, times);
+  s.run();
+  ASSERT_EQ(times.size(), 3u);
+  EXPECT_DOUBLE_EQ(times[0], 0.0);
+  EXPECT_DOUBLE_EQ(times[1], 1.5);
+  EXPECT_DOUBLE_EQ(times[2], 4.0);
+}
+
+TEST(Facility, SerialisesUsersFcfs) {
+  Scheduler s;
+  Facility fac(s, 1);
+  std::vector<std::pair<int, double>> service_start;
+  const auto user = [](Scheduler& sched, Facility& f, int id, double arrive,
+                       std::vector<std::pair<int, double>>& log) -> Process {
+    co_await delay(sched, arrive);
+    co_await f.acquire();
+    log.emplace_back(id, sched.now());
+    co_await delay(sched, 10.0);  // service time
+    f.release();
+  };
+  user(s, fac, 0, 0.0, service_start);
+  user(s, fac, 1, 1.0, service_start);
+  user(s, fac, 2, 2.0, service_start);
+  s.run();
+  ASSERT_EQ(service_start.size(), 3u);
+  EXPECT_EQ(service_start[0].first, 0);
+  EXPECT_DOUBLE_EQ(service_start[0].second, 0.0);
+  EXPECT_EQ(service_start[1].first, 1);
+  EXPECT_DOUBLE_EQ(service_start[1].second, 10.0);
+  EXPECT_EQ(service_start[2].first, 2);
+  EXPECT_DOUBLE_EQ(service_start[2].second, 20.0);
+}
+
+TEST(Facility, MultipleServersRunConcurrently) {
+  Scheduler s;
+  Facility fac(s, 2);
+  std::vector<double> done;
+  const auto user = [](Scheduler& sched, Facility& f, std::vector<double>& log) -> Process {
+    co_await f.acquire();
+    co_await delay(sched, 5.0);
+    f.release();
+    log.push_back(sched.now());
+  };
+  for (int i = 0; i < 4; ++i) user(s, fac, done);
+  s.run();
+  ASSERT_EQ(done.size(), 4u);
+  EXPECT_DOUBLE_EQ(done[0], 5.0);
+  EXPECT_DOUBLE_EQ(done[1], 5.0);
+  EXPECT_DOUBLE_EQ(done[2], 10.0);
+  EXPECT_DOUBLE_EQ(done[3], 10.0);
+}
+
+TEST(Facility, OverReleaseThrows) {
+  Scheduler s;
+  Facility fac(s, 1);
+  EXPECT_THROW(fac.release(), std::logic_error);
+}
+
+TEST(Mailbox, DeliversInOrderAndBlocksReceivers) {
+  Scheduler s;
+  Mailbox<int> box(s);
+  std::vector<int> got;
+  const auto receiver = [](Mailbox<int>& mb, std::vector<int>& out) -> Process {
+    for (int i = 0; i < 3; ++i) {
+      out.push_back(co_await mb.receive());
+    }
+  };
+  receiver(box, got);
+  EXPECT_EQ(box.waiting_receivers(), 1u);
+  const auto sender = [](Scheduler& sched, Mailbox<int>& mb) -> Process {
+    co_await delay(sched, 1.0);
+    mb.send(10);
+    mb.send(20);
+    co_await delay(sched, 1.0);
+    mb.send(30);
+  };
+  sender(s, box);
+  s.run();
+  EXPECT_EQ(got, (std::vector<int>{10, 20, 30}));
+}
+
+TEST(Stats, SummaryWelford) {
+  Summary sum;
+  for (const double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) sum.add(x);
+  EXPECT_EQ(sum.count(), 8u);
+  EXPECT_DOUBLE_EQ(sum.mean(), 5.0);
+  EXPECT_NEAR(sum.variance(), 32.0 / 7.0, 1e-12);
+  EXPECT_DOUBLE_EQ(sum.min(), 2.0);
+  EXPECT_DOUBLE_EQ(sum.max(), 9.0);
+}
+
+TEST(Stats, StudentTQuantiles) {
+  EXPECT_NEAR(student_t_975(1), 12.706, 1e-3);
+  EXPECT_NEAR(student_t_975(10), 2.228, 1e-3);
+  EXPECT_NEAR(student_t_975(30), 2.042, 1e-3);
+  EXPECT_NEAR(student_t_975(1000), 1.96, 1e-3);
+  EXPECT_TRUE(std::isinf(student_t_975(0)));
+}
+
+TEST(Stats, BatchMeansDiscardsWarmupAndConverges) {
+  BatchMeans bm(10, /*discard=*/1);
+  // Warm-up batch of large values, then steady batches around 5.
+  for (int i = 0; i < 10; ++i) bm.add(100.0);
+  for (int i = 0; i < 200; ++i) bm.add(5.0 + ((i % 2 == 0) ? 0.01 : -0.01));
+  EXPECT_EQ(bm.completed_batches(), 21u);
+  EXPECT_EQ(bm.effective_batches(), 20u);
+  EXPECT_NEAR(bm.mean(), 5.0, 1e-9);  // warm-up batch excluded
+  EXPECT_TRUE(bm.converged(0.05, 10));
+}
+
+TEST(Stats, BatchMeansNotConvergedWhenNoisy) {
+  BatchMeans bm(5, 0);
+  for (int i = 0; i < 30; ++i) bm.add(i % 2 == 0 ? 1.0 : 100.0);
+  EXPECT_FALSE(bm.converged(0.05, 3));
+}
+
+TEST(Random, SeedDerivationDecorrelates) {
+  const std::uint64_t a = derive_seed(1, 0);
+  const std::uint64_t b = derive_seed(1, 1);
+  const std::uint64_t c = derive_seed(2, 0);
+  EXPECT_NE(a, b);
+  EXPECT_NE(a, c);
+}
+
+TEST(Random, SampleDestinationsDistinctAndExcludesSource) {
+  Rng rng(42);
+  for (int trial = 0; trial < 100; ++trial) {
+    const auto dests = rng.sample_destinations(64, 10, 20);
+    EXPECT_EQ(dests.size(), 20u);
+    std::set<mcnet::topo::NodeId> set(dests.begin(), dests.end());
+    EXPECT_EQ(set.size(), 20u) << "duplicates";
+    EXPECT_FALSE(set.contains(10u)) << "source sampled";
+    for (const auto d : set) EXPECT_LT(d, 64u);
+  }
+}
+
+TEST(Random, SampleDestinationsFullNetwork) {
+  Rng rng(7);
+  const auto dests = rng.sample_destinations(16, 3, 15);
+  std::set<mcnet::topo::NodeId> set(dests.begin(), dests.end());
+  EXPECT_EQ(set.size(), 15u);
+  EXPECT_FALSE(set.contains(3u));
+  EXPECT_THROW((void)rng.sample_destinations(16, 3, 16), std::invalid_argument);
+}
+
+TEST(Random, SampleDestinationsIsRoughlyUniform) {
+  Rng rng(123);
+  std::vector<int> counts(16, 0);
+  const int trials = 20000;
+  for (int i = 0; i < trials; ++i) {
+    for (const auto d : rng.sample_destinations(16, 0, 3)) ++counts[d];
+  }
+  // Each of the 15 candidates should appear ~ trials * 3 / 15 = 4000 times.
+  EXPECT_EQ(counts[0], 0);
+  for (int d = 1; d < 16; ++d) {
+    EXPECT_NEAR(counts[d], 4000, 400) << "node " << d;
+  }
+}
+
+}  // namespace

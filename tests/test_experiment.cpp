@@ -1,0 +1,134 @@
+// Dynamic-experiment harness integration tests.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <set>
+
+#include "core/route_factory.hpp"
+#include "wormhole/experiment.hpp"
+
+namespace {
+
+using namespace mcnet;
+using mcast::Algorithm;
+using mcast::MeshRoutingSuite;
+using topo::Mesh2D;
+using topo::NodeId;
+using worm::DynamicConfig;
+using worm::DynamicResult;
+using worm::RouteBuilder;
+
+RouteBuilder make_builder(const MeshRoutingSuite& suite, Algorithm algo,
+                          std::uint8_t copies) {
+  return [&suite, algo, copies](NodeId src, const std::vector<NodeId>& dests) {
+    return worm::make_worm_specs(suite.mesh(),
+                                 suite.route(algo, mcast::MulticastRequest{src, dests}),
+                                 copies);
+  };
+}
+
+TEST(DynamicExperiment, LowLoadLatencyNearContentionFreeMinimum) {
+  // At very light load the mean per-destination latency must sit close to
+  // the contention-free value (distance + L - 1 flit times) and the run
+  // must converge.
+  const Mesh2D mesh(8, 8);
+  const MeshRoutingSuite suite(mesh);
+  DynamicConfig cfg;
+  cfg.params = {.flit_time = 50e-9, .message_flits = 128, .channel_copies = 1};
+  cfg.traffic = {.mean_interarrival_s = 10e-3,  // essentially no contention
+                 .avg_destinations = 10,
+                 .fixed_destinations = false,
+                 .exponential_interarrival = false,
+                 .seed = 11};
+  cfg.target_messages = 400;
+  cfg.max_messages = 2000;
+  cfg.max_sim_time_s = 10.0;
+  cfg.batch_size = 300;
+  const DynamicResult r =
+      run_dynamic(mesh, make_builder(suite, Algorithm::kDualPath, 1), cfg);
+  EXPECT_TRUE(r.converged);
+  EXPECT_FALSE(r.saturated);
+  EXPECT_GT(r.deliveries, 1000u);
+  // Floor: (min distance 1 + 127 flits) * 50 ns = 6.4 us; dual-path visits
+  // up to ~tens of hops, so the mean must be in (6.4, ~25) us at no load.
+  EXPECT_GT(r.mean_latency_us, 6.4);
+  EXPECT_LT(r.mean_latency_us, 30.0);
+}
+
+TEST(DynamicExperiment, LatencyIncreasesWithLoad) {
+  const Mesh2D mesh(8, 8);
+  const MeshRoutingSuite suite(mesh);
+  double prev = 0.0;
+  for (const double interarrival : {5e-3, 400e-6, 150e-6}) {
+    DynamicConfig cfg;
+    cfg.params = {.flit_time = 50e-9, .message_flits = 128, .channel_copies = 1};
+    cfg.traffic = {.mean_interarrival_s = interarrival,
+                   .avg_destinations = 10,
+                   .fixed_destinations = false,
+                   .exponential_interarrival = false,
+                   .seed = 13};
+    cfg.target_messages = 600;
+    cfg.max_messages = 3000;
+    cfg.max_sim_time_s = 5.0;
+    const DynamicResult r =
+        run_dynamic(mesh, make_builder(suite, Algorithm::kDualPath, 1), cfg);
+    EXPECT_GT(r.mean_latency_us, prev) << "interarrival " << interarrival;
+    prev = r.mean_latency_us;
+  }
+}
+
+TEST(DynamicExperiment, DeterministicAcrossRuns) {
+  const Mesh2D mesh(8, 8);
+  const MeshRoutingSuite suite(mesh);
+  DynamicConfig cfg;
+  cfg.params = {.flit_time = 50e-9, .message_flits = 128, .channel_copies = 1};
+  cfg.traffic = {.mean_interarrival_s = 500e-6,
+                 .avg_destinations = 8,
+                 .fixed_destinations = false,
+                 .exponential_interarrival = false,
+                 .seed = 17};
+  cfg.target_messages = 300;
+  cfg.max_messages = 600;
+  cfg.max_sim_time_s = 2.0;
+  const DynamicResult a =
+      run_dynamic(mesh, make_builder(suite, Algorithm::kMultiPath, 1), cfg);
+  const DynamicResult b =
+      run_dynamic(mesh, make_builder(suite, Algorithm::kMultiPath, 1), cfg);
+  EXPECT_DOUBLE_EQ(a.mean_latency_us, b.mean_latency_us);
+  EXPECT_EQ(a.deliveries, b.deliveries);
+  EXPECT_EQ(a.messages_completed, b.messages_completed);
+}
+
+TEST(DynamicExperiment, TreeOnDoubleChannelsCompletes) {
+  // The double-channel X-first tree is deadlock-free: a dynamic run must
+  // make progress and complete messages (Assertion 1 under load).
+  const Mesh2D mesh(8, 8);
+  const MeshRoutingSuite suite(mesh);
+  DynamicConfig cfg;
+  cfg.params = {.flit_time = 50e-9, .message_flits = 128, .channel_copies = 2};
+  cfg.traffic = {.mean_interarrival_s = 600e-6,
+                 .avg_destinations = 10,
+                 .fixed_destinations = false,
+                 .exponential_interarrival = false,
+                 .seed = 19};
+  cfg.target_messages = 400;
+  cfg.max_messages = 1500;
+  cfg.max_sim_time_s = 2.0;
+  const DynamicResult r =
+      run_dynamic(mesh, make_builder(suite, Algorithm::kDCXFirstTree, 2), cfg);
+  EXPECT_GT(r.messages_completed, 300u);
+  EXPECT_GT(r.mean_latency_us, 0.0);
+}
+
+TEST(ParallelFor, CoversAllIndicesOnce) {
+  std::vector<std::atomic<int>> hits(257);
+  worm::parallel_for(257, [&](std::size_t i) { hits[i].fetch_add(1); }, 8);
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+  // Degenerate cases.
+  worm::parallel_for(0, [](std::size_t) { FAIL(); }, 4);
+  int calls = 0;
+  worm::parallel_for(3, [&](std::size_t) { ++calls; }, 1);
+  EXPECT_EQ(calls, 3);
+}
+
+}  // namespace

@@ -1,0 +1,186 @@
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <set>
+
+#include "topology/hamiltonian.hpp"
+
+namespace {
+
+using namespace mcnet;
+using namespace mcnet::ham;
+using mcnet::topo::Hypercube;
+using mcnet::topo::Mesh2D;
+using mcnet::topo::NodeId;
+
+// --- Labelings -------------------------------------------------------------
+
+void expect_hamiltonian_labeling(const topo::Topology& t, const Labeling& lab) {
+  const std::uint32_t n = lab.size();
+  ASSERT_EQ(n, t.num_nodes());
+  std::set<std::uint32_t> labels;
+  for (NodeId u = 0; u < n; ++u) {
+    const std::uint32_t l = lab.label(u);
+    ASSERT_LT(l, n);
+    EXPECT_TRUE(labels.insert(l).second) << "duplicate label " << l;
+    EXPECT_EQ(lab.node_at(l), u) << "node_at is not the inverse of label";
+  }
+  // Consecutive labels must be adjacent nodes (it is a Hamiltonian path).
+  for (std::uint32_t l = 0; l + 1 < n; ++l) {
+    EXPECT_TRUE(t.adjacent(lab.node_at(l), lab.node_at(l + 1)))
+        << "labels " << l << "," << l + 1 << " not adjacent";
+  }
+}
+
+TEST(MeshLabeling, IsHamiltonianPathBijection) {
+  for (const auto& [w, h] : {std::pair{4u, 3u}, {3u, 4u}, {6u, 6u}, {1u, 5u}, {7u, 1u}}) {
+    const Mesh2D mesh(w, h);
+    const MeshBoustrophedonLabeling lab(mesh);
+    expect_hamiltonian_labeling(mesh, lab);
+  }
+}
+
+TEST(MeshLabeling, MatchesPaperFormula) {
+  // Fig. 6.9(a): l(x, y) = y*n + x (y even) / y*n + n - x - 1 (y odd).
+  const Mesh2D mesh(4, 3);
+  const MeshBoustrophedonLabeling lab(mesh);
+  EXPECT_EQ(lab.label(mesh.node(0, 0)), 0u);
+  EXPECT_EQ(lab.label(mesh.node(3, 0)), 3u);
+  EXPECT_EQ(lab.label(mesh.node(3, 1)), 4u);
+  EXPECT_EQ(lab.label(mesh.node(0, 1)), 7u);
+  EXPECT_EQ(lab.label(mesh.node(0, 2)), 8u);
+  EXPECT_EQ(lab.label(mesh.node(3, 2)), 11u);
+}
+
+TEST(CubeLabeling, IsHamiltonianPathBijection) {
+  for (const std::uint32_t n : {1u, 2u, 3u, 4u, 6u}) {
+    const Hypercube cube(n);
+    const HypercubeGrayLabeling lab(cube);
+    expect_hamiltonian_labeling(cube, lab);
+  }
+}
+
+TEST(CubeLabeling, PaperFormulaEqualsGrayDecode) {
+  // The paper's sum-form label (Section 6.3) is the inverse binary
+  // reflected Gray code.
+  for (const std::uint32_t n : {3u, 4u, 5u, 8u}) {
+    for (std::uint32_t addr = 0; addr < (1u << n); ++addr) {
+      EXPECT_EQ(HypercubeGrayLabeling::paper_label(addr, n),
+                HypercubeGrayLabeling::gray_decode(addr))
+          << "n=" << n << " addr=" << addr;
+    }
+  }
+}
+
+TEST(CubeLabeling, ThreeCubeExample) {
+  // Fig. 6.18(a): labels along the Gray path 000,001,011,010,110,111,101,100.
+  const Hypercube cube(3);
+  const HypercubeGrayLabeling lab(cube);
+  const NodeId expected[8] = {0b000, 0b001, 0b011, 0b010, 0b110, 0b111, 0b101, 0b100};
+  for (std::uint32_t l = 0; l < 8; ++l) EXPECT_EQ(lab.node_at(l), expected[l]);
+}
+
+// --- Hamiltonian cycles ----------------------------------------------------
+
+void expect_valid_cycle(const topo::Topology& t, const HamiltonCycle& c) {
+  ASSERT_EQ(c.size(), t.num_nodes());
+  for (std::uint32_t i = 0; i < c.size(); ++i) {
+    EXPECT_EQ(c.position(c.order()[i]), i);
+    if (c.size() > 1) {
+      EXPECT_TRUE(t.adjacent(c.order()[i], c.order()[(i + 1) % c.size()]));
+    }
+  }
+}
+
+TEST(HamiltonCycle, MeshCombMatchesTable51) {
+  // Table 5.1: h-positions 1..16 visit 0,1,2,3,7,6,5,9,10,11,15,14,13,12,8,4.
+  const Mesh2D mesh(4, 4);
+  const HamiltonCycle c = mesh_comb_cycle(mesh);
+  const NodeId expected[16] = {0, 1, 2, 3, 7, 6, 5, 9, 10, 11, 15, 14, 13, 12, 8, 4};
+  for (std::uint32_t i = 0; i < 16; ++i) {
+    EXPECT_EQ(c.order()[i], expected[i]) << "position " << i;
+  }
+  expect_valid_cycle(mesh, c);
+}
+
+TEST(HamiltonCycle, MeshCombVariousSizes) {
+  for (const auto& [w, h] : {std::pair{4u, 3u}, {3u, 4u}, {2u, 6u}, {6u, 2u}, {8u, 8u},
+                            {5u, 4u}, {4u, 5u}, {32u, 32u}}) {
+    const Mesh2D mesh(w, h);
+    expect_valid_cycle(mesh, mesh_comb_cycle(mesh));
+  }
+}
+
+TEST(HamiltonCycle, OddOddMeshRejected) {
+  const Mesh2D mesh(3, 5);
+  EXPECT_THROW(mesh_comb_cycle(mesh), std::invalid_argument);
+}
+
+TEST(HamiltonCycle, CubeGrayMatchesTable53) {
+  // Table 5.3: positions 1..16 visit 0000,0001,0011,0010,0110,0111,0101,
+  // 0100,1100,1101,1111,1110,1010,1011,1001,1000.
+  const Hypercube cube(4);
+  const HamiltonCycle c = hypercube_gray_cycle(cube);
+  const NodeId expected[16] = {0b0000, 0b0001, 0b0011, 0b0010, 0b0110, 0b0111, 0b0101,
+                               0b0100, 0b1100, 0b1101, 0b1111, 0b1110, 0b1010, 0b1011,
+                               0b1001, 0b1000};
+  for (std::uint32_t i = 0; i < 16; ++i) {
+    EXPECT_EQ(c.order()[i], expected[i]) << "position " << i;
+  }
+  expect_valid_cycle(cube, c);
+}
+
+TEST(HamiltonCycle, KeyFromMatchesTable52) {
+  // Table 5.2: sorting keys f(x) for the 4x4 mesh with source u0 = 9.
+  // The paper's f is 1-based from the cycle start; key_from is 0-based from
+  // the source, so f_paper(x) = key_from(9, x) + h_paper(9) = key + 8.
+  const Mesh2D mesh(4, 4);
+  const HamiltonCycle c = mesh_comb_cycle(mesh);
+  const std::uint32_t f_paper[16] = {17, 18, 19, 20, 16, 23, 22, 21,
+                                     15, 8,  9,  10, 14, 13, 12, 11};
+  for (NodeId x = 0; x < 16; ++x) {
+    EXPECT_EQ(c.key_from(9, x) + 8, f_paper[x]) << "node " << x;
+  }
+}
+
+TEST(HamiltonCycle, KeyFromMatchesTable54) {
+  // Table 5.4: keys for the 4-cube with source 0011 (h_paper(0011) = 3).
+  const Hypercube cube(4);
+  const HamiltonCycle c = hypercube_gray_cycle(cube);
+  struct Row {
+    NodeId x;
+    std::uint32_t f;
+  };
+  const Row rows[] = {{0b0000, 17}, {0b0001, 18}, {0b0010, 4},  {0b0011, 3},
+                      {0b0100, 8},  {0b0101, 7},  {0b0110, 5},  {0b0111, 6},
+                      {0b1000, 16}, {0b1001, 15}, {0b1010, 13}, {0b1011, 14},
+                      {0b1100, 9},  {0b1101, 10}, {0b1110, 12}, {0b1111, 11}};
+  for (const Row& r : rows) {
+    if (r.x == 0b0011) continue;  // the source keys as 0 in our convention
+    EXPECT_EQ(c.key_from(0b0011, r.x) + 3, r.f) << "node " << r.x;
+  }
+  EXPECT_EQ(c.key_from(0b0011, 0b0011), 0u);
+}
+
+TEST(HamiltonCycle, RejectsBrokenCycles) {
+  const Mesh2D mesh(2, 2);
+  EXPECT_THROW(HamiltonCycle(mesh, {0, 3, 1, 2}), std::invalid_argument);  // non-adjacent
+  EXPECT_THROW(HamiltonCycle(mesh, {0, 1, 3}), std::invalid_argument);     // skips a node
+  EXPECT_THROW(HamiltonCycle(mesh, {0, 1, 1, 2}), std::invalid_argument);  // repeats
+  EXPECT_NO_THROW(HamiltonCycle(mesh, {0, 1, 3, 2}));
+}
+
+TEST(HighLowPartition, EveryChannelInExactlyOneSubnetwork) {
+  const Mesh2D mesh(5, 4);
+  const MeshBoustrophedonLabeling lab(mesh);
+  std::uint32_t high = 0, low = 0;
+  for (NodeId u = 0; u < mesh.num_nodes(); ++u) {
+    for (const NodeId v : mesh.neighbors(u)) {
+      (is_high_channel(lab, u, v) ? high : low) += 1;
+    }
+  }
+  EXPECT_EQ(high + low, mesh.num_channels());
+  EXPECT_EQ(high, low);  // each link contributes one channel to each side
+}
+
+}  // namespace

@@ -1,0 +1,154 @@
+// Multicast-tree heuristics of Chapter 5: X-first, divided greedy, LEN.
+#include <gtest/gtest.h>
+
+#include "core/divided_greedy_mt.hpp"
+#include "core/len_tree.hpp"
+#include "core/multicast.hpp"
+#include "core/xfirst_mt.hpp"
+#include "evsim/random.hpp"
+#include "topology/hypercube.hpp"
+#include "topology/mesh2d.hpp"
+
+namespace {
+
+using namespace mcnet;
+using mcast::MulticastRequest;
+using mcast::MulticastRoute;
+using topo::Hypercube;
+using topo::Mesh2D;
+using topo::NodeId;
+
+MulticastRequest paper_6x6_request(const Mesh2D& mesh) {
+  // Section 5.4: source (3,2), destinations (2,0), (3,0), (4,0), (1,1),
+  // (5,1), (0,2), (1,3), (2,5), (3,5), (5,5).
+  return MulticastRequest{
+      mesh.node(3, 2),
+      {mesh.node(2, 0), mesh.node(3, 0), mesh.node(4, 0), mesh.node(1, 1), mesh.node(5, 1),
+       mesh.node(0, 2), mesh.node(1, 3), mesh.node(2, 5), mesh.node(3, 5), mesh.node(5, 5)}};
+}
+
+TEST(XFirstMt, PaperExampleTraffic) {
+  const Mesh2D mesh(6, 6);
+  const MulticastRequest req = paper_6x6_request(mesh);
+  const MulticastRoute route = xfirst_mt_route(mesh, req);
+  verify_route(mesh, req, route);
+  // The paper's prose says 24, but the union of the ten X-first paths in
+  // Fig. 5.11 contains exactly 23 distinct links (8 east + 10 west + 3
+  // north + 2 south) -- the prose is off by one.
+  EXPECT_EQ(route.traffic(), 23u);
+}
+
+TEST(XFirstMt, DeliveriesUseShortestPaths) {
+  // Theorem 5.3: the tree reaches each destination along an X-first
+  // shortest path, so delivery depth == Manhattan distance.
+  const Mesh2D mesh(8, 8);
+  evsim::Rng rng(3);
+  for (int trial = 0; trial < 40; ++trial) {
+    const NodeId src = rng.uniform_int(0, mesh.num_nodes() - 1);
+    const std::uint32_t k = rng.uniform_int(1, 20);
+    const MulticastRequest req{src, rng.sample_destinations(mesh.num_nodes(), src, k)};
+    const MulticastRoute route = xfirst_mt_route(mesh, req);
+    verify_route(mesh, req, route);
+    for (const std::uint32_t li : route.trees[0].delivery_links) {
+      const auto& link = route.trees[0].links[li];
+      EXPECT_EQ(link.depth, mesh.distance(src, link.to));
+    }
+  }
+}
+
+TEST(DividedGreedyMt, PaperExampleBeatsXFirst) {
+  // Fig. 5.12 vs Fig. 5.11: the divided greedy pattern uses fewer channels
+  // than X-first (24) on the Section 5.4 example.
+  const Mesh2D mesh(6, 6);
+  const MulticastRequest req = paper_6x6_request(mesh);
+  const MulticastRoute dg = divided_greedy_mt_route(mesh, req);
+  verify_route(mesh, req, dg);
+  EXPECT_LT(dg.traffic(), 24u);
+}
+
+TEST(DividedGreedyMt, PaperExampleInitialSplit) {
+  // The example's first split sends three branches: +Y with {(3,5),(2,5),
+  // (5,5)}, -X with {(0,2),(1,3),(1,1)}, -Y with {(3,0),(2,0),(4,0),(5,1)}
+  // -- and, critically, no +X branch (S3x merged into -Y).
+  const Mesh2D mesh(6, 6);
+  const MulticastRequest req = paper_6x6_request(mesh);
+  const MulticastRoute dg = divided_greedy_mt_route(mesh, req);
+  std::set<NodeId> first_hops;
+  for (const auto& l : dg.trees[0].links) {
+    if (l.parent < 0) first_hops.insert(l.to);
+  }
+  EXPECT_EQ(first_hops,
+            (std::set<NodeId>{mesh.node(3, 3), mesh.node(2, 2), mesh.node(3, 1)}));
+}
+
+TEST(DividedGreedyMt, DeliveriesUseShortestPaths) {
+  // Theorem 5.4: every destination reached along a shortest path.
+  const Mesh2D mesh(8, 8);
+  evsim::Rng rng(11);
+  for (int trial = 0; trial < 60; ++trial) {
+    const NodeId src = rng.uniform_int(0, mesh.num_nodes() - 1);
+    const std::uint32_t k = rng.uniform_int(1, 25);
+    const MulticastRequest req{src, rng.sample_destinations(mesh.num_nodes(), src, k)};
+    const MulticastRoute route = divided_greedy_mt_route(mesh, req);
+    verify_route(mesh, req, route);
+    for (const std::uint32_t li : route.trees[0].delivery_links) {
+      const auto& link = route.trees[0].links[li];
+      EXPECT_EQ(link.depth, mesh.distance(src, link.to));
+    }
+  }
+}
+
+TEST(DividedGreedyMt, NeverWorseThanXFirstOnAverage) {
+  // Fig. 7.5's shape: divided greedy generates less traffic than X-first.
+  const Mesh2D mesh(16, 16);
+  evsim::Rng rng(29);
+  std::uint64_t xf_total = 0, dg_total = 0;
+  for (int trial = 0; trial < 200; ++trial) {
+    const NodeId src = rng.uniform_int(0, mesh.num_nodes() - 1);
+    const std::uint32_t k = rng.uniform_int(2, 40);
+    const MulticastRequest req{src, rng.sample_destinations(mesh.num_nodes(), src, k)};
+    xf_total += xfirst_mt_route(mesh, req).traffic();
+    dg_total += divided_greedy_mt_route(mesh, req).traffic();
+  }
+  EXPECT_LT(dg_total, xf_total);
+}
+
+TEST(LenTree, DeliveriesUseShortestPathsAndCoverAll) {
+  const Hypercube cube(6);
+  evsim::Rng rng(31);
+  for (int trial = 0; trial < 60; ++trial) {
+    const NodeId src = rng.uniform_int(0, cube.num_nodes() - 1);
+    const std::uint32_t k = rng.uniform_int(1, 30);
+    const MulticastRequest req{src, rng.sample_destinations(cube.num_nodes(), src, k)};
+    const MulticastRoute route = len_tree_route(cube, req);
+    verify_route(cube, req, route);
+    for (const std::uint32_t li : route.trees[0].delivery_links) {
+      const auto& link = route.trees[0].links[li];
+      EXPECT_EQ(link.depth, cube.distance(src, link.to));
+    }
+  }
+}
+
+TEST(LenTree, SharedDimensionIsReusedOnce) {
+  // Destinations 011 and 010 from source 000 share dimension 1: the greedy
+  // cover sends one copy across it (traffic 3, not 4... traffic: link to
+  // 010, then 010->011: 2 links total).
+  const Hypercube cube(3);
+  const MulticastRequest req{0b000, {0b010, 0b011}};
+  const MulticastRoute route = len_tree_route(cube, req);
+  verify_route(cube, req, route);
+  EXPECT_EQ(route.traffic(), 2u);
+}
+
+TEST(LenTree, GreedyPicksDominantDimension) {
+  // Three of four destinations differ from the source in bit 2; the first
+  // branch must cross dimension 2 carrying those three.
+  const Hypercube cube(4);
+  const MulticastRequest req{0b0000, {0b0100, 0b0101, 0b0110, 0b0001}};
+  const MulticastRoute route = len_tree_route(cube, req);
+  verify_route(cube, req, route);
+  const auto& first = route.trees[0].links[0];
+  EXPECT_EQ(first.to, 0b0100u);
+}
+
+}  // namespace

@@ -1,0 +1,169 @@
+// Simulator audit: channel-level trace invariants under randomized stress.
+// The wormhole engine must behave like real hardware -- at most one worm
+// per physical channel copy at any instant, strictly positive hold times,
+// exact busy-time accounting, and the documented per-link hold duration in
+// the contention-free case.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <vector>
+
+#include "core/dc_xfirst_tree.hpp"
+#include "core/dual_path.hpp"
+#include "core/multi_path.hpp"
+#include "evsim/random.hpp"
+#include "evsim/scheduler.hpp"
+#include "topology/hamiltonian.hpp"
+#include "topology/mesh2d.hpp"
+#include "wormhole/network.hpp"
+#include "wormhole/worm.hpp"
+
+namespace {
+
+using namespace mcnet;
+using topo::Mesh2D;
+using topo::NodeId;
+
+struct ChannelTrace {
+  struct Hold {
+    std::uint32_t worm;
+    double t_acquire = -1.0;
+    double t_release = -1.0;
+  };
+  std::map<std::pair<topo::ChannelId, std::uint8_t>, std::vector<Hold>> holds;
+
+  worm::NetworkHooks attach(worm::NetworkHooks hooks = {}) {
+    hooks.on_channel_grant = [this](topo::ChannelId c, std::uint8_t k, std::uint32_t w,
+                                    double t) {
+      auto& v = holds[{c, k}];
+      if (!v.empty()) {
+        ASSERT_GE(v.back().t_release, 0.0) << "grant while channel still held";
+      }
+      v.push_back({w, t, -1.0});
+    };
+    hooks.on_channel_release = [this](topo::ChannelId c, std::uint8_t k, std::uint32_t w,
+                                      double t) {
+      auto& v = holds[{c, k}];
+      ASSERT_FALSE(v.empty());
+      ASSERT_EQ(v.back().worm, w) << "release by non-holder";
+      ASSERT_LT(v.back().t_release, 0.0) << "double release";
+      v.back().t_release = t;
+    };
+    return hooks;
+  }
+
+  void expect_consistent(double busy_time_reported) const {
+    double total = 0.0;
+    for (const auto& [key, v] : holds) {
+      double prev_release = -1.0;
+      for (const auto& h : v) {
+        EXPECT_GE(h.t_release, h.t_acquire) << "negative hold";
+        EXPECT_GT(h.t_release, 0.0) << "unreleased hold at end of run";
+        // Non-overlap: each hold starts at or after the previous release.
+        EXPECT_GE(h.t_acquire, prev_release) << "overlapping holds on one copy";
+        prev_release = h.t_release;
+        total += h.t_release - h.t_acquire;
+      }
+    }
+    EXPECT_NEAR(total, busy_time_reported, 1e-9) << "busy-time accounting drift";
+  }
+};
+
+TEST(NetworkAudit, UncontendedHoldDurationIsLPlusOneFlits) {
+  // A single worm holds the link at depth d from (d-1) tau (acquisition)
+  // to (d+L) tau (tail passed): L+1 flit times per link.
+  const Mesh2D mesh(5, 1);
+  evsim::Scheduler sched;
+  worm::Network net(mesh, {.flit_time = 1.0, .message_flits = 6, .channel_copies = 1},
+                    sched);
+  ChannelTrace trace;
+  net.set_hooks(trace.attach());
+  mcast::MulticastRoute route;
+  route.source = 0;
+  mcast::PathRoute p;
+  p.nodes = {0, 1, 2, 3, 4};
+  p.delivery_hops = {4};
+  route.paths.push_back(p);
+  net.inject(worm::make_worm_specs(mesh, route, 1));
+  sched.run();
+  ASSERT_EQ(trace.holds.size(), 4u);
+  for (const auto& [key, v] : trace.holds) {
+    ASSERT_EQ(v.size(), 1u);
+    EXPECT_DOUBLE_EQ(v[0].t_release - v[0].t_acquire, 7.0);  // L + 1
+  }
+  trace.expect_consistent(net.channel_busy_time());
+}
+
+TEST(NetworkAudit, RandomStressSingleChannel) {
+  const Mesh2D mesh(6, 6);
+  const ham::MeshBoustrophedonLabeling lab(mesh);
+  evsim::Scheduler sched;
+  worm::Network net(mesh, {.flit_time = 1.0, .message_flits = 12, .channel_copies = 1},
+                    sched);
+  ChannelTrace trace;
+  net.set_hooks(trace.attach());
+  evsim::Rng rng(601);
+  for (int i = 0; i < 150; ++i) {
+    sched.schedule_at(rng.uniform(0.0, 400.0), [&net, &mesh, &lab, &rng] {
+      const NodeId src = rng.uniform_int(0, mesh.num_nodes() - 1);
+      const std::uint32_t k = rng.uniform_int(1, 10);
+      const mcast::MulticastRequest req{src,
+                                        rng.sample_destinations(mesh.num_nodes(), src, k)};
+      net.inject(worm::make_worm_specs(mesh, dual_path_route(mesh, lab, req), 1));
+    });
+  }
+  sched.run();
+  EXPECT_TRUE(net.idle());
+  EXPECT_EQ(net.messages_completed(), 150u);
+  trace.expect_consistent(net.channel_busy_time());
+  EXPECT_GT(net.channel_busy_time(), 0.0);
+}
+
+TEST(NetworkAudit, RandomStressDoubleChannelMixedAlgorithms) {
+  const Mesh2D mesh(6, 6);
+  const ham::MeshBoustrophedonLabeling lab(mesh);
+  evsim::Scheduler sched;
+  worm::Network net(mesh, {.flit_time = 1.0, .message_flits = 8, .channel_copies = 2},
+                    sched);
+  ChannelTrace trace;
+  net.set_hooks(trace.attach());
+  evsim::Rng rng(607);
+  for (int i = 0; i < 120; ++i) {
+    sched.schedule_at(rng.uniform(0.0, 300.0), [&net, &mesh, &lab, &rng, i] {
+      const NodeId src = rng.uniform_int(0, mesh.num_nodes() - 1);
+      const std::uint32_t k = rng.uniform_int(1, 8);
+      const mcast::MulticastRequest req{src,
+                                        rng.sample_destinations(mesh.num_nodes(), src, k)};
+      const mcast::MulticastRoute route = (i % 3 == 0)
+                                              ? mcast::dc_xfirst_tree_route(mesh, req)
+                                              : (i % 3 == 1)
+                                                    ? dual_path_route(mesh, lab, req)
+                                                    : multi_path_route(mesh, lab, req);
+      net.inject(worm::make_worm_specs(mesh, route, 2));
+    });
+  }
+  sched.run();
+  EXPECT_TRUE(net.idle());
+  EXPECT_EQ(net.messages_completed(), 120u);
+  trace.expect_consistent(net.channel_busy_time());
+}
+
+TEST(NetworkAudit, UtilizationIsBoundedAndPositiveUnderLoad) {
+  const Mesh2D mesh(4, 4);
+  const ham::MeshBoustrophedonLabeling lab(mesh);
+  evsim::Scheduler sched;
+  worm::Network net(mesh, {.flit_time = 1.0, .message_flits = 16, .channel_copies = 1},
+                    sched);
+  evsim::Rng rng(613);
+  for (int i = 0; i < 40; ++i) {
+    const NodeId src = rng.uniform_int(0, mesh.num_nodes() - 1);
+    const mcast::MulticastRequest req{src, rng.sample_destinations(mesh.num_nodes(), src, 5)};
+    net.inject(worm::make_worm_specs(mesh, dual_path_route(mesh, lab, req), 1));
+  }
+  sched.run();
+  const double u = net.utilization();
+  EXPECT_GT(u, 0.0);
+  EXPECT_LE(u, 1.0);
+}
+
+}  // namespace

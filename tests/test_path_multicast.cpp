@@ -1,0 +1,318 @@
+// The deadlock-free path-based multicast algorithms of Chapter 6:
+// label routing function R, dual-path, multi-path, fixed-path.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "core/dual_path.hpp"
+#include "core/fixed_path.hpp"
+#include "core/multi_path.hpp"
+#include "core/routing_function.hpp"
+#include "evsim/random.hpp"
+#include "topology/hamiltonian.hpp"
+#include "topology/hypercube.hpp"
+#include "topology/mesh2d.hpp"
+
+namespace {
+
+using namespace mcnet;
+using mcast::MulticastRequest;
+using mcast::MulticastRoute;
+using topo::Hypercube;
+using topo::Mesh2D;
+using topo::NodeId;
+
+// The running example of Section 6.2.2 (Figures 6.13, 6.16, 6.17): a 6x6
+// mesh, source (3,2), nine destinations.
+MulticastRequest fig6_request(const Mesh2D& mesh) {
+  return MulticastRequest{
+      mesh.node(3, 2),
+      {mesh.node(0, 0), mesh.node(0, 2), mesh.node(0, 5), mesh.node(1, 3), mesh.node(4, 5),
+       mesh.node(5, 0), mesh.node(5, 1), mesh.node(5, 3), mesh.node(5, 4)}};
+}
+
+// --- Routing function R (Lemmas 6.1 / 6.4) ---------------------------------
+
+template <typename Topo, typename Lab>
+void expect_r_shortest_and_monotone(const Topo& t, const Lab& lab) {
+  const mcast::LabelRouter router(t, lab);
+  for (NodeId u = 0; u < t.num_nodes(); ++u) {
+    for (NodeId v = 0; v < t.num_nodes(); ++v) {
+      if (u == v) continue;
+      NodeId cur = u;
+      std::uint32_t hops = 0;
+      std::uint32_t prev_label = lab.label(u);
+      const bool high = lab.label(v) > lab.label(u);
+      while (cur != v) {
+        cur = router.next_hop(cur, v);
+        const std::uint32_t l = lab.label(cur);
+        // Partial-order preservation: labels strictly monotone.
+        if (high) {
+          ASSERT_GT(l, prev_label);
+        } else {
+          ASSERT_LT(l, prev_label);
+        }
+        prev_label = l;
+        ++hops;
+        ASSERT_LE(hops, t.num_nodes());
+      }
+      // Shortest path.
+      EXPECT_EQ(hops, t.distance(u, v)) << u << " -> " << v;
+    }
+  }
+}
+
+TEST(LabelRouter, Lemma61MeshShortestMonotone) {
+  for (const auto& [w, h] : {std::pair{4u, 3u}, {6u, 6u}, {5u, 4u}, {4u, 5u}}) {
+    const Mesh2D mesh(w, h);
+    const ham::MeshBoustrophedonLabeling lab(mesh);
+    expect_r_shortest_and_monotone(mesh, lab);
+  }
+}
+
+TEST(LabelRouter, Lemma64CubeShortestMonotone) {
+  for (const std::uint32_t n : {2u, 3u, 4u, 5u}) {
+    const Hypercube cube(n);
+    const ham::HypercubeGrayLabeling lab(cube);
+    expect_r_shortest_and_monotone(cube, lab);
+  }
+}
+
+// --- Dual-path --------------------------------------------------------------
+
+TEST(DualPath, PaperExampleTraffic33) {
+  // Fig. 6.13: 18 channels in the high network, 15 in the low network,
+  // maximum source-to-destination distance 18 hops.
+  const Mesh2D mesh(6, 6);
+  const ham::MeshBoustrophedonLabeling lab(mesh);
+  const MulticastRequest req = fig6_request(mesh);
+  const MulticastRoute route = dual_path_route(mesh, lab, req);
+  verify_route(mesh, req, route);
+  ASSERT_EQ(route.paths.size(), 2u);
+  EXPECT_EQ(route.paths[0].hops(), 18u);  // high
+  EXPECT_EQ(route.paths[1].hops(), 15u);  // low
+  EXPECT_EQ(route.traffic(), 33u);
+  EXPECT_EQ(route.max_delivery_hops(), 18u);
+}
+
+TEST(DualPath, PreparationSplitMatchesPaper) {
+  const Mesh2D mesh(6, 6);
+  const ham::MeshBoustrophedonLabeling lab(mesh);
+  const auto split = dual_path_prepare(lab, fig6_request(mesh));
+  EXPECT_EQ(split.high,
+            (std::vector<NodeId>{mesh.node(5, 3), mesh.node(1, 3), mesh.node(5, 4),
+                                 mesh.node(4, 5), mesh.node(0, 5)}));
+  EXPECT_EQ(split.low, (std::vector<NodeId>{mesh.node(0, 2), mesh.node(5, 1),
+                                            mesh.node(5, 0), mesh.node(0, 0)}));
+}
+
+void expect_paths_label_monotone(const topo::Topology&, const ham::Labeling& lab,
+                                 const MulticastRoute& route) {
+  for (const auto& p : route.paths) {
+    for (std::size_t i = 0; i + 1 < p.nodes.size(); ++i) {
+      if (p.channel_class == mcast::kHighChannelClass) {
+        EXPECT_LT(lab.label(p.nodes[i]), lab.label(p.nodes[i + 1]));
+      } else {
+        EXPECT_GT(lab.label(p.nodes[i]), lab.label(p.nodes[i + 1]));
+      }
+    }
+  }
+}
+
+TEST(DualPath, PathsConfinedToTheirSubnetworks) {
+  const Mesh2D mesh(8, 8);
+  const ham::MeshBoustrophedonLabeling lab(mesh);
+  evsim::Rng rng(41);
+  for (int trial = 0; trial < 50; ++trial) {
+    const NodeId src = rng.uniform_int(0, mesh.num_nodes() - 1);
+    const std::uint32_t k = rng.uniform_int(1, 20);
+    const MulticastRequest req{src, rng.sample_destinations(mesh.num_nodes(), src, k)};
+    const MulticastRoute route = dual_path_route(mesh, lab, req);
+    verify_route(mesh, req, route);
+    expect_paths_label_monotone(mesh, lab, route);
+  }
+}
+
+TEST(DualPath, CubeExampleFig619) {
+  // Section 6.3: 4-cube, source 1100, destinations 0100, 0011, 0111, 1000,
+  // 1111.  D_L = {0100, 0111, 0011}, D_H = {1111, 1000}; the high path's
+  // first hop is 1101.
+  const Hypercube cube(4);
+  const ham::HypercubeGrayLabeling lab(cube);
+  const MulticastRequest req{0b1100, {0b0100, 0b0011, 0b0111, 0b1000, 0b1111}};
+  const auto split = dual_path_prepare(lab, req);
+  EXPECT_EQ(split.high, (std::vector<NodeId>{0b1111, 0b1000}));
+  EXPECT_EQ(split.low, (std::vector<NodeId>{0b0100, 0b0111, 0b0011}));
+  const MulticastRoute route = dual_path_route(cube, lab, req);
+  verify_route(cube, req, route);
+  ASSERT_EQ(route.paths.size(), 2u);
+  EXPECT_EQ(route.paths[0].nodes[1], 0b1101u);  // routing function picks 1101
+  expect_paths_label_monotone(cube, lab, route);
+}
+
+TEST(DualPath, AtMostTwoPaths) {
+  const Hypercube cube(6);
+  const ham::HypercubeGrayLabeling lab(cube);
+  evsim::Rng rng(43);
+  for (int trial = 0; trial < 50; ++trial) {
+    const NodeId src = rng.uniform_int(0, cube.num_nodes() - 1);
+    const std::uint32_t k = rng.uniform_int(1, 40);
+    const MulticastRequest req{src, rng.sample_destinations(cube.num_nodes(), src, k)};
+    const MulticastRoute route = dual_path_route(cube, lab, req);
+    verify_route(cube, req, route);
+    EXPECT_LE(route.paths.size(), 2u);
+    expect_paths_label_monotone(cube, lab, route);
+  }
+}
+
+// --- Multi-path -------------------------------------------------------------
+
+TEST(MultiPath, PaperExampleSplitAndDistance) {
+  // Fig. 6.16: D_H1 = {(5,3),(5,4),(4,5)}, D_H2 = {(1,3),(0,5)}; four paths
+  // total; the maximum source-to-destination distance drops to 6 hops.
+  const Mesh2D mesh(6, 6);
+  const ham::MeshBoustrophedonLabeling lab(mesh);
+  const MulticastRequest req = fig6_request(mesh);
+  const MulticastRoute route = multi_path_route(mesh, lab, req);
+  verify_route(mesh, req, route);
+  EXPECT_EQ(route.paths.size(), 4u);
+  EXPECT_EQ(route.max_delivery_hops(), 6u);
+  // The paper reports 20 channels for this example; the minimum attainable
+  // with its own destination partition is 21 (every leg below is already a
+  // shortest path), which is what the implementation produces.
+  EXPECT_EQ(route.traffic(), 21u);
+  EXPECT_LT(route.traffic(), 33u);  // well below dual-path
+  expect_paths_label_monotone(mesh, lab, route);
+}
+
+TEST(MultiPath, AtMostFourPathsOnMesh) {
+  const Mesh2D mesh(8, 8);
+  const ham::MeshBoustrophedonLabeling lab(mesh);
+  evsim::Rng rng(47);
+  for (int trial = 0; trial < 60; ++trial) {
+    const NodeId src = rng.uniform_int(0, mesh.num_nodes() - 1);
+    const std::uint32_t k = rng.uniform_int(1, 30);
+    const MulticastRequest req{src, rng.sample_destinations(mesh.num_nodes(), src, k)};
+    const MulticastRoute route = multi_path_route(mesh, lab, req);
+    verify_route(mesh, req, route);
+    EXPECT_LE(route.paths.size(), 4u);
+    expect_paths_label_monotone(mesh, lab, route);
+  }
+}
+
+TEST(MultiPath, CubePathsStartAtDistinctNeighbors) {
+  const Hypercube cube(4);
+  const ham::HypercubeGrayLabeling lab(cube);
+  // Fig. 6.21's setup: source 1100, same destinations as the dual example.
+  const MulticastRequest req{0b1100, {0b0100, 0b0011, 0b0111, 0b1000, 0b1111}};
+  const MulticastRoute route = multi_path_route(cube, lab, req);
+  verify_route(cube, req, route);
+  EXPECT_GE(route.paths.size(), 2u);
+  EXPECT_LE(route.paths.size(), 2u * cube.dimensions());
+  std::vector<NodeId> first_hops;
+  for (const auto& p : route.paths) first_hops.push_back(p.nodes[1]);
+  std::sort(first_hops.begin(), first_hops.end());
+  EXPECT_EQ(std::adjacent_find(first_hops.begin(), first_hops.end()), first_hops.end())
+      << "paths must leave through distinct neighbours";
+  expect_paths_label_monotone(cube, lab, route);
+}
+
+TEST(MultiPath, CubeBucketsRespectNeighborLabelRanges) {
+  const Hypercube cube(5);
+  const ham::HypercubeGrayLabeling lab(cube);
+  evsim::Rng rng(53);
+  for (int trial = 0; trial < 50; ++trial) {
+    const NodeId src = rng.uniform_int(0, cube.num_nodes() - 1);
+    const std::uint32_t k = rng.uniform_int(1, 20);
+    const MulticastRequest req{src, rng.sample_destinations(cube.num_nodes(), src, k)};
+    const MulticastRoute route = multi_path_route(cube, lab, req);
+    verify_route(cube, req, route);
+    expect_paths_label_monotone(cube, lab, route);
+    // Every path's destinations lie in the label range owned by its first
+    // hop (Fig. 6.20 step 3).
+    for (const auto& p : route.paths) {
+      const std::uint32_t lfirst = lab.label(p.nodes[1]);
+      const bool high = p.channel_class == mcast::kHighChannelClass;
+      for (const std::uint32_t hdel : p.delivery_hops) {
+        const std::uint32_t l = lab.label(p.nodes[hdel]);
+        if (high) {
+          EXPECT_GE(l, lfirst);
+        } else {
+          EXPECT_LE(l, lfirst);
+        }
+      }
+    }
+  }
+}
+
+// --- Fixed-path -------------------------------------------------------------
+
+TEST(FixedPath, PaperExampleTraffic35) {
+  // Fig. 6.17: 20 high + 15 low = 35 channels, max distance 20 hops.
+  const Mesh2D mesh(6, 6);
+  const ham::MeshBoustrophedonLabeling lab(mesh);
+  const MulticastRequest req = fig6_request(mesh);
+  const MulticastRoute route = fixed_path_route(mesh, lab, req);
+  verify_route(mesh, req, route);
+  ASSERT_EQ(route.paths.size(), 2u);
+  EXPECT_EQ(route.paths[0].hops(), 20u);
+  EXPECT_EQ(route.paths[1].hops(), 15u);
+  EXPECT_EQ(route.traffic(), 35u);
+  EXPECT_EQ(route.max_delivery_hops(), 20u);
+}
+
+TEST(FixedPath, VisitsEveryLabelInOrder) {
+  const Hypercube cube(4);
+  const ham::HypercubeGrayLabeling lab(cube);
+  const MulticastRequest req{0b1100, {0b0100, 0b1111}};
+  const MulticastRoute route = fixed_path_route(cube, lab, req);
+  verify_route(cube, req, route);
+  for (const auto& p : route.paths) {
+    for (std::size_t i = 0; i + 1 < p.nodes.size(); ++i) {
+      const std::int64_t diff = static_cast<std::int64_t>(lab.label(p.nodes[i + 1])) -
+                                static_cast<std::int64_t>(lab.label(p.nodes[i]));
+      EXPECT_EQ(std::abs(diff), 1) << "fixed path must follow the Hamiltonian path";
+    }
+  }
+}
+
+TEST(FixedPath, TrafficIsLabelSpan) {
+  const Mesh2D mesh(8, 8);
+  const ham::MeshBoustrophedonLabeling lab(mesh);
+  evsim::Rng rng(59);
+  for (int trial = 0; trial < 40; ++trial) {
+    const NodeId src = rng.uniform_int(0, mesh.num_nodes() - 1);
+    const std::uint32_t k = rng.uniform_int(1, 20);
+    const MulticastRequest req{src, rng.sample_destinations(mesh.num_nodes(), src, k)};
+    const MulticastRoute route = fixed_path_route(mesh, lab, req);
+    verify_route(mesh, req, route);
+    std::uint32_t lmax = lab.label(src), lmin = lab.label(src);
+    for (const NodeId d : req.destinations) {
+      lmax = std::max(lmax, lab.label(d));
+      lmin = std::min(lmin, lab.label(d));
+    }
+    EXPECT_EQ(route.traffic(), (lmax - lab.label(src)) + (lab.label(src) - lmin));
+  }
+}
+
+TEST(FixedPath, NeverBeatsDualPathAndConvergesForLargeSets) {
+  // Dual-path shortcuts through the mesh, fixed-path walks every label:
+  // dual <= fixed always; for very large destination sets they coincide.
+  const Mesh2D mesh(8, 8);
+  const ham::MeshBoustrophedonLabeling lab(mesh);
+  evsim::Rng rng(61);
+  for (int trial = 0; trial < 30; ++trial) {
+    const NodeId src = rng.uniform_int(0, mesh.num_nodes() - 1);
+    const std::uint32_t k = rng.uniform_int(1, 30);
+    const MulticastRequest req{src, rng.sample_destinations(mesh.num_nodes(), src, k)};
+    EXPECT_LE(dual_path_route(mesh, lab, req).traffic(),
+              fixed_path_route(mesh, lab, req).traffic());
+  }
+  // All 63 destinations: both traverse the whole Hamiltonian path.
+  MulticastRequest all{0, {}};
+  for (NodeId d = 1; d < mesh.num_nodes(); ++d) all.destinations.push_back(d);
+  EXPECT_EQ(dual_path_route(mesh, lab, all).traffic(),
+            fixed_path_route(mesh, lab, all).traffic());
+}
+
+}  // namespace

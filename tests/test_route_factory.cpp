@@ -1,0 +1,112 @@
+#include <gtest/gtest.h>
+
+#include "core/route_factory.hpp"
+#include "evsim/random.hpp"
+
+namespace {
+
+using namespace mcnet;
+using mcast::Algorithm;
+using mcast::CubeRoutingSuite;
+using mcast::MeshRoutingSuite;
+using mcast::MulticastRequest;
+using topo::Hypercube;
+using topo::Mesh2D;
+using topo::NodeId;
+
+TEST(RouteFactory, AllMeshAlgorithmsProduceValidRoutes) {
+  const Mesh2D mesh(8, 8);
+  const MeshRoutingSuite suite(mesh);
+  evsim::Rng rng(83);
+  const Algorithm algos[] = {Algorithm::kMultiUnicast,    Algorithm::kBroadcast,
+                             Algorithm::kSortedMP,        Algorithm::kSortedMC,
+                             Algorithm::kGreedyST,        Algorithm::kXFirstMT,
+                             Algorithm::kDividedGreedyMT, Algorithm::kDualPath,
+                             Algorithm::kMultiPath,       Algorithm::kFixedPath,
+                             Algorithm::kDCXFirstTree};
+  for (int trial = 0; trial < 10; ++trial) {
+    const NodeId src = rng.uniform_int(0, mesh.num_nodes() - 1);
+    const std::uint32_t k = rng.uniform_int(1, 20);
+    const MulticastRequest req{src, rng.sample_destinations(mesh.num_nodes(), src, k)};
+    for (const Algorithm a : algos) {
+      SCOPED_TRACE(std::string(mcast::algorithm_name(a)));
+      verify_route(mesh, req, suite.route(a, req));
+    }
+  }
+}
+
+TEST(RouteFactory, AllCubeAlgorithmsProduceValidRoutes) {
+  const Hypercube cube(6);
+  const CubeRoutingSuite suite(cube);
+  evsim::Rng rng(89);
+  const Algorithm algos[] = {Algorithm::kMultiUnicast, Algorithm::kBroadcast,
+                             Algorithm::kSortedMP,     Algorithm::kSortedMC,
+                             Algorithm::kGreedyST,     Algorithm::kLenTree,
+                             Algorithm::kDualPath,     Algorithm::kMultiPath,
+                             Algorithm::kFixedPath,    Algorithm::kEcubeMT,
+                             Algorithm::kBinomialBroadcast};
+  for (int trial = 0; trial < 10; ++trial) {
+    const NodeId src = rng.uniform_int(0, cube.num_nodes() - 1);
+    const std::uint32_t k = rng.uniform_int(1, 30);
+    const MulticastRequest req{src, rng.sample_destinations(cube.num_nodes(), src, k)};
+    for (const Algorithm a : algos) {
+      SCOPED_TRACE(std::string(mcast::algorithm_name(a)));
+      verify_route(cube, req, suite.route(a, req));
+    }
+  }
+}
+
+TEST(RouteFactory, InapplicableAlgorithmsThrow) {
+  const Mesh2D mesh(4, 4);
+  const MeshRoutingSuite msuite(mesh);
+  EXPECT_THROW((void)msuite.route(Algorithm::kLenTree, {0, {1}}), std::invalid_argument);
+  EXPECT_THROW((void)msuite.route(Algorithm::kEcubeMT, {0, {1}}), std::invalid_argument);
+
+  const Hypercube cube(3);
+  const CubeRoutingSuite csuite(cube);
+  EXPECT_THROW((void)csuite.route(Algorithm::kXFirstMT, {0, {1}}), std::invalid_argument);
+  EXPECT_THROW((void)csuite.route(Algorithm::kDCXFirstTree, {0, {1}}), std::invalid_argument);
+}
+
+TEST(RouteFactory, OddOddMeshHasNoCycleButOtherAlgorithmsWork) {
+  const Mesh2D mesh(5, 5);
+  const MeshRoutingSuite suite(mesh);
+  EXPECT_FALSE(suite.cycle().has_value());
+  EXPECT_THROW((void)suite.route(Algorithm::kSortedMP, {0, {1}}), std::logic_error);
+  const MulticastRequest req{12, {0, 24, 7}};
+  verify_route(mesh, req, suite.route(Algorithm::kDualPath, req));
+  verify_route(mesh, req, suite.route(Algorithm::kGreedyST, req));
+}
+
+TEST(RouteFactory, AlgorithmNamesAreUnique) {
+  std::set<std::string_view> names;
+  for (int a = 0; a <= static_cast<int>(Algorithm::kBinomialBroadcast); ++a) {
+    EXPECT_TRUE(names.insert(mcast::algorithm_name(static_cast<Algorithm>(a))).second);
+  }
+}
+
+// Fig. 7.1 / 7.3 shape as a fast statistical property: on random 1-to-k
+// multicasts the heuristics beat both baselines for moderate k.
+TEST(RouteFactory, HeuristicsBeatBaselinesOnAverage) {
+  const Mesh2D mesh(16, 16);
+  const MeshRoutingSuite suite(mesh);
+  evsim::Rng rng(97);
+  std::uint64_t uni = 0, bc = 0, mp = 0, st = 0, dual = 0;
+  const int trials = 100;
+  for (int t = 0; t < trials; ++t) {
+    const NodeId src = rng.uniform_int(0, mesh.num_nodes() - 1);
+    const MulticastRequest req{src, rng.sample_destinations(mesh.num_nodes(), src, 60)};
+    uni += suite.route(Algorithm::kMultiUnicast, req).traffic();
+    bc += suite.route(Algorithm::kBroadcast, req).traffic();
+    mp += suite.route(Algorithm::kSortedMP, req).traffic();
+    st += suite.route(Algorithm::kGreedyST, req).traffic();
+    dual += suite.route(Algorithm::kDualPath, req).traffic();
+  }
+  EXPECT_LT(mp, uni);
+  EXPECT_LT(mp, bc);
+  EXPECT_LT(st, uni);
+  EXPECT_LT(st, mp);    // Steiner trees share more than a single path
+  EXPECT_LT(dual, uni);
+}
+
+}  // namespace

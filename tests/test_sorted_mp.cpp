@@ -1,0 +1,151 @@
+#include <gtest/gtest.h>
+
+#include "core/multicast.hpp"
+#include "core/sorted_mp.hpp"
+#include "evsim/random.hpp"
+#include "topology/hamiltonian.hpp"
+
+namespace {
+
+using namespace mcnet;
+using mcast::MulticastRequest;
+using mcast::MulticastRoute;
+using topo::Hypercube;
+using topo::Mesh2D;
+using topo::NodeId;
+
+TEST(SortedMp, PaperExampleMesh4x4) {
+  // Section 5.4: K = {9, 0, 1, 6, 12} with source 9 yields the multicast
+  // path (9, 13, 12, 8, 4, 0, 1, 2, 6).
+  const Mesh2D mesh(4, 4);
+  const ham::HamiltonCycle cycle = ham::mesh_comb_cycle(mesh);
+  const MulticastRequest req{9, {0, 1, 6, 12}};
+  const MulticastRoute route = sorted_mp_route(mesh, cycle, req);
+  verify_route(mesh, req, route);
+  ASSERT_EQ(route.paths.size(), 1u);
+  EXPECT_EQ(route.paths[0].nodes,
+            (std::vector<NodeId>{9, 13, 12, 8, 4, 0, 1, 2, 6}));
+  EXPECT_EQ(route.traffic(), 8u);
+}
+
+TEST(SortedMp, PaperExampleCube4) {
+  // Section 5.4: K = {0011(source), 0100, 0111, 1100, 1010, 1111}; the
+  // sorted order by f is 0111(6), 0100(8), 1100(9), 1111(11), 1010(13).
+  const Hypercube cube(4);
+  const ham::HamiltonCycle cycle = ham::hypercube_gray_cycle(cube);
+  const MulticastRequest req{0b0011, {0b0100, 0b0111, 0b1100, 0b1010, 0b1111}};
+  const MulticastRoute route = sorted_mp_route(cube, cycle, req);
+  verify_route(cube, req, route);
+  ASSERT_EQ(route.paths.size(), 1u);
+  const auto& nodes = route.paths[0].nodes;
+  // Destinations are visited in key order.
+  std::vector<NodeId> visited_dests;
+  for (const std::uint32_t h : route.paths[0].delivery_hops) {
+    visited_dests.push_back(nodes[h]);
+  }
+  EXPECT_EQ(visited_dests,
+            (std::vector<NodeId>{0b0111, 0b0100, 0b1100, 0b1111, 0b1010}));
+}
+
+TEST(SortedMc, ReturnsToSource) {
+  const Mesh2D mesh(4, 4);
+  const ham::HamiltonCycle cycle = ham::mesh_comb_cycle(mesh);
+  const MulticastRequest req{9, {0, 1, 6, 12}};
+  const MulticastRoute route = sorted_mc_route(mesh, cycle, req);
+  verify_route(mesh, req, route);
+  ASSERT_EQ(route.paths.size(), 1u);
+  EXPECT_EQ(route.paths[0].nodes.front(), 9u);
+  EXPECT_EQ(route.paths[0].nodes.back(), 9u);
+  EXPECT_GT(route.traffic(), sorted_mp_route(mesh, cycle, req).traffic());
+}
+
+TEST(SortedMp, PathKeysStrictlyIncrease) {
+  // Theorem 5.1 / Fact 2: f strictly increases along the selected path.
+  const Mesh2D mesh(8, 8);
+  const ham::HamiltonCycle cycle = ham::mesh_comb_cycle(mesh);
+  evsim::Rng rng(99);
+  for (int trial = 0; trial < 50; ++trial) {
+    const NodeId src = rng.uniform_int(0, mesh.num_nodes() - 1);
+    MulticastRequest req{src, rng.sample_destinations(mesh.num_nodes(), src, 12)};
+    const MulticastRoute route = sorted_mp_route(mesh, cycle, req);
+    verify_route(mesh, req, route);
+    const auto& nodes = route.paths[0].nodes;
+    for (std::size_t i = 0; i + 1 < nodes.size(); ++i) {
+      EXPECT_LT(cycle.key_from(src, nodes[i]), cycle.key_from(src, nodes[i + 1]));
+    }
+  }
+}
+
+TEST(SortedMp, SingleDestinationDegeneratesToPath) {
+  const Hypercube cube(4);
+  const ham::HamiltonCycle cycle = ham::hypercube_gray_cycle(cube);
+  const MulticastRequest req{0, {1}};
+  const MulticastRoute route = sorted_mp_route(cube, cycle, req);
+  EXPECT_EQ(route.traffic(), 1u);
+}
+
+TEST(SortedMp, BoundedByCycleLength) {
+  // The MP never exceeds one full tour of the Hamiltonian cycle.
+  const Mesh2D mesh(6, 6);
+  const ham::HamiltonCycle cycle = ham::mesh_comb_cycle(mesh);
+  evsim::Rng rng(5);
+  for (int trial = 0; trial < 30; ++trial) {
+    const NodeId src = rng.uniform_int(0, mesh.num_nodes() - 1);
+    const std::uint32_t k = rng.uniform_int(1, 30);
+    MulticastRequest req{src, rng.sample_destinations(mesh.num_nodes(), src, k)};
+    EXPECT_LE(sorted_mp_route(mesh, cycle, req).traffic(), mesh.num_nodes() - 1);
+    EXPECT_LE(sorted_mc_route(mesh, cycle, req).traffic(), mesh.num_nodes());
+  }
+}
+
+// Parameterised property sweep over topology shapes: the sorted MP covers
+// all destinations, is a connected walk, and every delivery is on-path.
+class SortedMpMeshProperty : public ::testing::TestWithParam<std::tuple<int, int, int>> {};
+
+TEST_P(SortedMpMeshProperty, ValidOnRandomSets) {
+  const auto [w, h, k] = GetParam();
+  const Mesh2D mesh(w, h);
+  const ham::HamiltonCycle cycle = ham::mesh_comb_cycle(mesh);
+  evsim::Rng rng(static_cast<std::uint64_t>(w * 10007 + h * 101 + k));
+  for (int trial = 0; trial < 20; ++trial) {
+    const NodeId src = rng.uniform_int(0, mesh.num_nodes() - 1);
+    const std::uint32_t kk =
+        std::min<std::uint32_t>(k, mesh.num_nodes() - 1);
+    MulticastRequest req{src, rng.sample_destinations(mesh.num_nodes(), src, kk)};
+    const MulticastRoute mp = sorted_mp_route(mesh, cycle, req);
+    verify_route(mesh, req, mp);
+    const MulticastRoute mc = sorted_mc_route(mesh, cycle, req);
+    verify_route(mesh, req, mc);
+    EXPECT_EQ(mc.paths[0].nodes.back(), src);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Shapes, SortedMpMeshProperty,
+                         ::testing::Values(std::tuple{4, 4, 3}, std::tuple{4, 4, 10},
+                                           std::tuple{8, 8, 5}, std::tuple{8, 8, 40},
+                                           std::tuple{5, 4, 7}, std::tuple{2, 6, 4},
+                                           std::tuple{16, 16, 60}));
+
+class SortedMpCubeProperty : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(SortedMpCubeProperty, ValidOnRandomSets) {
+  const auto [n, k] = GetParam();
+  const Hypercube cube(n);
+  const ham::HamiltonCycle cycle = ham::hypercube_gray_cycle(cube);
+  evsim::Rng rng(static_cast<std::uint64_t>(n * 1000 + k));
+  for (int trial = 0; trial < 20; ++trial) {
+    const NodeId src = rng.uniform_int(0, cube.num_nodes() - 1);
+    const std::uint32_t kk = std::min<std::uint32_t>(k, cube.num_nodes() - 1);
+    MulticastRequest req{src, rng.sample_destinations(cube.num_nodes(), src, kk)};
+    const MulticastRoute mp = sorted_mp_route(cube, cycle, req);
+    verify_route(cube, req, mp);
+    verify_route(cube, req, sorted_mc_route(cube, cycle, req));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Shapes, SortedMpCubeProperty,
+                         ::testing::Values(std::tuple{3, 3}, std::tuple{4, 8},
+                                           std::tuple{5, 15}, std::tuple{6, 30},
+                                           std::tuple{8, 100}));
+
+}  // namespace

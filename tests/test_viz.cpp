@@ -1,0 +1,56 @@
+// ASCII route rendering.
+#include <gtest/gtest.h>
+
+#include "core/route_factory.hpp"
+#include "viz/ascii.hpp"
+
+namespace {
+
+using namespace mcnet;
+
+TEST(Viz, RendersSourceDestinationsAndLinks) {
+  const topo::Mesh2D mesh(4, 4);
+  const mcast::MeshRoutingSuite suite(mesh);
+  const mcast::MulticastRequest req{9, {0, 1, 6, 12}};
+  const mcast::MulticastRoute route = suite.route(mcast::Algorithm::kSortedMP, req);
+  const std::string art = viz::render_mesh_route(mesh, req, route);
+  EXPECT_EQ(std::count(art.begin(), art.end(), 'S'), 1);
+  EXPECT_EQ(std::count(art.begin(), art.end(), 'D'), 4);
+  EXPECT_EQ(std::count(art.begin(), art.end(), '\n'), 7);  // 2*4-1 rows
+  // The 8-hop MP uses 8 links; each horizontal link paints "---", vertical "|".
+  const auto dashes = std::count(art.begin(), art.end(), '-');
+  const auto bars = std::count(art.begin(), art.end(), '|');
+  EXPECT_EQ(dashes / 3 + bars, 8);
+}
+
+TEST(Viz, UntouchedNodesStayDotted) {
+  const topo::Mesh2D mesh(3, 3);
+  const mcast::MeshRoutingSuite suite(mesh);
+  const mcast::MulticastRequest req{0, {1}};
+  const std::string art =
+      viz::render_mesh_route(mesh, req, suite.route(mcast::Algorithm::kDualPath, req));
+  EXPECT_EQ(std::count(art.begin(), art.end(), '.'), 7);  // 9 - S - D
+}
+
+TEST(Viz, DescribeRouteMarksDeliveries) {
+  const topo::Mesh2D mesh(4, 4);
+  const mcast::MeshRoutingSuite suite(mesh);
+  const mcast::MulticastRequest req{0, {3, 12}};
+  const std::string text =
+      viz::describe_route(suite.route(mcast::Algorithm::kDualPath, req));
+  EXPECT_NE(text.find("path 0"), std::string::npos);
+  EXPECT_NE(text.find("3!"), std::string::npos);
+  EXPECT_NE(text.find("12!"), std::string::npos);
+}
+
+TEST(Viz, DescribeRouteListsTreeLinks) {
+  const topo::Mesh2D mesh(4, 4);
+  const mcast::MeshRoutingSuite suite(mesh);
+  const mcast::MulticastRequest req{5, {6, 9}};
+  const std::string text =
+      viz::describe_route(suite.route(mcast::Algorithm::kXFirstMT, req));
+  EXPECT_NE(text.find("tree 0"), std::string::npos);
+  EXPECT_NE(text.find("[5->6!]"), std::string::npos);
+}
+
+}  // namespace

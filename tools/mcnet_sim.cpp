@@ -1,0 +1,210 @@
+// mcnet_sim -- command-line driver for static and dynamic multicast
+// experiments on any supported topology.
+//
+// Examples:
+//   mcnet_sim --topology mesh:16x16 --algorithm dual-path --dests 10 --static
+//   mcnet_sim --topology cube:6 --algorithm multi-path --dests 15
+//             --interarrival-us 300 --messages 2000
+//   mcnet_sim --topology mesh3:4x4x4 --algorithm fixed-path --dests 8 --static
+//   mcnet_sim --topology kary:4x3 --algorithm dual-path --dests 6 --static --csv
+#include <cstdio>
+#include <memory>
+#include <set>
+
+#include "arg_parser.hpp"
+#include "core/route_factory.hpp"
+#include "evsim/random.hpp"
+#include "topology/hamiltonian.hpp"
+#include "wormhole/experiment.hpp"
+#include "wormhole/worm.hpp"
+
+namespace {
+
+using namespace mcnet;
+using mcast::Algorithm;
+
+struct Instance {
+  std::unique_ptr<topo::Topology> topology;
+  std::unique_ptr<mcast::MeshRoutingSuite> mesh_suite;   // mesh:WxH
+  std::unique_ptr<mcast::CubeRoutingSuite> cube_suite;   // cube:N
+  std::unique_ptr<mcast::LabeledRoutingSuite> labeled;   // mesh3 / kary
+
+  [[nodiscard]] mcast::MulticastRoute route(Algorithm a,
+                                            const mcast::MulticastRequest& req) const {
+    if (mesh_suite) return mesh_suite->route(a, req);
+    if (cube_suite) return cube_suite->route(a, req);
+    return labeled->route(a, req);
+  }
+  [[nodiscard]] std::vector<worm::WormSpec> specs(const mcast::MulticastRoute& r,
+                                                  std::uint8_t copies) const {
+    if (mesh_suite) return worm::make_worm_specs(mesh_suite->mesh(), r, copies);
+    return worm::make_worm_specs(*topology, r, copies);
+  }
+};
+
+Instance make_instance(const std::string& spec) {
+  const std::size_t colon = spec.find(':');
+  if (colon == std::string::npos) throw std::invalid_argument("topology needs kind:dims");
+  const std::string kind = spec.substr(0, colon);
+  const std::string dims = spec.substr(colon + 1);
+  const auto parse_dims = [&dims] {
+    std::vector<std::uint32_t> out;
+    std::size_t pos = 0;
+    while (pos < dims.size()) {
+      const std::size_t x = dims.find('x', pos);
+      out.push_back(static_cast<std::uint32_t>(
+          std::stoul(dims.substr(pos, x == std::string::npos ? x : x - pos))));
+      if (x == std::string::npos) break;
+      pos = x + 1;
+    }
+    return out;
+  };
+
+  Instance inst;
+  if (kind == "mesh") {
+    const auto d = parse_dims();
+    if (d.size() != 2) throw std::invalid_argument("mesh:WxH");
+    auto mesh = std::make_unique<topo::Mesh2D>(d[0], d[1]);
+    inst.mesh_suite = std::make_unique<mcast::MeshRoutingSuite>(*mesh);
+    inst.topology = std::move(mesh);
+  } else if (kind == "cube") {
+    const auto d = parse_dims();
+    if (d.size() != 1) throw std::invalid_argument("cube:N");
+    auto cube = std::make_unique<topo::Hypercube>(d[0]);
+    inst.cube_suite = std::make_unique<mcast::CubeRoutingSuite>(*cube);
+    inst.topology = std::move(cube);
+  } else if (kind == "mesh3") {
+    const auto d = parse_dims();
+    if (d.size() != 3) throw std::invalid_argument("mesh3:XxYxZ");
+    auto mesh = std::make_unique<topo::Mesh3D>(d[0], d[1], d[2]);
+    inst.labeled = std::make_unique<mcast::LabeledRoutingSuite>(
+        *mesh, std::make_unique<ham::MixedRadixGrayLabeling>(
+                   ham::MixedRadixGrayLabeling::for_mesh3d(*mesh)));
+    inst.topology = std::move(mesh);
+  } else if (kind == "kary") {
+    const auto d = parse_dims();
+    if (d.size() != 2) throw std::invalid_argument("kary:KxN");
+    auto cube = std::make_unique<topo::KAryNCube>(d[0], d[1]);
+    inst.labeled = std::make_unique<mcast::LabeledRoutingSuite>(
+        *cube, std::make_unique<ham::MixedRadixGrayLabeling>(
+                   ham::MixedRadixGrayLabeling::for_kary(*cube)));
+    inst.topology = std::move(cube);
+  } else {
+    throw std::invalid_argument("unknown topology kind: " + kind);
+  }
+  return inst;
+}
+
+Algorithm parse_algorithm(const std::string& name) {
+  for (int a = 0; a <= static_cast<int>(Algorithm::kBinomialBroadcast); ++a) {
+    if (mcast::algorithm_name(static_cast<Algorithm>(a)) == name) {
+      return static_cast<Algorithm>(a);
+    }
+  }
+  throw std::invalid_argument("unknown algorithm: " + name);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    tools::ArgParser args(argc, argv);
+    const std::string topo_spec =
+        args.get("topology", "mesh:8x8", "mesh:WxH | cube:N | mesh3:XxYxZ | kary:KxN");
+    const std::string algo_name = args.get("algorithm", "dual-path",
+                                           "routing algorithm (see README)");
+    const auto dests = static_cast<std::uint32_t>(args.get_int("dests", 10, "destinations"));
+    const auto runs = static_cast<std::uint32_t>(
+        args.get_int("runs", 1000, "random multicast sets (static mode)"));
+    const bool static_mode = args.get_flag("static", "measure static traffic only");
+    const double interarrival_us =
+        args.get_double("interarrival-us", 300.0, "mean per-node interarrival (dynamic)");
+    const auto messages =
+        static_cast<std::uint64_t>(args.get_int("messages", 2000, "target messages (dynamic)"));
+    const auto copies =
+        static_cast<std::uint8_t>(args.get_int("copies", 1, "channel copies per link"));
+    const auto flits = static_cast<std::uint32_t>(
+        args.get_int("flits", 128, "message length in flits (dynamic)"));
+    const auto seed = static_cast<std::uint64_t>(args.get_int("seed", 2026, "random seed"));
+    const bool csv = args.get_flag("csv", "machine-readable output");
+    if (args.help_requested()) {
+      args.print_usage();
+      return 0;
+    }
+    args.reject_unknown();
+
+    const Instance inst = make_instance(topo_spec);
+    const Algorithm algo = parse_algorithm(algo_name);
+    const std::uint32_t n = inst.topology->num_nodes();
+    if (dests >= n) throw std::invalid_argument("dests must be < number of nodes");
+
+    if (static_mode) {
+      evsim::Rng rng(seed);
+      double traffic = 0.0, additional = 0.0, max_hops = 0.0;
+      for (std::uint32_t r = 0; r < runs; ++r) {
+        const topo::NodeId src = rng.uniform_int(0, n - 1);
+        const mcast::MulticastRequest req{src, rng.sample_destinations(n, src, dests)};
+        const mcast::MulticastRoute route = inst.route(algo, req);
+        traffic += static_cast<double>(route.traffic());
+        additional += static_cast<double>(route.additional_traffic(dests));
+        max_hops += route.max_delivery_hops();
+      }
+      if (csv) {
+        std::printf("topology,algorithm,dests,runs,traffic,additional,max_hops\n");
+        std::printf("%s,%s,%u,%u,%.2f,%.2f,%.2f\n", inst.topology->name().c_str(),
+                    algo_name.c_str(), dests, runs, traffic / runs, additional / runs,
+                    max_hops / runs);
+      } else {
+        std::printf("%s, %s, k=%u (%u runs)\n", inst.topology->name().c_str(),
+                    algo_name.c_str(), dests, runs);
+        std::printf("  mean traffic:            %.2f channels\n", traffic / runs);
+        std::printf("  mean additional traffic: %.2f channels\n", additional / runs);
+        std::printf("  mean max delivery depth: %.2f hops\n", max_hops / runs);
+      }
+      return 0;
+    }
+
+    worm::DynamicConfig cfg;
+    cfg.params = {.flit_time = 50e-9, .message_flits = flits, .channel_copies = copies};
+    cfg.traffic = {.mean_interarrival_s = interarrival_us * 1e-6,
+                   .avg_destinations = dests,
+                   .fixed_destinations = false,
+                   .exponential_interarrival = false,
+                   .seed = seed};
+    cfg.target_messages = messages;
+    cfg.max_messages = messages * 4;
+    cfg.max_sim_time_s = 2.0;
+    const worm::RouteBuilder builder = [&inst, algo, copies](
+                                           topo::NodeId src,
+                                           const std::vector<topo::NodeId>& d) {
+      return inst.specs(inst.route(algo, mcast::MulticastRequest{src, d}), copies);
+    };
+    const worm::DynamicResult r = run_dynamic(*inst.topology, builder, cfg);
+    if (csv) {
+      std::printf(
+          "topology,algorithm,dests,interarrival_us,latency_us,ci_us,completion_us,"
+          "deliveries,messages,converged,saturated\n");
+      std::printf("%s,%s,%u,%.1f,%.3f,%.3f,%.3f,%llu,%llu,%d,%d\n",
+                  inst.topology->name().c_str(), algo_name.c_str(), dests, interarrival_us,
+                  r.mean_latency_us, r.ci_half_us, r.mean_completion_us,
+                  static_cast<unsigned long long>(r.deliveries),
+                  static_cast<unsigned long long>(r.messages_completed), r.converged,
+                  r.saturated);
+    } else {
+      std::printf("%s, %s, avg %u dests, %.0f us interarrival\n",
+                  inst.topology->name().c_str(), algo_name.c_str(), dests, interarrival_us);
+      std::printf("  mean latency:     %.2f us (95%% CI +/- %.2f)\n", r.mean_latency_us,
+                  r.ci_half_us);
+      std::printf("  mean completion:  %.2f us\n", r.mean_completion_us);
+      std::printf("  deliveries:       %llu over %llu messages\n",
+                  static_cast<unsigned long long>(r.deliveries),
+                  static_cast<unsigned long long>(r.messages_completed));
+      std::printf("  converged: %s, saturated: %s\n", r.converged ? "yes" : "no",
+                  r.saturated ? "yes" : "no");
+    }
+    return 0;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n(run with --help for usage)\n", e.what());
+    return 1;
+  }
+}
