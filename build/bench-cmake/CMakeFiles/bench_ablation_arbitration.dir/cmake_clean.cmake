@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ablation_arbitration"
+  "../bench/bench_ablation_arbitration.pdb"
+  "CMakeFiles/bench_ablation_arbitration.dir/bench_ablation_arbitration.cpp.o"
+  "CMakeFiles/bench_ablation_arbitration.dir/bench_ablation_arbitration.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_arbitration.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ablation_vct"
+  "../bench/bench_ablation_vct.pdb"
+  "CMakeFiles/bench_ablation_vct.dir/bench_ablation_vct.cpp.o"
+  "CMakeFiles/bench_ablation_vct.dir/bench_ablation_vct.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_vct.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

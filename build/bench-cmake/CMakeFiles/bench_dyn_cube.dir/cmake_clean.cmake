@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_dyn_cube"
+  "../bench/bench_dyn_cube.pdb"
+  "CMakeFiles/bench_dyn_cube.dir/bench_dyn_cube.cpp.o"
+  "CMakeFiles/bench_dyn_cube.dir/bench_dyn_cube.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_dyn_cube.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig7_02_mp_cube"
+  "../bench/bench_fig7_02_mp_cube.pdb"
+  "CMakeFiles/bench_fig7_02_mp_cube.dir/bench_fig7_02_mp_cube.cpp.o"
+  "CMakeFiles/bench_fig7_02_mp_cube.dir/bench_fig7_02_mp_cube.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig7_02_mp_cube.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_fig7_04_st_cube.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig7_08_dyn_load_dc"
+  "../bench/bench_fig7_08_dyn_load_dc.pdb"
+  "CMakeFiles/bench_fig7_08_dyn_load_dc.dir/bench_fig7_08_dyn_load_dc.cpp.o"
+  "CMakeFiles/bench_fig7_08_dyn_load_dc.dir/bench_fig7_08_dyn_load_dc.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig7_08_dyn_load_dc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

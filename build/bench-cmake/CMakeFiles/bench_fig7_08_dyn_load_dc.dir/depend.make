@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_fig7_08_dyn_load_dc.
+# This may be replaced when dependencies are built.

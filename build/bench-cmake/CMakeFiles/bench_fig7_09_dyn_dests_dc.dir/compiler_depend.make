@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for bench_fig7_09_dyn_dests_dc.
+# This may be replaced when dependencies are built.

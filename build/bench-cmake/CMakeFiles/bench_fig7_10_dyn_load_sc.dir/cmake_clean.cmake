@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig7_10_dyn_load_sc"
+  "../bench/bench_fig7_10_dyn_load_sc.pdb"
+  "CMakeFiles/bench_fig7_10_dyn_load_sc.dir/bench_fig7_10_dyn_load_sc.cpp.o"
+  "CMakeFiles/bench_fig7_10_dyn_load_sc.dir/bench_fig7_10_dyn_load_sc.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig7_10_dyn_load_sc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

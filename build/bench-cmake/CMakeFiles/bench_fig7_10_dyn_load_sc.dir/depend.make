@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_fig7_10_dyn_load_sc.
+# This may be replaced when dependencies are built.

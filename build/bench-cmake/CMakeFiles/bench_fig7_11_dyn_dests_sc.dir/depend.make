@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_fig7_11_dyn_dests_sc.
+# This may be replaced when dependencies are built.

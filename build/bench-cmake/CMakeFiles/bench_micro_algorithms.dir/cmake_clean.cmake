@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_micro_algorithms"
+  "../bench/bench_micro_algorithms.pdb"
+  "CMakeFiles/bench_micro_algorithms.dir/bench_micro_algorithms.cpp.o"
+  "CMakeFiles/bench_micro_algorithms.dir/bench_micro_algorithms.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_micro_algorithms.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_mixed_traffic"
+  "../bench/bench_mixed_traffic.pdb"
+  "CMakeFiles/bench_mixed_traffic.dir/bench_mixed_traffic.cpp.o"
+  "CMakeFiles/bench_mixed_traffic.dir/bench_mixed_traffic.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_mixed_traffic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

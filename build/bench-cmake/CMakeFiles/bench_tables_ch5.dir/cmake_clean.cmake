@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_tables_ch5"
+  "../bench/bench_tables_ch5.pdb"
+  "CMakeFiles/bench_tables_ch5.dir/bench_tables_ch5.cpp.o"
+  "CMakeFiles/bench_tables_ch5.dir/bench_tables_ch5.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_tables_ch5.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

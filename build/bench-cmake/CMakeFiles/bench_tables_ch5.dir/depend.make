@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_tables_ch5.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cdg_explorer.dir/cdg_explorer.cpp.o"
+  "CMakeFiles/cdg_explorer.dir/cdg_explorer.cpp.o.d"
+  "cdg_explorer"
+  "cdg_explorer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cdg_explorer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dynamic_sim.dir/dynamic_sim.cpp.o"
+  "CMakeFiles/dynamic_sim.dir/dynamic_sim.cpp.o.d"
+  "dynamic_sim"
+  "dynamic_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dynamic_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/parallel_simulation.dir/parallel_simulation.cpp.o"
+  "CMakeFiles/parallel_simulation.dir/parallel_simulation.cpp.o.d"
+  "parallel_simulation"
+  "parallel_simulation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/parallel_simulation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

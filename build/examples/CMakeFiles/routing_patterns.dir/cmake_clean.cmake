@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/routing_patterns.dir/routing_patterns.cpp.o"
+  "CMakeFiles/routing_patterns.dir/routing_patterns.cpp.o.d"
+  "routing_patterns"
+  "routing_patterns.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/routing_patterns.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+#----------------------------------------------------------------
+# Generated CMake target import file for configuration "Release".
+#----------------------------------------------------------------
+
+# Commands may need to know the format version.
+set(CMAKE_IMPORT_FILE_VERSION 1)
+
+# Import target "mcnet::mcnet" for configuration "Release"
+set_property(TARGET mcnet::mcnet APPEND PROPERTY IMPORTED_CONFIGURATIONS RELEASE)
+set_target_properties(mcnet::mcnet PROPERTIES
+  IMPORTED_LINK_INTERFACE_LANGUAGES_RELEASE "CXX"
+  IMPORTED_LOCATION_RELEASE "${_IMPORT_PREFIX}/lib/libmcnet.a"
+  )
+
+list(APPEND _cmake_import_check_targets mcnet::mcnet )
+list(APPEND _cmake_import_check_files_for_mcnet::mcnet "${_IMPORT_PREFIX}/lib/libmcnet.a" )
+
+# Commands beyond this point should not need to know the version.
+set(CMAKE_IMPORT_FILE_VERSION)

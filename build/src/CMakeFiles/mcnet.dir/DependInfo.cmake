@@ -1,0 +1,58 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cdg/analyzers.cpp" "src/CMakeFiles/mcnet.dir/cdg/analyzers.cpp.o" "gcc" "src/CMakeFiles/mcnet.dir/cdg/analyzers.cpp.o.d"
+  "/root/repo/src/cdg/channel_graph.cpp" "src/CMakeFiles/mcnet.dir/cdg/channel_graph.cpp.o" "gcc" "src/CMakeFiles/mcnet.dir/cdg/channel_graph.cpp.o.d"
+  "/root/repo/src/core/adaptive_path.cpp" "src/CMakeFiles/mcnet.dir/core/adaptive_path.cpp.o" "gcc" "src/CMakeFiles/mcnet.dir/core/adaptive_path.cpp.o.d"
+  "/root/repo/src/core/baselines.cpp" "src/CMakeFiles/mcnet.dir/core/baselines.cpp.o" "gcc" "src/CMakeFiles/mcnet.dir/core/baselines.cpp.o.d"
+  "/root/repo/src/core/dc_xfirst_tree.cpp" "src/CMakeFiles/mcnet.dir/core/dc_xfirst_tree.cpp.o" "gcc" "src/CMakeFiles/mcnet.dir/core/dc_xfirst_tree.cpp.o.d"
+  "/root/repo/src/core/divided_greedy_mt.cpp" "src/CMakeFiles/mcnet.dir/core/divided_greedy_mt.cpp.o" "gcc" "src/CMakeFiles/mcnet.dir/core/divided_greedy_mt.cpp.o.d"
+  "/root/repo/src/core/dual_path.cpp" "src/CMakeFiles/mcnet.dir/core/dual_path.cpp.o" "gcc" "src/CMakeFiles/mcnet.dir/core/dual_path.cpp.o.d"
+  "/root/repo/src/core/exact.cpp" "src/CMakeFiles/mcnet.dir/core/exact.cpp.o" "gcc" "src/CMakeFiles/mcnet.dir/core/exact.cpp.o.d"
+  "/root/repo/src/core/fixed_path.cpp" "src/CMakeFiles/mcnet.dir/core/fixed_path.cpp.o" "gcc" "src/CMakeFiles/mcnet.dir/core/fixed_path.cpp.o.d"
+  "/root/repo/src/core/greedy_st.cpp" "src/CMakeFiles/mcnet.dir/core/greedy_st.cpp.o" "gcc" "src/CMakeFiles/mcnet.dir/core/greedy_st.cpp.o.d"
+  "/root/repo/src/core/len_tree.cpp" "src/CMakeFiles/mcnet.dir/core/len_tree.cpp.o" "gcc" "src/CMakeFiles/mcnet.dir/core/len_tree.cpp.o.d"
+  "/root/repo/src/core/multi_path.cpp" "src/CMakeFiles/mcnet.dir/core/multi_path.cpp.o" "gcc" "src/CMakeFiles/mcnet.dir/core/multi_path.cpp.o.d"
+  "/root/repo/src/core/multicast.cpp" "src/CMakeFiles/mcnet.dir/core/multicast.cpp.o" "gcc" "src/CMakeFiles/mcnet.dir/core/multicast.cpp.o.d"
+  "/root/repo/src/core/naive_tree.cpp" "src/CMakeFiles/mcnet.dir/core/naive_tree.cpp.o" "gcc" "src/CMakeFiles/mcnet.dir/core/naive_tree.cpp.o.d"
+  "/root/repo/src/core/route_factory.cpp" "src/CMakeFiles/mcnet.dir/core/route_factory.cpp.o" "gcc" "src/CMakeFiles/mcnet.dir/core/route_factory.cpp.o.d"
+  "/root/repo/src/core/routing_function.cpp" "src/CMakeFiles/mcnet.dir/core/routing_function.cpp.o" "gcc" "src/CMakeFiles/mcnet.dir/core/routing_function.cpp.o.d"
+  "/root/repo/src/core/sorted_mp.cpp" "src/CMakeFiles/mcnet.dir/core/sorted_mp.cpp.o" "gcc" "src/CMakeFiles/mcnet.dir/core/sorted_mp.cpp.o.d"
+  "/root/repo/src/core/xfirst_mt.cpp" "src/CMakeFiles/mcnet.dir/core/xfirst_mt.cpp.o" "gcc" "src/CMakeFiles/mcnet.dir/core/xfirst_mt.cpp.o.d"
+  "/root/repo/src/evsim/facility.cpp" "src/CMakeFiles/mcnet.dir/evsim/facility.cpp.o" "gcc" "src/CMakeFiles/mcnet.dir/evsim/facility.cpp.o.d"
+  "/root/repo/src/evsim/process.cpp" "src/CMakeFiles/mcnet.dir/evsim/process.cpp.o" "gcc" "src/CMakeFiles/mcnet.dir/evsim/process.cpp.o.d"
+  "/root/repo/src/evsim/random.cpp" "src/CMakeFiles/mcnet.dir/evsim/random.cpp.o" "gcc" "src/CMakeFiles/mcnet.dir/evsim/random.cpp.o.d"
+  "/root/repo/src/evsim/scheduler.cpp" "src/CMakeFiles/mcnet.dir/evsim/scheduler.cpp.o" "gcc" "src/CMakeFiles/mcnet.dir/evsim/scheduler.cpp.o.d"
+  "/root/repo/src/evsim/stats.cpp" "src/CMakeFiles/mcnet.dir/evsim/stats.cpp.o" "gcc" "src/CMakeFiles/mcnet.dir/evsim/stats.cpp.o.d"
+  "/root/repo/src/service/multicast_service.cpp" "src/CMakeFiles/mcnet.dir/service/multicast_service.cpp.o" "gcc" "src/CMakeFiles/mcnet.dir/service/multicast_service.cpp.o.d"
+  "/root/repo/src/switching/circuit.cpp" "src/CMakeFiles/mcnet.dir/switching/circuit.cpp.o" "gcc" "src/CMakeFiles/mcnet.dir/switching/circuit.cpp.o.d"
+  "/root/repo/src/switching/latency_models.cpp" "src/CMakeFiles/mcnet.dir/switching/latency_models.cpp.o" "gcc" "src/CMakeFiles/mcnet.dir/switching/latency_models.cpp.o.d"
+  "/root/repo/src/switching/saf.cpp" "src/CMakeFiles/mcnet.dir/switching/saf.cpp.o" "gcc" "src/CMakeFiles/mcnet.dir/switching/saf.cpp.o.d"
+  "/root/repo/src/topology/hamiltonian.cpp" "src/CMakeFiles/mcnet.dir/topology/hamiltonian.cpp.o" "gcc" "src/CMakeFiles/mcnet.dir/topology/hamiltonian.cpp.o.d"
+  "/root/repo/src/topology/hypercube.cpp" "src/CMakeFiles/mcnet.dir/topology/hypercube.cpp.o" "gcc" "src/CMakeFiles/mcnet.dir/topology/hypercube.cpp.o.d"
+  "/root/repo/src/topology/kary_ncube.cpp" "src/CMakeFiles/mcnet.dir/topology/kary_ncube.cpp.o" "gcc" "src/CMakeFiles/mcnet.dir/topology/kary_ncube.cpp.o.d"
+  "/root/repo/src/topology/mesh2d.cpp" "src/CMakeFiles/mcnet.dir/topology/mesh2d.cpp.o" "gcc" "src/CMakeFiles/mcnet.dir/topology/mesh2d.cpp.o.d"
+  "/root/repo/src/topology/mesh3d.cpp" "src/CMakeFiles/mcnet.dir/topology/mesh3d.cpp.o" "gcc" "src/CMakeFiles/mcnet.dir/topology/mesh3d.cpp.o.d"
+  "/root/repo/src/topology/topology.cpp" "src/CMakeFiles/mcnet.dir/topology/topology.cpp.o" "gcc" "src/CMakeFiles/mcnet.dir/topology/topology.cpp.o.d"
+  "/root/repo/src/viz/ascii.cpp" "src/CMakeFiles/mcnet.dir/viz/ascii.cpp.o" "gcc" "src/CMakeFiles/mcnet.dir/viz/ascii.cpp.o.d"
+  "/root/repo/src/wormhole/channel_pool.cpp" "src/CMakeFiles/mcnet.dir/wormhole/channel_pool.cpp.o" "gcc" "src/CMakeFiles/mcnet.dir/wormhole/channel_pool.cpp.o.d"
+  "/root/repo/src/wormhole/deadlock.cpp" "src/CMakeFiles/mcnet.dir/wormhole/deadlock.cpp.o" "gcc" "src/CMakeFiles/mcnet.dir/wormhole/deadlock.cpp.o.d"
+  "/root/repo/src/wormhole/experiment.cpp" "src/CMakeFiles/mcnet.dir/wormhole/experiment.cpp.o" "gcc" "src/CMakeFiles/mcnet.dir/wormhole/experiment.cpp.o.d"
+  "/root/repo/src/wormhole/network.cpp" "src/CMakeFiles/mcnet.dir/wormhole/network.cpp.o" "gcc" "src/CMakeFiles/mcnet.dir/wormhole/network.cpp.o.d"
+  "/root/repo/src/wormhole/traffic.cpp" "src/CMakeFiles/mcnet.dir/wormhole/traffic.cpp.o" "gcc" "src/CMakeFiles/mcnet.dir/wormhole/traffic.cpp.o.d"
+  "/root/repo/src/wormhole/worm.cpp" "src/CMakeFiles/mcnet.dir/wormhole/worm.cpp.o" "gcc" "src/CMakeFiles/mcnet.dir/wormhole/worm.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

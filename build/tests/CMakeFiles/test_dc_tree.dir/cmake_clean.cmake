@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_dc_tree.dir/test_dc_tree.cpp.o"
+  "CMakeFiles/test_dc_tree.dir/test_dc_tree.cpp.o.d"
+  "test_dc_tree"
+  "test_dc_tree.pdb"
+  "test_dc_tree[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_dc_tree.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

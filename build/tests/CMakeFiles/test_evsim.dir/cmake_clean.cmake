@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_evsim.dir/test_evsim.cpp.o"
+  "CMakeFiles/test_evsim.dir/test_evsim.cpp.o.d"
+  "test_evsim"
+  "test_evsim.pdb"
+  "test_evsim[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_evsim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_generalized.dir/test_generalized.cpp.o"
+  "CMakeFiles/test_generalized.dir/test_generalized.cpp.o.d"
+  "test_generalized"
+  "test_generalized.pdb"
+  "test_generalized[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_generalized.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_greedy_st.dir/test_greedy_st.cpp.o"
+  "CMakeFiles/test_greedy_st.dir/test_greedy_st.cpp.o.d"
+  "test_greedy_st"
+  "test_greedy_st.pdb"
+  "test_greedy_st[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_greedy_st.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_mt_heuristics.dir/test_mt_heuristics.cpp.o"
+  "CMakeFiles/test_mt_heuristics.dir/test_mt_heuristics.cpp.o.d"
+  "test_mt_heuristics"
+  "test_mt_heuristics.pdb"
+  "test_mt_heuristics[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_mt_heuristics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_network_audit.dir/test_network_audit.cpp.o"
+  "CMakeFiles/test_network_audit.dir/test_network_audit.cpp.o.d"
+  "test_network_audit"
+  "test_network_audit.pdb"
+  "test_network_audit[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_network_audit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

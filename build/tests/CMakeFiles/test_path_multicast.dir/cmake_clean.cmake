@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_path_multicast.dir/test_path_multicast.cpp.o"
+  "CMakeFiles/test_path_multicast.dir/test_path_multicast.cpp.o.d"
+  "test_path_multicast"
+  "test_path_multicast.pdb"
+  "test_path_multicast[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_path_multicast.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

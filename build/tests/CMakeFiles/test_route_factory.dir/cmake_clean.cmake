@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_route_factory.dir/test_route_factory.cpp.o"
+  "CMakeFiles/test_route_factory.dir/test_route_factory.cpp.o.d"
+  "test_route_factory"
+  "test_route_factory.pdb"
+  "test_route_factory[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_route_factory.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

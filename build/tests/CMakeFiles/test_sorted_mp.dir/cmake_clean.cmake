@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sorted_mp.dir/test_sorted_mp.cpp.o"
+  "CMakeFiles/test_sorted_mp.dir/test_sorted_mp.cpp.o.d"
+  "test_sorted_mp"
+  "test_sorted_mp.pdb"
+  "test_sorted_mp[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sorted_mp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_vct.dir/test_vct.cpp.o"
+  "CMakeFiles/test_vct.dir/test_vct.cpp.o.d"
+  "test_vct"
+  "test_vct.pdb"
+  "test_vct[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_vct.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,33 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/test_topology[1]_include.cmake")
+include("/root/repo/build/tests/test_hamiltonian[1]_include.cmake")
+include("/root/repo/build/tests/test_cdg[1]_include.cmake")
+include("/root/repo/build/tests/test_multicast[1]_include.cmake")
+include("/root/repo/build/tests/test_evsim[1]_include.cmake")
+include("/root/repo/build/tests/test_sorted_mp[1]_include.cmake")
+include("/root/repo/build/tests/test_greedy_st[1]_include.cmake")
+include("/root/repo/build/tests/test_mt_heuristics[1]_include.cmake")
+include("/root/repo/build/tests/test_path_multicast[1]_include.cmake")
+include("/root/repo/build/tests/test_dc_tree[1]_include.cmake")
+include("/root/repo/build/tests/test_wormhole[1]_include.cmake")
+include("/root/repo/build/tests/test_route_factory[1]_include.cmake")
+include("/root/repo/build/tests/test_experiment[1]_include.cmake")
+include("/root/repo/build/tests/test_exact[1]_include.cmake")
+include("/root/repo/build/tests/test_generalized[1]_include.cmake")
+include("/root/repo/build/tests/test_switching[1]_include.cmake")
+include("/root/repo/build/tests/test_adaptive[1]_include.cmake")
+include("/root/repo/build/tests/test_service[1]_include.cmake")
+include("/root/repo/build/tests/test_network_audit[1]_include.cmake")
+include("/root/repo/build/tests/test_circuit[1]_include.cmake")
+include("/root/repo/build/tests/test_viz[1]_include.cmake")
+include("/root/repo/build/tests/test_vct[1]_include.cmake")
+include("/root/repo/build/tests/test_figures[1]_include.cmake")
+include("/root/repo/build/tests/test_arbitration[1]_include.cmake")
+include("/root/repo/build/tests/test_evsim_queueing[1]_include.cmake")
+include("/root/repo/build/tests/test_fuzz[1]_include.cmake")
+include("/root/repo/build/tests/test_traffic[1]_include.cmake")

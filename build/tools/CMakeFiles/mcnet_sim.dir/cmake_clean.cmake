@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mcnet_sim.dir/mcnet_sim.cpp.o"
+  "CMakeFiles/mcnet_sim.dir/mcnet_sim.cpp.o.d"
+  "mcnet_sim"
+  "mcnet_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mcnet_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
