@@ -14,7 +14,7 @@ using mcast::Algorithm;
 
 int main() {
   const topo::Mesh2D mesh(8, 8);
-  const mcast::MeshRoutingSuite suite(mesh);
+  const auto router = mcast::make_caching_router(mesh, Algorithm::kDualPath, 1);
 
   struct Mode {
     const char* name;
@@ -40,8 +40,7 @@ int main() {
       cfg.target_messages = static_cast<std::uint64_t>(1500 * bench::bench_scale());
       cfg.max_messages = static_cast<std::uint64_t>(6000 * bench::bench_scale());
       cfg.max_sim_time_s = 0.25 * bench::bench_scale();
-      const worm::DynamicResult r = worm::run_dynamic(
-          mesh, bench::mesh_builder(suite, Algorithm::kDualPath, 1), cfg);
+      const worm::DynamicResult r = worm::run_dynamic(*router, cfg);
       std::printf("%16.0f %14s %13.2f%-3s %16.2f %14.3f\n", interarrival, m.name,
                   r.mean_latency_us, r.saturated ? "sat" : "", r.mean_blocking_us,
                   r.utilization);

@@ -8,6 +8,8 @@
 //    (flit time scaled by V -- the conservative static-sharing model);
 //  * adaptive: randomised monotone shortest paths vs the deterministic
 //    label-extremal rule.
+#include <mutex>
+
 #include "bench_common.hpp"
 #include "core/adaptive_path.hpp"
 
@@ -16,32 +18,51 @@ namespace {
 using namespace mcnet;
 using mcast::Algorithm;
 
-worm::RouteBuilder adaptive_builder(const mcast::MeshRoutingSuite& suite,
-                                    std::uint8_t copies, std::uint64_t seed) {
-  // One RNG per builder; the simulator is single-threaded per experiment.
-  auto rng = std::make_shared<evsim::Rng>(seed);
-  return [&suite, copies, rng](topo::NodeId src, const std::vector<topo::NodeId>& dests) {
-    return worm::make_worm_specs(
-        suite.mesh(),
-        adaptive_dual_path_route(suite.mesh(), suite.labeling(),
-                                 mcast::MulticastRequest{src, dests}, *rng),
-        copies);
-  };
-}
+// Randomised-adaptive dual-path as a Router: no Algorithm enumerator, so it
+// plugs into the sweeps through its own adapter (RNG mutex-protected; each
+// experiment's simulation is single-threaded but sweeps share the router).
+class AdaptiveDualPathRouter final : public mcast::Router {
+ public:
+  AdaptiveDualPathRouter(const topo::Mesh2D& mesh, std::uint8_t copies, std::uint64_t seed)
+      : mesh_(&mesh), labeling_(mesh), copies_(copies), rng_(seed) {}
+
+  [[nodiscard]] mcast::MulticastRoute route(
+      const mcast::MulticastRequest& request) const override {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    return adaptive_dual_path_route(*mesh_, labeling_, request, rng_);
+  }
+  [[nodiscard]] std::vector<worm::WormSpec> specs(
+      const mcast::MulticastRoute& route) const override {
+    return worm::make_worm_specs(*mesh_, route, copies_);
+  }
+  [[nodiscard]] std::string_view name() const override { return "adaptive-dual-path"; }
+  [[nodiscard]] mcast::Algorithm algorithm() const override {
+    return mcast::Algorithm::kDualPath;
+  }
+  [[nodiscard]] bool deadlock_free() const override { return true; }
+  [[nodiscard]] const topo::Topology& topology() const override { return *mesh_; }
+  [[nodiscard]] std::uint8_t channel_copies() const override { return copies_; }
+
+ private:
+  const topo::Mesh2D* mesh_;
+  ham::MeshBoustrophedonLabeling labeling_;
+  std::uint8_t copies_;
+  mutable std::mutex mutex_;
+  mutable evsim::Rng rng_;
+};
 
 }  // namespace
 
 int main() {
   const topo::Mesh2D mesh(8, 8);
-  const mcast::MeshRoutingSuite suite(mesh);
 
   {
     bench::DynamicSweepConfig cfg;
     cfg.params = {.flit_time = 50e-9, .message_flits = 128, .channel_copies = 1};
     cfg.avg_destinations = 10;
     std::vector<bench::DynamicSeries> series;
-    series.push_back({"dual 1 copy", bench::mesh_builder(suite, Algorithm::kDualPath, 1)});
-    series.push_back({"dual adaptive", adaptive_builder(suite, 1, 99)});
+    series.push_back({"dual 1 copy", mcast::make_caching_router(mesh, Algorithm::kDualPath, 1)});
+    series.push_back({"dual adaptive", std::make_shared<AdaptiveDualPathRouter>(mesh, 1, 99)});
     bench::run_dynamic_load_sweep(
         "=== Ablation: deterministic vs adaptive dual-path, single channel ===", mesh,
         {1200, 600, 400, 300, 250, 200}, series, cfg);
@@ -54,7 +75,7 @@ int main() {
     bench::run_dynamic_load_sweep(
         "=== Ablation: dual-path on doubled physical channels (extra wires) ===", mesh,
         {1200, 600, 400, 300, 250, 200},
-        {{"dual 2 copies", bench::mesh_builder(suite, Algorithm::kDualPath, 2)}}, cfg);
+        {{"dual 2 copies", mcast::make_caching_router(mesh, Algorithm::kDualPath, 2)}}, cfg);
   }
   {
     // Virtual channels: V copies sharing one link's bandwidth -> flit time
@@ -71,7 +92,7 @@ int main() {
               " virtual channels (shared bandwidth) ===",
           mesh, loads,
           {{"dual " + std::to_string(vcs) + " VCs",
-            bench::mesh_builder(suite, Algorithm::kDualPath, vcs)}},
+            mcast::make_caching_router(mesh, Algorithm::kDualPath, vcs)}},
           cfg);
     }
   }

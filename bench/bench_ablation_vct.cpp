@@ -10,7 +10,6 @@ int main() {
   using namespace mcnet;
   using mcast::Algorithm;
   const topo::Mesh2D mesh(8, 8);
-  const mcast::MeshRoutingSuite suite(mesh);
 
   for (const bool vct : {false, true}) {
     bench::DynamicSweepConfig cfg;
@@ -24,7 +23,7 @@ int main() {
             (vct ? "virtual cut-through" : "wormhole") + " switching ===",
         mesh, {1200, 600, 400, 300, 250, 200, 150},
         {{vct ? "dual-path (VCT)" : "dual-path (wormhole)",
-          bench::mesh_builder(suite, Algorithm::kDualPath, 1)}},
+          mcast::make_caching_router(mesh, Algorithm::kDualPath, 1)}},
         cfg);
   }
   return 0;

@@ -7,10 +7,12 @@
 #include <cstdio>
 #include <cstdlib>
 #include <functional>
+#include <memory>
 #include <string>
 #include <vector>
 
-#include "core/route_factory.hpp"
+#include "core/route_cache.hpp"
+#include "core/router.hpp"
 #include "evsim/random.hpp"
 #include "evsim/stats.hpp"
 #include "wormhole/experiment.hpp"
@@ -85,11 +87,32 @@ inline void run_static_sweep(const std::string& title, const topo::Topology& t,
   std::printf("\n");
 }
 
-/// One dynamic-sweep series: an algorithm driving the wormhole simulator.
+/// One dynamic-sweep series: a router driving the wormhole simulator.
 struct DynamicSeries {
   std::string name;
-  worm::RouteBuilder builder;
+  std::shared_ptr<const mcast::Router> router;
 };
+
+/// Standard series: `algo` on `t` behind a shared route cache, so repeated
+/// destination sets across a sweep's parallel simulations reuse routes.
+inline DynamicSeries router_series(const topo::Topology& t, mcast::Algorithm algo,
+                                   std::uint8_t copies) {
+  return {std::string(mcast::algorithm_name(algo)),
+          mcast::make_caching_router(t, algo, copies)};
+}
+
+/// Report cache effectiveness for every caching series of a finished sweep.
+inline void print_cache_stats(const std::vector<DynamicSeries>& series) {
+  for (const DynamicSeries& s : series) {
+    const auto* caching = dynamic_cast<const mcast::CachingRouter*>(s.router.get());
+    if (caching == nullptr) continue;
+    const mcast::RouteCacheStats st = caching->stats();
+    std::printf("route cache [%s]: %llu hits / %llu misses (%.1f%% hit rate)\n",
+                s.name.c_str(), static_cast<unsigned long long>(st.hits),
+                static_cast<unsigned long long>(st.misses), st.hit_rate() * 100.0);
+  }
+  std::printf("\n");
+}
 
 struct DynamicSweepConfig {
   worm::WormholeParams params;
@@ -140,7 +163,7 @@ inline void run_dynamic_load_sweep(const std::string& title, const topo::Topolog
         dc.target_messages * dc.traffic.avg_destinations;
     dc.batch_size = static_cast<std::uint32_t>(std::clamp<std::uint64_t>(
         expected_deliveries / 25, 20, cfg.batch_size));
-    results[idx] = worm::run_dynamic(t, series[si].builder, dc);
+    results[idx] = worm::run_dynamic(*series[si].router, dc);
   });
 
   for (std::size_t li = 0; li < interarrivals_us.size(); ++li) {
@@ -152,6 +175,7 @@ inline void run_dynamic_load_sweep(const std::string& title, const topo::Topolog
     std::printf("\n");
   }
   std::printf("\n");
+  print_cache_stats(series);
 }
 
 /// Latency-vs-destination-count sweep (Figures 7.9 / 7.11).
@@ -190,7 +214,7 @@ inline void run_dynamic_dest_sweep(const std::string& title, const topo::Topolog
         dc.target_messages * dc.traffic.avg_destinations;
     dc.batch_size = static_cast<std::uint32_t>(std::clamp<std::uint64_t>(
         expected_deliveries / 25, 20, cfg.batch_size));
-    results[idx] = worm::run_dynamic(t, series[si].builder, dc);
+    results[idx] = worm::run_dynamic(*series[si].router, dc);
   });
 
   for (std::size_t di = 0; di < dest_counts.size(); ++di) {
@@ -202,16 +226,7 @@ inline void run_dynamic_dest_sweep(const std::string& title, const topo::Topolog
     std::printf("\n");
   }
   std::printf("\n");
-}
-
-/// Builder adapters binding a routing suite + algorithm to the simulator.
-inline worm::RouteBuilder mesh_builder(const mcast::MeshRoutingSuite& suite,
-                                       mcast::Algorithm algo, std::uint8_t copies) {
-  return [&suite, algo, copies](topo::NodeId src, const std::vector<topo::NodeId>& dests) {
-    return worm::make_worm_specs(suite.mesh(),
-                                 suite.route(algo, mcast::MulticastRequest{src, dests}),
-                                 copies);
-  };
+  print_cache_stats(series);
 }
 
 }  // namespace mcnet::bench

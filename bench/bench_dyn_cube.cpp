@@ -4,23 +4,10 @@
 // multi-path, fixed-path), closing the loop on the Section 6.3 designs.
 #include "bench_common.hpp"
 
-namespace {
-
-using namespace mcnet;
-using mcast::Algorithm;
-
-worm::RouteBuilder cube_builder(const mcast::CubeRoutingSuite& suite, Algorithm algo) {
-  return [&suite, algo](topo::NodeId src, const std::vector<topo::NodeId>& dests) {
-    return worm::make_worm_specs(suite.cube(),
-                                 suite.route(algo, mcast::MulticastRequest{src, dests}), 1);
-  };
-}
-
-}  // namespace
-
 int main() {
+  using namespace mcnet;
+  using mcast::Algorithm;
   const topo::Hypercube cube(6);
-  const mcast::CubeRoutingSuite suite(cube);
 
   bench::DynamicSweepConfig cfg;
   cfg.params = {.flit_time = 50e-9, .message_flits = 128, .channel_copies = 1};
@@ -28,17 +15,17 @@ int main() {
   bench::run_dynamic_load_sweep(
       "=== Extension: latency vs load on a 6-cube (single channels) ===", cube,
       {2000, 1200, 800, 500, 350, 250, 180},
-      {{"dual-path", cube_builder(suite, Algorithm::kDualPath)},
-       {"multi-path", cube_builder(suite, Algorithm::kMultiPath)},
-       {"fixed-path", cube_builder(suite, Algorithm::kFixedPath)}},
+      {bench::router_series(cube, Algorithm::kDualPath, 1),
+       bench::router_series(cube, Algorithm::kMultiPath, 1),
+       bench::router_series(cube, Algorithm::kFixedPath, 1)},
       cfg);
 
   bench::run_dynamic_dest_sweep(
       "=== Extension: latency vs destinations on a 6-cube, 300 us ===", cube, 300.0,
       {1, 5, 10, 15, 20, 25, 30},
-      {{"dual-path", cube_builder(suite, Algorithm::kDualPath)},
-       {"multi-path", cube_builder(suite, Algorithm::kMultiPath)},
-       {"fixed-path", cube_builder(suite, Algorithm::kFixedPath)}},
+      {bench::router_series(cube, Algorithm::kDualPath, 1),
+       bench::router_series(cube, Algorithm::kMultiPath, 1),
+       bench::router_series(cube, Algorithm::kFixedPath, 1)},
       cfg);
   return 0;
 }

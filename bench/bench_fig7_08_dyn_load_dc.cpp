@@ -8,7 +8,6 @@ int main() {
   using namespace mcnet;
   using mcast::Algorithm;
   const topo::Mesh2D mesh(8, 8);
-  const mcast::MeshRoutingSuite suite(mesh);
 
   bench::DynamicSweepConfig cfg;
   cfg.params = {.flit_time = 50e-9, .message_flits = 128, .channel_copies = 2};
@@ -16,9 +15,9 @@ int main() {
   bench::run_dynamic_load_sweep(
       "=== Figure 7.8: latency vs load, double-channel 8x8 mesh ===", mesh,
       {2000, 1200, 800, 500, 350, 250, 180, 130},
-      {{"dc-X-first-tree", bench::mesh_builder(suite, Algorithm::kDCXFirstTree, 2)},
-       {"dual-path", bench::mesh_builder(suite, Algorithm::kDualPath, 2)},
-       {"multi-path", bench::mesh_builder(suite, Algorithm::kMultiPath, 2)}},
+      {bench::router_series(mesh, Algorithm::kDCXFirstTree, 2),
+       bench::router_series(mesh, Algorithm::kDualPath, 2),
+       bench::router_series(mesh, Algorithm::kMultiPath, 2)},
       cfg);
   return 0;
 }

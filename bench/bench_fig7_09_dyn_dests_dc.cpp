@@ -8,16 +8,15 @@ int main() {
   using namespace mcnet;
   using mcast::Algorithm;
   const topo::Mesh2D mesh(8, 8);
-  const mcast::MeshRoutingSuite suite(mesh);
 
   bench::DynamicSweepConfig cfg;
   cfg.params = {.flit_time = 50e-9, .message_flits = 128, .channel_copies = 2};
   bench::run_dynamic_dest_sweep(
       "=== Figure 7.9: latency vs destinations, double-channel 8x8 mesh, 300 us ===",
       mesh, 300.0, {1, 5, 10, 15, 20, 25, 30, 35, 40, 45},
-      {{"dc-X-first-tree", bench::mesh_builder(suite, Algorithm::kDCXFirstTree, 2)},
-       {"dual-path", bench::mesh_builder(suite, Algorithm::kDualPath, 2)},
-       {"multi-path", bench::mesh_builder(suite, Algorithm::kMultiPath, 2)}},
+      {bench::router_series(mesh, Algorithm::kDCXFirstTree, 2),
+       bench::router_series(mesh, Algorithm::kDualPath, 2),
+       bench::router_series(mesh, Algorithm::kMultiPath, 2)},
       cfg);
   return 0;
 }

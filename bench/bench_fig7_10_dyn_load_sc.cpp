@@ -8,7 +8,6 @@ int main() {
   using namespace mcnet;
   using mcast::Algorithm;
   const topo::Mesh2D mesh(8, 8);
-  const mcast::MeshRoutingSuite suite(mesh);
 
   bench::DynamicSweepConfig cfg;
   cfg.params = {.flit_time = 50e-9, .message_flits = 128, .channel_copies = 1};
@@ -16,8 +15,8 @@ int main() {
   bench::run_dynamic_load_sweep(
       "=== Figure 7.10: latency vs load, single-channel 8x8 mesh ===", mesh,
       {2000, 1200, 800, 500, 400, 300, 250, 200},
-      {{"dual-path", bench::mesh_builder(suite, Algorithm::kDualPath, 1)},
-       {"multi-path", bench::mesh_builder(suite, Algorithm::kMultiPath, 1)}},
+      {bench::router_series(mesh, Algorithm::kDualPath, 1),
+       bench::router_series(mesh, Algorithm::kMultiPath, 1)},
       cfg);
   return 0;
 }

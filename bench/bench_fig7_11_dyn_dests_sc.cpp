@@ -9,16 +9,15 @@ int main() {
   using namespace mcnet;
   using mcast::Algorithm;
   const topo::Mesh2D mesh(8, 8);
-  const mcast::MeshRoutingSuite suite(mesh);
 
   bench::DynamicSweepConfig cfg;
   cfg.params = {.flit_time = 50e-9, .message_flits = 128, .channel_copies = 1};
   bench::run_dynamic_dest_sweep(
       "=== Figure 7.11: latency vs destinations, single-channel 8x8 mesh, 400 us ===",
       mesh, 400.0, {1, 5, 10, 15, 20, 25, 30, 35, 40, 45},
-      {{"dual-path", bench::mesh_builder(suite, Algorithm::kDualPath, 1)},
-       {"multi-path", bench::mesh_builder(suite, Algorithm::kMultiPath, 1)},
-       {"fixed-path", bench::mesh_builder(suite, Algorithm::kFixedPath, 1)}},
+      {bench::router_series(mesh, Algorithm::kDualPath, 1),
+       bench::router_series(mesh, Algorithm::kMultiPath, 1),
+       bench::router_series(mesh, Algorithm::kFixedPath, 1)},
       cfg);
   return 0;
 }

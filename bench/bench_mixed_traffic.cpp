@@ -3,6 +3,8 @@
 // unicasts (1 destination), the rest are 10-destination multicasts -- and
 // we measure how the multicast algorithm choice affects everyone's
 // latency.
+#include <mutex>
+
 #include "bench_common.hpp"
 
 namespace {
@@ -10,26 +12,60 @@ namespace {
 using namespace mcnet;
 using mcast::Algorithm;
 
-worm::RouteBuilder mixed_builder(const mcast::MeshRoutingSuite& suite, Algorithm algo,
-                                 double unicast_fraction, std::uint64_t seed) {
-  auto rng = std::make_shared<evsim::Rng>(seed);
-  return [&suite, algo, unicast_fraction, rng](topo::NodeId src,
-                                               const std::vector<topo::NodeId>& dests) {
-    mcast::MulticastRequest req{src, dests};
-    if (rng->uniform(0.0, 1.0) < unicast_fraction) {
-      req.destinations.resize(1);  // degrade to a unicast
+// Router decorator degrading a fraction of requests to plain unicasts
+// before delegating -- unicasts ride the same deadlock-free path machinery
+// (a 1-destination dual-path is simply the R route to that destination).
+// Degraded requests repeat often, so the inner route cache earns real hits.
+class MixedTrafficRouter final : public mcast::Router {
+ public:
+  MixedTrafficRouter(std::shared_ptr<const mcast::Router> inner, double unicast_fraction,
+                     std::uint64_t seed)
+      : inner_(std::move(inner)), unicast_fraction_(unicast_fraction), rng_(seed) {}
+
+  [[nodiscard]] mcast::MulticastRoute route(
+      const mcast::MulticastRequest& request) const override {
+    bool degrade = false;
+    {
+      const std::lock_guard<std::mutex> lock(mutex_);
+      degrade = rng_.uniform(0.0, 1.0) < unicast_fraction_;
     }
-    // Unicasts ride the same deadlock-free path machinery (a 1-destination
-    // dual-path is simply the R route to that destination).
-    return worm::make_worm_specs(suite.mesh(), suite.route(algo, req), 1);
-  };
+    if (!degrade || request.destinations.size() <= 1) return inner_->route(request);
+    mcast::MulticastRequest unicast{request.source, {request.destinations.front()}};
+    return inner_->route(unicast);
+  }
+
+  [[nodiscard]] std::vector<worm::WormSpec> specs(
+      const mcast::MulticastRoute& route) const override {
+    return inner_->specs(route);
+  }
+  [[nodiscard]] std::string_view name() const override { return inner_->name(); }
+  [[nodiscard]] mcast::Algorithm algorithm() const override { return inner_->algorithm(); }
+  [[nodiscard]] bool deadlock_free() const override { return inner_->deadlock_free(); }
+  [[nodiscard]] const topo::Topology& topology() const override {
+    return inner_->topology();
+  }
+  [[nodiscard]] std::uint8_t channel_copies() const override {
+    return inner_->channel_copies();
+  }
+
+ private:
+  std::shared_ptr<const mcast::Router> inner_;
+  double unicast_fraction_;
+  mutable std::mutex mutex_;
+  mutable evsim::Rng rng_;
+};
+
+bench::DynamicSeries mixed_series(const topo::Topology& t, Algorithm algo, double frac,
+                                  std::uint64_t seed) {
+  return {std::string(mcast::algorithm_name(algo)),
+          std::make_shared<MixedTrafficRouter>(mcast::make_caching_router(t, algo, 1), frac,
+                                               seed)};
 }
 
 }  // namespace
 
 int main() {
   const topo::Mesh2D mesh(8, 8);
-  const mcast::MeshRoutingSuite suite(mesh);
 
   for (const double frac : {0.0, 0.5, 0.9}) {
     bench::DynamicSweepConfig cfg;
@@ -39,11 +75,10 @@ int main() {
     std::snprintf(title, sizeof title,
                   "=== Mixed traffic: %.0f%% unicast / %.0f%% 10-dest multicast ===",
                   frac * 100, (1 - frac) * 100);
-    bench::run_dynamic_load_sweep(
-        title, mesh, {1000, 500, 300, 200, 150},
-        {{"dual-path", mixed_builder(suite, Algorithm::kDualPath, frac, 1)},
-         {"multi-path", mixed_builder(suite, Algorithm::kMultiPath, frac, 2)}},
-        cfg);
+    bench::run_dynamic_load_sweep(title, mesh, {1000, 500, 300, 200, 150},
+                                  {mixed_series(mesh, Algorithm::kDualPath, frac, 1),
+                                   mixed_series(mesh, Algorithm::kMultiPath, frac, 2)},
+                                  cfg);
   }
   return 0;
 }

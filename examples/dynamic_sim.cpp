@@ -5,7 +5,7 @@
 //   $ ./examples/dynamic_sim
 #include <cstdio>
 
-#include "core/route_factory.hpp"
+#include "core/route_cache.hpp"
 #include "evsim/facility.hpp"
 #include "evsim/process.hpp"
 #include "evsim/scheduler.hpp"
@@ -58,7 +58,6 @@ int main() {
   // The paper's reference point: 8x8 mesh, 128-byte messages, 20 Mbyte/s
   // channels, ~10 destinations, 300 us mean interarrival per node.
   const topo::Mesh2D mesh(8, 8);
-  const mcast::MeshRoutingSuite suite(mesh);
 
   std::printf("dynamic wormhole simulation, 8x8 mesh, 300 us interarrival:\n");
   std::printf("%-16s %14s %12s %12s %10s\n", "algorithm", "latency (us)", "95%-CI",
@@ -76,14 +75,10 @@ int main() {
     cfg.target_messages = 1500;
     cfg.max_messages = 5000;
     cfg.max_sim_time_s = 0.5;
-    const worm::RouteBuilder builder = [&suite, algo](topo::NodeId src,
-                                                      const std::vector<topo::NodeId>& d) {
-      return worm::make_worm_specs(suite.mesh(),
-                                   suite.route(algo, mcast::MulticastRequest{src, d}), 1);
-    };
-    const worm::DynamicResult r = run_dynamic(mesh, builder, cfg);
+    const auto router = mcast::make_caching_router(mesh, algo, 1);
+    const worm::DynamicResult r = run_dynamic(*router, cfg);
     std::printf("%-16s %14.2f %12.2f %12llu %10s\n",
-                std::string(algorithm_name(algo)).c_str(), r.mean_latency_us, r.ci_half_us,
+                std::string(router->name()).c_str(), r.mean_latency_us, r.ci_half_us,
                 static_cast<unsigned long long>(r.deliveries), r.converged ? "yes" : "no");
   }
   return 0;

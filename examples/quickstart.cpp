@@ -5,19 +5,18 @@
 //   $ ./examples/quickstart
 #include <cstdio>
 
-#include "core/route_factory.hpp"
+#include "core/router.hpp"
 #include "evsim/scheduler.hpp"
 #include "wormhole/network.hpp"
-#include "wormhole/worm.hpp"
 
 int main() {
   using namespace mcnet;
   using mcast::Algorithm;
 
-  // 1. Build the topology and the routing suite (labelings, Hamiltonian
-  //    cycle and unicast routing are derived once, up front).
+  // 1. Build the topology.  make_router() binds an algorithm to it
+  //    (labelings, Hamiltonian cycle and unicast routing are derived once,
+  //    up front, inside the router's suite).
   const topo::Mesh2D mesh(8, 8);
-  const mcast::MeshRoutingSuite suite(mesh);
 
   // 2. One multicast: source (3,3), seven destinations.
   const mcast::MulticastRequest request{
@@ -28,19 +27,21 @@ int main() {
 
   std::printf("multicast from node (3,3) to %zu destinations on %s\n\n",
               request.destinations.size(), mesh.name().c_str());
-  std::printf("%-20s %10s %12s %10s\n", "algorithm", "traffic", "additional", "max hops");
+  std::printf("%-20s %10s %12s %10s %10s\n", "algorithm", "traffic", "additional",
+              "max hops", "dl-free");
   for (const Algorithm a :
        {Algorithm::kMultiUnicast, Algorithm::kBroadcast, Algorithm::kSortedMP,
         Algorithm::kGreedyST, Algorithm::kXFirstMT, Algorithm::kDividedGreedyMT,
         Algorithm::kDualPath, Algorithm::kMultiPath, Algorithm::kFixedPath,
         Algorithm::kDCXFirstTree}) {
-    const mcast::MulticastRoute route = suite.route(a, request);
+    const auto router = mcast::make_router(mesh, a);
+    const mcast::MulticastRoute route = router->route(request);
     verify_route(mesh, request, route);
-    std::printf("%-20s %10llu %12lld %10u\n", std::string(algorithm_name(a)).c_str(),
+    std::printf("%-20s %10llu %12lld %10u %10s\n", std::string(router->name()).c_str(),
                 static_cast<unsigned long long>(route.traffic()),
                 static_cast<long long>(
                     route.additional_traffic(request.destinations.size())),
-                route.max_delivery_hops());
+                route.max_delivery_hops(), router->deadlock_free() ? "yes" : "no");
   }
 
   // 3. Replay the dual-path route in the flit-level wormhole simulator:
@@ -56,7 +57,8 @@ int main() {
   net.set_hooks(std::move(hooks));
 
   std::printf("\ndual-path wormhole replay (contention-free):\n");
-  net.inject(worm::make_worm_specs(mesh, suite.route(Algorithm::kDualPath, request), 1));
+  const auto dual = mcast::make_router(mesh, Algorithm::kDualPath, 1);
+  net.inject(dual->specs(dual->route(request)));
   sched.run();
   std::printf("network idle: %s\n", net.idle() ? "yes" : "no");
   return 0;

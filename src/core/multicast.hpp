@@ -39,6 +39,8 @@ struct PathRoute {
   [[nodiscard]] std::uint32_t hops() const {
     return nodes.empty() ? 0 : static_cast<std::uint32_t>(nodes.size() - 1);
   }
+
+  friend bool operator==(const PathRoute&, const PathRoute&) = default;
 };
 
 /// A multicast tree (the MT / ST shape).  Stored as a link arena: link i
@@ -50,6 +52,8 @@ struct TreeRoute {
     NodeId to = topo::kInvalidNode;
     std::int32_t parent = -1;
     std::uint32_t depth = 1;  // hops from the source (root links have depth 1)
+
+    friend bool operator==(const Link&, const Link&) = default;
   };
 
   NodeId source = topo::kInvalidNode;
@@ -63,6 +67,8 @@ struct TreeRoute {
 
   /// Append a link and return its index.
   std::uint32_t add_link(NodeId from, NodeId to, std::int32_t parent);
+
+  friend bool operator==(const TreeRoute&, const TreeRoute&) = default;
 };
 
 /// The complete route of one multicast: a set of paths (multicast star /
@@ -83,6 +89,8 @@ struct MulticastRoute {
   [[nodiscard]] std::uint32_t max_delivery_hops() const;
   /// Number of deliveries across all components.
   [[nodiscard]] std::uint32_t num_deliveries() const;
+
+  friend bool operator==(const MulticastRoute&, const MulticastRoute&) = default;
 };
 
 /// Structural validation used by tests and the simulator: consecutive path

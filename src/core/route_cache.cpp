@@ -1,0 +1,123 @@
+#include "core/route_cache.hpp"
+
+#include <algorithm>
+#include <list>
+#include <mutex>
+#include <stdexcept>
+#include <unordered_map>
+#include <vector>
+
+namespace mcnet::mcast {
+
+namespace {
+
+/// Cache key: [source, sorted destinations...].
+using Key = std::vector<topo::NodeId>;
+
+struct KeyHash {
+  std::size_t operator()(const Key& key) const {
+    // FNV-1a over the node ids.
+    std::uint64_t h = 1469598103934665603ull;
+    for (const topo::NodeId id : key) {
+      h ^= id;
+      h *= 1099511628211ull;
+    }
+    return static_cast<std::size_t>(h);
+  }
+};
+
+Key make_key(const MulticastRequest& request) {
+  Key key;
+  key.reserve(request.destinations.size() + 1);
+  key.push_back(request.source);
+  key.insert(key.end(), request.destinations.begin(), request.destinations.end());
+  std::sort(key.begin() + 1, key.end());
+  return key;
+}
+
+}  // namespace
+
+struct CachingRouter::Shard {
+  struct Entry {
+    Key key;
+    MulticastRoute route;
+  };
+
+  std::mutex mutex;
+  std::list<Entry> lru;  // front = most recently used
+  std::unordered_map<Key, std::list<Entry>::iterator, KeyHash> map;
+};
+
+CachingRouter::CachingRouter(std::unique_ptr<Router> inner, RouteCacheConfig config)
+    : inner_(std::move(inner)),
+      num_shards_(std::max<std::size_t>(1, config.shards)),
+      shard_capacity_(std::max<std::size_t>(
+          1, std::max<std::size_t>(1, config.capacity) / std::max<std::size_t>(1, config.shards))),
+      shards_(std::make_unique<Shard[]>(num_shards_)) {
+  if (!inner_) throw std::invalid_argument("CachingRouter: inner router must not be null");
+}
+
+CachingRouter::~CachingRouter() = default;
+
+MulticastRoute CachingRouter::route(const MulticastRequest& request) const {
+  const Key key = make_key(request);
+  Shard& shard = shards_[KeyHash{}(key) % num_shards_];
+  {
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    const auto it = shard.map.find(key);
+    if (it != shard.map.end()) {
+      shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+      hits_.fetch_add(1, std::memory_order_relaxed);
+      return it->second->route;
+    }
+  }
+
+  // Compute outside the lock: route construction is the expensive part and
+  // must not serialise concurrent simulation threads.
+  misses_.fetch_add(1, std::memory_order_relaxed);
+  MulticastRoute computed = inner_->route(request);
+
+  std::lock_guard<std::mutex> lock(shard.mutex);
+  if (shard.map.find(key) != shard.map.end()) {
+    return computed;  // another thread inserted the same key while we routed
+  }
+  shard.lru.push_front(Shard::Entry{key, computed});
+  shard.map.emplace(shard.lru.front().key, shard.lru.begin());
+  if (shard.map.size() > shard_capacity_) {
+    shard.map.erase(shard.lru.back().key);
+    shard.lru.pop_back();
+    evictions_.fetch_add(1, std::memory_order_relaxed);
+  }
+  return computed;
+}
+
+RouteCacheStats CachingRouter::stats() const {
+  return RouteCacheStats{hits_.load(std::memory_order_relaxed),
+                         misses_.load(std::memory_order_relaxed),
+                         evictions_.load(std::memory_order_relaxed)};
+}
+
+std::size_t CachingRouter::size() const {
+  std::size_t total = 0;
+  for (std::size_t s = 0; s < num_shards_; ++s) {
+    std::lock_guard<std::mutex> lock(shards_[s].mutex);
+    total += shards_[s].map.size();
+  }
+  return total;
+}
+
+void CachingRouter::clear() {
+  for (std::size_t s = 0; s < num_shards_; ++s) {
+    std::lock_guard<std::mutex> lock(shards_[s].mutex);
+    shards_[s].map.clear();
+    shards_[s].lru.clear();
+  }
+}
+
+std::unique_ptr<CachingRouter> make_caching_router(const topo::Topology& topology,
+                                                   Algorithm algorithm, std::uint8_t copies,
+                                                   RouteCacheConfig config) {
+  return std::make_unique<CachingRouter>(make_router(topology, algorithm, copies), config);
+}
+
+}  // namespace mcnet::mcast

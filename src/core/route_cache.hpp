@@ -1,0 +1,84 @@
+// Memoizing Router decorator: a bounded, sharded, mutex-protected LRU
+// keyed on (source, sorted destination set).  Multicast routes are pure
+// functions of the request on an immutable topology, so repeated-group
+// dynamic traffic and parallel_for sweeps can reuse a route instead of
+// recomputing it -- the destination-set persistence that minimum-cost
+// multicast work exploits when connections outlive single packets.
+//
+// route() is thread-safe; hit/miss/eviction counters are exposed for
+// observability.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+
+#include "core/router.hpp"
+
+namespace mcnet::mcast {
+
+struct RouteCacheConfig {
+  /// Total cached routes across all shards.
+  std::size_t capacity = 4096;
+  /// Independent mutex-protected LRU shards (reduces lock contention when
+  /// many simulation threads share one router).
+  std::size_t shards = 8;
+};
+
+struct RouteCacheStats {
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+  std::uint64_t evictions = 0;
+
+  [[nodiscard]] double hit_rate() const {
+    const std::uint64_t total = hits + misses;
+    return total == 0 ? 0.0 : static_cast<double>(hits) / static_cast<double>(total);
+  }
+};
+
+class CachingRouter final : public Router {
+ public:
+  explicit CachingRouter(std::unique_ptr<Router> inner, RouteCacheConfig config = {});
+  ~CachingRouter() override;
+
+  /// Cached lookup; on a miss the inner router computes outside the shard
+  /// lock.  Destination order does not affect the cache key, so permuted
+  /// requests for the same multicast set share one entry.
+  [[nodiscard]] MulticastRoute route(const MulticastRequest& request) const override;
+
+  [[nodiscard]] std::vector<worm::WormSpec> specs(const MulticastRoute& route) const override {
+    return inner_->specs(route);
+  }
+  [[nodiscard]] std::string_view name() const override { return inner_->name(); }
+  [[nodiscard]] Algorithm algorithm() const override { return inner_->algorithm(); }
+  [[nodiscard]] bool deadlock_free() const override { return inner_->deadlock_free(); }
+  [[nodiscard]] const topo::Topology& topology() const override { return inner_->topology(); }
+  [[nodiscard]] std::uint8_t channel_copies() const override {
+    return inner_->channel_copies();
+  }
+
+  [[nodiscard]] const Router& inner() const { return *inner_; }
+  [[nodiscard]] RouteCacheStats stats() const;
+  /// Routes currently held across all shards (<= configured capacity).
+  [[nodiscard]] std::size_t size() const;
+  [[nodiscard]] std::size_t capacity() const { return shard_capacity_ * num_shards_; }
+  void clear();
+
+ private:
+  struct Shard;
+
+  std::unique_ptr<Router> inner_;
+  std::size_t num_shards_;
+  std::size_t shard_capacity_;
+  std::unique_ptr<Shard[]> shards_;
+  mutable std::atomic<std::uint64_t> hits_{0};
+  mutable std::atomic<std::uint64_t> misses_{0};
+  mutable std::atomic<std::uint64_t> evictions_{0};
+};
+
+/// make_router(...) wrapped in a CachingRouter.
+[[nodiscard]] std::unique_ptr<CachingRouter> make_caching_router(
+    const topo::Topology& topology, Algorithm algorithm, std::uint8_t copies = 1,
+    RouteCacheConfig config = {});
+
+}  // namespace mcnet::mcast

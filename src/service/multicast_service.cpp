@@ -2,9 +2,18 @@
 
 #include <stdexcept>
 
+#include "core/router.hpp"
 #include "wormhole/worm.hpp"
 
 namespace mcnet::svc {
+
+MulticastService::MulticastService(const mcast::Router& router,
+                                   const worm::WormholeParams& params,
+                                   evsim::Scheduler& sched)
+    : MulticastService(
+          router.topology(), params, sched,
+          [&router](const mcast::MulticastRequest& r) { return router.route(r); },
+          [&router](const mcast::MulticastRoute& r) { return router.specs(r); }) {}
 
 MulticastService::MulticastService(const topo::Topology& topology,
                                    const worm::WormholeParams& params,

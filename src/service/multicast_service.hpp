@@ -18,6 +18,10 @@
 #include "evsim/scheduler.hpp"
 #include "wormhole/network.hpp"
 
+namespace mcnet::mcast {
+class Router;
+}
+
 namespace mcnet::svc {
 
 /// Routing policy: produce a multicast route for a request (bind a
@@ -30,9 +34,16 @@ using SpecPolicy = std::function<std::vector<worm::WormSpec>(const mcast::Multic
 class MulticastService {
  public:
   /// Wire the service onto an existing scheduler; `params` configure the
-  /// simulated hardware.
+  /// simulated hardware.  Prefer the Router overload; this one remains as
+  /// the escape hatch for fully custom policies.
   MulticastService(const topo::Topology& topology, const worm::WormholeParams& params,
                    evsim::Scheduler& sched, RoutePolicy route, SpecPolicy specs);
+
+  /// Route everything through a polymorphic Router (e.g. from
+  /// make_router()/make_caching_router()); the router must outlive the
+  /// service and its channel-copy count drives worm-spec conversion.
+  MulticastService(const mcast::Router& router, const worm::WormholeParams& params,
+                   evsim::Scheduler& sched);
 
   using Handle = std::uint64_t;
   /// Callback fired once per destination as the full message arrives.

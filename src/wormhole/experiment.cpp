@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <atomic>
 
+#include "core/router.hpp"
 #include "evsim/scheduler.hpp"
 
 namespace mcnet::worm {
@@ -55,8 +56,18 @@ DynamicResult run_dynamic(const topo::Topology& topology, const RouteBuilder& bu
   return result;
 }
 
+DynamicResult run_dynamic(const mcast::Router& router, const DynamicConfig& config) {
+  return run_dynamic(router.topology(), make_route_builder(router), config);
+}
+
 void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn,
                   unsigned threads) {
+  if (threads == 0) {
+    // hardware_concurrency() may legitimately report 0 (unknown); fall back
+    // to a sane worker count instead of degenerating to a single thread.
+    threads = std::thread::hardware_concurrency();
+    if (threads == 0) threads = 4;
+  }
   threads = std::max(1u, std::min<unsigned>(threads, static_cast<unsigned>(n)));
   if (threads == 1) {
     for (std::size_t i = 0; i < n; ++i) fn(i);

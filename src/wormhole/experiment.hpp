@@ -53,9 +53,15 @@ struct DynamicResult {
                                         const RouteBuilder& builder,
                                         const DynamicConfig& config);
 
+/// Run one dynamic experiment routed through `router` on its own topology.
+[[nodiscard]] DynamicResult run_dynamic(const mcast::Router& router,
+                                        const DynamicConfig& config);
+
 /// Map `fn` over [0, n) on up to `threads` std::threads (independent
 /// simulations only; results land in caller-provided storage inside `fn`).
+/// `threads == 0` means one per hardware thread, falling back to 4 workers
+/// when std::thread::hardware_concurrency() reports 0 (unknown).
 void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn,
-                  unsigned threads = std::thread::hardware_concurrency());
+                  unsigned threads = 0);
 
 }  // namespace mcnet::worm

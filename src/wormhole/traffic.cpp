@@ -2,7 +2,19 @@
 
 #include <algorithm>
 
+#include "core/router.hpp"
+
 namespace mcnet::worm {
+
+RouteBuilder make_route_builder(const mcast::Router& router) {
+  return [&router](topo::NodeId source, const std::vector<topo::NodeId>& destinations) {
+    return router.build(source, destinations);
+  };
+}
+
+TrafficDriver::TrafficDriver(evsim::Scheduler& sched, Network& network, TrafficConfig config,
+                             const mcast::Router& router)
+    : TrafficDriver(sched, network, config, make_route_builder(router)) {}
 
 TrafficDriver::TrafficDriver(evsim::Scheduler& sched, Network& network, TrafficConfig config,
                              RouteBuilder builder)

@@ -12,6 +12,10 @@
 #include "evsim/scheduler.hpp"
 #include "wormhole/network.hpp"
 
+namespace mcnet::mcast {
+class Router;
+}
+
 namespace mcnet::worm {
 
 struct TrafficConfig {
@@ -28,16 +32,25 @@ struct TrafficConfig {
   std::uint64_t seed = 1;
 };
 
-/// Builds the worm specs for one multicast (source + destinations); this is
-/// where the routing algorithm under test plugs in.
+/// Builds the worm specs for one multicast (source + destinations).
+/// Compatibility shim: new code routes through mcast::Router; a builder is
+/// what remains for workloads that need per-message request rewriting.
 using RouteBuilder = std::function<std::vector<WormSpec>(
     topo::NodeId source, const std::vector<topo::NodeId>& destinations)>;
+
+/// Adapt a Router into a RouteBuilder (the router must outlive it).
+[[nodiscard]] RouteBuilder make_route_builder(const mcast::Router& router);
 
 /// Drives one generator per node on the shared scheduler.
 class TrafficDriver {
  public:
   TrafficDriver(evsim::Scheduler& sched, Network& network, TrafficConfig config,
                 RouteBuilder builder);
+
+  /// Route every generated multicast through `router` (which must outlive
+  /// the driver).
+  TrafficDriver(evsim::Scheduler& sched, Network& network, TrafficConfig config,
+                const mcast::Router& router);
 
   /// Schedule the first arrival of every node's generator.
   void start();

@@ -1,0 +1,284 @@
+// The polymorphic Router layer and the CachingRouter decorator: factory
+// coverage against the underlying suites, bit-identical cached routes under
+// repeated and concurrent access, bounded eviction, and the Router-based
+// service / dynamic-experiment entry points.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <thread>
+
+#include "core/route_cache.hpp"
+#include "core/router.hpp"
+#include "evsim/random.hpp"
+#include "evsim/scheduler.hpp"
+#include "service/multicast_service.hpp"
+#include "topology/kary_ncube.hpp"
+#include "topology/mesh3d.hpp"
+#include "wormhole/experiment.hpp"
+
+namespace {
+
+using namespace mcnet;
+using mcast::Algorithm;
+
+std::vector<mcast::MulticastRequest> random_requests(const topo::Topology& t,
+                                                     std::uint32_t count,
+                                                     std::uint32_t max_k,
+                                                     std::uint64_t seed) {
+  evsim::Rng rng(seed);
+  std::vector<mcast::MulticastRequest> out;
+  out.reserve(count);
+  for (std::uint32_t i = 0; i < count; ++i) {
+    const topo::NodeId src = rng.uniform_int(0, t.num_nodes() - 1);
+    const std::uint32_t k = rng.uniform_int(1, max_k);
+    out.push_back({src, rng.sample_destinations(t.num_nodes(), src, k)});
+  }
+  return out;
+}
+
+// (a) make_router covers every algorithm/topology pair the suites support
+// and matches the suites' output exactly.
+
+TEST(MakeRouter, MatchesMeshSuiteOnEveryAlgorithm) {
+  const topo::Mesh2D mesh(8, 8);
+  const mcast::MeshRoutingSuite suite(mesh);
+  const auto requests = random_requests(mesh, 6, 16, 11);
+  for (const Algorithm a : mcast::supported_algorithms(mesh)) {
+    SCOPED_TRACE(std::string(mcast::algorithm_name(a)));
+    const auto router = mcast::make_router(mesh, a);
+    EXPECT_EQ(router->name(), mcast::algorithm_name(a));
+    EXPECT_EQ(router->algorithm(), a);
+    EXPECT_EQ(&router->topology(), static_cast<const topo::Topology*>(&mesh));
+    for (const auto& req : requests) {
+      const mcast::MulticastRoute route = router->route(req);
+      EXPECT_EQ(route, suite.route(a, req));
+      verify_route(mesh, req, route);
+    }
+  }
+}
+
+TEST(MakeRouter, MatchesCubeSuiteOnEveryAlgorithm) {
+  const topo::Hypercube cube(5);
+  const mcast::CubeRoutingSuite suite(cube);
+  const auto requests = random_requests(cube, 6, 12, 13);
+  for (const Algorithm a : mcast::supported_algorithms(cube)) {
+    SCOPED_TRACE(std::string(mcast::algorithm_name(a)));
+    const auto router = mcast::make_router(cube, a);
+    for (const auto& req : requests) {
+      EXPECT_EQ(router->route(req), suite.route(a, req));
+    }
+  }
+}
+
+TEST(MakeRouter, MatchesLabeledSuiteOnMesh3DAndKAry) {
+  const topo::Mesh3D mesh(3, 3, 3);
+  const mcast::LabeledRoutingSuite msuite(
+      mesh, std::make_unique<ham::MixedRadixGrayLabeling>(
+                ham::MixedRadixGrayLabeling::for_mesh3d(mesh)));
+  for (const Algorithm a : mcast::supported_algorithms(mesh)) {
+    SCOPED_TRACE(std::string(mcast::algorithm_name(a)));
+    const auto router = mcast::make_router(mesh, a);
+    for (const auto& req : random_requests(mesh, 5, 8, 17)) {
+      EXPECT_EQ(router->route(req), msuite.route(a, req));
+    }
+  }
+
+  const topo::KAryNCube kary(4, 2);
+  const mcast::LabeledRoutingSuite ksuite(
+      kary, std::make_unique<ham::MixedRadixGrayLabeling>(
+                ham::MixedRadixGrayLabeling::for_kary(kary)));
+  for (const Algorithm a : mcast::supported_algorithms(kary)) {
+    SCOPED_TRACE(std::string(mcast::algorithm_name(a)));
+    const auto router = mcast::make_router(kary, a);
+    for (const auto& req : random_requests(kary, 5, 6, 19)) {
+      EXPECT_EQ(router->route(req), ksuite.route(a, req));
+    }
+  }
+}
+
+TEST(MakeRouter, RejectsInapplicableAlgorithmsAtConstruction) {
+  const topo::Mesh2D mesh(4, 4);
+  EXPECT_THROW((void)mcast::make_router(mesh, Algorithm::kLenTree), std::invalid_argument);
+  EXPECT_THROW((void)mcast::make_router(mesh, Algorithm::kEcubeMT), std::invalid_argument);
+
+  const topo::Hypercube cube(3);
+  EXPECT_THROW((void)mcast::make_router(cube, Algorithm::kXFirstMT), std::invalid_argument);
+  EXPECT_THROW((void)mcast::make_router(cube, Algorithm::kDCXFirstTree),
+               std::invalid_argument);
+
+  const topo::Mesh3D mesh3(2, 2, 2);
+  EXPECT_THROW((void)mcast::make_router(mesh3, Algorithm::kGreedyST), std::invalid_argument);
+}
+
+TEST(MakeRouter, DeadlockFreedomFlags) {
+  const topo::Mesh2D mesh(4, 4);
+  EXPECT_TRUE(mcast::make_router(mesh, Algorithm::kDualPath)->deadlock_free());
+  EXPECT_TRUE(mcast::make_router(mesh, Algorithm::kDCXFirstTree)->deadlock_free());
+  EXPECT_FALSE(mcast::make_router(mesh, Algorithm::kXFirstMT)->deadlock_free());
+  EXPECT_FALSE(mcast::make_router(mesh, Algorithm::kBroadcast)->deadlock_free());
+}
+
+TEST(Router, SpecsMatchWormSpecConversion) {
+  // The mesh router must apply the mesh-aware (quadrant-pinning) policy.
+  const topo::Mesh2D mesh(6, 6);
+  const auto router = mcast::make_router(mesh, Algorithm::kDCXFirstTree, 2);
+  const mcast::MulticastRequest req{7, {0, 14, 30, 35}};
+  const mcast::MulticastRoute route = router->route(req);
+  const auto expected = worm::make_worm_specs(mesh, route, 2);
+  const auto got = router->specs(route);
+  ASSERT_EQ(got.size(), expected.size());
+  for (std::size_t w = 0; w < got.size(); ++w) {
+    ASSERT_EQ(got[w].links.size(), expected[w].links.size());
+    for (std::size_t l = 0; l < got[w].links.size(); ++l) {
+      EXPECT_EQ(got[w].links[l].channel, expected[w].links[l].channel);
+      EXPECT_EQ(got[w].links[l].copy, expected[w].links[l].copy);
+    }
+    EXPECT_EQ(got[w].deliveries, expected[w].deliveries);
+  }
+}
+
+// (b) CachingRouter returns bit-identical routes across repeated and
+// concurrent calls.
+
+TEST(CachingRouter, RepeatedCallsReturnIdenticalRoutes) {
+  const topo::Mesh2D mesh(8, 8);
+  const auto plain = mcast::make_router(mesh, Algorithm::kDualPath);
+  const mcast::CachingRouter cached(mcast::make_router(mesh, Algorithm::kDualPath));
+
+  const auto requests = random_requests(mesh, 40, 12, 23);
+  for (const auto& req : requests) {
+    const mcast::MulticastRoute expected = plain->route(req);
+    EXPECT_EQ(cached.route(req), expected);  // miss path
+    EXPECT_EQ(cached.route(req), expected);  // hit path
+  }
+  const mcast::RouteCacheStats st = cached.stats();
+  EXPECT_GE(st.hits, requests.size());
+  EXPECT_GT(st.hit_rate(), 0.0);
+}
+
+TEST(CachingRouter, PermutedDestinationsShareOneEntry) {
+  const topo::Mesh2D mesh(8, 8);
+  const mcast::CachingRouter cached(mcast::make_router(mesh, Algorithm::kDualPath));
+  const mcast::MulticastRequest forward{0, {5, 9, 27, 42}};
+  const mcast::MulticastRequest reversed{0, {42, 27, 9, 5}};
+  const mcast::MulticastRoute first = cached.route(forward);
+  EXPECT_EQ(cached.route(reversed), first);
+  EXPECT_EQ(cached.stats().hits, 1u);
+  EXPECT_EQ(cached.size(), 1u);
+}
+
+TEST(CachingRouter, ConcurrentCallsAreRaceFreeAndIdentical) {
+  const topo::Mesh2D mesh(8, 8);
+  const auto plain = mcast::make_router(mesh, Algorithm::kMultiPath);
+  const mcast::CachingRouter cached(mcast::make_router(mesh, Algorithm::kMultiPath),
+                                    {.capacity = 64, .shards = 4});
+
+  const auto requests = random_requests(mesh, 32, 10, 29);
+  std::vector<mcast::MulticastRoute> expected;
+  expected.reserve(requests.size());
+  for (const auto& req : requests) expected.push_back(plain->route(req));
+
+  std::atomic<int> mismatches{0};
+  worm::parallel_for(8 * requests.size(), [&](std::size_t i) {
+    const std::size_t r = i % requests.size();
+    if (!(cached.route(requests[r]) == expected[r])) mismatches.fetch_add(1);
+  }, 8);
+  EXPECT_EQ(mismatches.load(), 0);
+  const mcast::RouteCacheStats st = cached.stats();
+  EXPECT_GT(st.hits, 0u);
+  EXPECT_EQ(st.hits + st.misses, 8 * requests.size());
+}
+
+// (c) Eviction respects the configured capacity.
+
+TEST(CachingRouter, EvictsDownToCapacity) {
+  const topo::Mesh2D mesh(8, 8);
+  mcast::CachingRouter cached(mcast::make_router(mesh, Algorithm::kDualPath),
+                              {.capacity = 8, .shards = 2});
+  EXPECT_EQ(cached.capacity(), 8u);
+
+  const auto requests = random_requests(mesh, 200, 6, 31);
+  for (const auto& req : requests) (void)cached.route(req);
+  EXPECT_LE(cached.size(), cached.capacity());
+  EXPECT_GT(cached.stats().evictions, 0u);
+
+  cached.clear();
+  EXPECT_EQ(cached.size(), 0u);
+}
+
+TEST(CachingRouter, LruKeepsHotEntries) {
+  const topo::Mesh2D mesh(8, 8);
+  const mcast::CachingRouter cached(mcast::make_router(mesh, Algorithm::kDualPath),
+                                    {.capacity = 4, .shards = 1});
+  const mcast::MulticastRequest hot{0, {63}};
+  (void)cached.route(hot);
+  // Flood with distinct requests, re-touching `hot` between each so it
+  // stays at the front of the LRU and never gets evicted.
+  for (topo::NodeId d = 1; d < 40; ++d) {
+    (void)cached.route({0, {d}});
+    (void)cached.route(hot);
+  }
+  const std::uint64_t hits_before = cached.stats().hits;
+  (void)cached.route(hot);
+  EXPECT_EQ(cached.stats().hits, hits_before + 1);
+}
+
+// Router-based entry points: service and dynamic harness.
+
+TEST(RouterIntegration, MulticastServiceRoutesThroughRouter) {
+  const topo::Mesh2D mesh(4, 4);
+  const auto router = mcast::make_caching_router(mesh, Algorithm::kDualPath);
+  evsim::Scheduler sched;
+  svc::MulticastService service(
+      *router, {.flit_time = 50e-9, .message_flits = 32, .channel_copies = 1}, sched);
+
+  std::vector<topo::NodeId> delivered;
+  double done_latency = -1.0;
+  service.multicast(
+      {0, {5, 10, 15}},
+      [&](topo::NodeId d, double) { delivered.push_back(d); },
+      [&](double l) { done_latency = l; });
+  sched.run();
+  EXPECT_EQ(delivered.size(), 3u);
+  EXPECT_GT(done_latency, 0.0);
+  EXPECT_TRUE(service.network().idle());
+  EXPECT_EQ(router->stats().misses, 1u);
+
+  // A second identical multicast is a route-cache hit.
+  service.multicast({0, {5, 10, 15}});
+  sched.run();
+  EXPECT_GT(router->stats().hits, 0u);
+}
+
+TEST(RouterIntegration, DynamicRunWithRepeatedGroupsHitsCache) {
+  const topo::Mesh2D mesh(4, 4);
+  const auto router = mcast::make_caching_router(mesh, Algorithm::kDualPath);
+
+  worm::DynamicConfig cfg;
+  cfg.params = {.flit_time = 50e-9, .message_flits = 16, .channel_copies = 1};
+  // 16 nodes x 1 destination = at most 240 distinct requests; a few hundred
+  // messages guarantee repeated destination sets.
+  cfg.traffic = {.mean_interarrival_s = 200e-6,
+                 .avg_destinations = 1,
+                 .fixed_destinations = true,
+                 .exponential_interarrival = false,
+                 .seed = 37};
+  cfg.target_messages = 400;
+  cfg.max_messages = 800;
+  cfg.max_sim_time_s = 0.5;
+  const worm::DynamicResult r = worm::run_dynamic(*router, cfg);
+  EXPECT_GT(r.messages_completed, 0u);
+  EXPECT_GT(router->stats().hits, 0u);
+  EXPECT_GT(router->stats().hit_rate(), 0.0);
+}
+
+TEST(ParallelFor, ExplicitZeroThreadHintFallsBackToSaneWorkerCount) {
+  // A 0 hint (what hardware_concurrency() returns when unknown) must not
+  // degenerate: all indices still execute exactly once.
+  std::vector<std::atomic<int>> counts(64);
+  worm::parallel_for(counts.size(), [&](std::size_t i) { counts[i].fetch_add(1); }, 0);
+  for (const auto& c : counts) EXPECT_EQ(c.load(), 1);
+}
+
+}  // namespace

@@ -12,11 +12,12 @@
 #include <set>
 
 #include "arg_parser.hpp"
-#include "core/route_factory.hpp"
+#include "core/route_cache.hpp"
+#include "core/router.hpp"
 #include "evsim/random.hpp"
-#include "topology/hamiltonian.hpp"
+#include "topology/kary_ncube.hpp"
+#include "topology/mesh3d.hpp"
 #include "wormhole/experiment.hpp"
-#include "wormhole/worm.hpp"
 
 namespace {
 
@@ -25,24 +26,10 @@ using mcast::Algorithm;
 
 struct Instance {
   std::unique_ptr<topo::Topology> topology;
-  std::unique_ptr<mcast::MeshRoutingSuite> mesh_suite;   // mesh:WxH
-  std::unique_ptr<mcast::CubeRoutingSuite> cube_suite;   // cube:N
-  std::unique_ptr<mcast::LabeledRoutingSuite> labeled;   // mesh3 / kary
-
-  [[nodiscard]] mcast::MulticastRoute route(Algorithm a,
-                                            const mcast::MulticastRequest& req) const {
-    if (mesh_suite) return mesh_suite->route(a, req);
-    if (cube_suite) return cube_suite->route(a, req);
-    return labeled->route(a, req);
-  }
-  [[nodiscard]] std::vector<worm::WormSpec> specs(const mcast::MulticastRoute& r,
-                                                  std::uint8_t copies) const {
-    if (mesh_suite) return worm::make_worm_specs(mesh_suite->mesh(), r, copies);
-    return worm::make_worm_specs(*topology, r, copies);
-  }
+  std::unique_ptr<mcast::CachingRouter> router;
 };
 
-Instance make_instance(const std::string& spec) {
+std::unique_ptr<topo::Topology> make_topology(const std::string& spec) {
   const std::size_t colon = spec.find(':');
   if (colon == std::string::npos) throw std::invalid_argument("topology needs kind:dims");
   const std::string kind = spec.substr(0, colon);
@@ -60,38 +47,33 @@ Instance make_instance(const std::string& spec) {
     return out;
   };
 
-  Instance inst;
   if (kind == "mesh") {
     const auto d = parse_dims();
     if (d.size() != 2) throw std::invalid_argument("mesh:WxH");
-    auto mesh = std::make_unique<topo::Mesh2D>(d[0], d[1]);
-    inst.mesh_suite = std::make_unique<mcast::MeshRoutingSuite>(*mesh);
-    inst.topology = std::move(mesh);
-  } else if (kind == "cube") {
+    return std::make_unique<topo::Mesh2D>(d[0], d[1]);
+  }
+  if (kind == "cube") {
     const auto d = parse_dims();
     if (d.size() != 1) throw std::invalid_argument("cube:N");
-    auto cube = std::make_unique<topo::Hypercube>(d[0]);
-    inst.cube_suite = std::make_unique<mcast::CubeRoutingSuite>(*cube);
-    inst.topology = std::move(cube);
-  } else if (kind == "mesh3") {
+    return std::make_unique<topo::Hypercube>(d[0]);
+  }
+  if (kind == "mesh3") {
     const auto d = parse_dims();
     if (d.size() != 3) throw std::invalid_argument("mesh3:XxYxZ");
-    auto mesh = std::make_unique<topo::Mesh3D>(d[0], d[1], d[2]);
-    inst.labeled = std::make_unique<mcast::LabeledRoutingSuite>(
-        *mesh, std::make_unique<ham::MixedRadixGrayLabeling>(
-                   ham::MixedRadixGrayLabeling::for_mesh3d(*mesh)));
-    inst.topology = std::move(mesh);
-  } else if (kind == "kary") {
+    return std::make_unique<topo::Mesh3D>(d[0], d[1], d[2]);
+  }
+  if (kind == "kary") {
     const auto d = parse_dims();
     if (d.size() != 2) throw std::invalid_argument("kary:KxN");
-    auto cube = std::make_unique<topo::KAryNCube>(d[0], d[1]);
-    inst.labeled = std::make_unique<mcast::LabeledRoutingSuite>(
-        *cube, std::make_unique<ham::MixedRadixGrayLabeling>(
-                   ham::MixedRadixGrayLabeling::for_kary(*cube)));
-    inst.topology = std::move(cube);
-  } else {
-    throw std::invalid_argument("unknown topology kind: " + kind);
+    return std::make_unique<topo::KAryNCube>(d[0], d[1]);
   }
+  throw std::invalid_argument("unknown topology kind: " + kind);
+}
+
+Instance make_instance(const std::string& spec, Algorithm algo, std::uint8_t copies) {
+  Instance inst;
+  inst.topology = make_topology(spec);
+  inst.router = mcast::make_caching_router(*inst.topology, algo, copies);
   return inst;
 }
 
@@ -133,8 +115,8 @@ int main(int argc, char** argv) {
     }
     args.reject_unknown();
 
-    const Instance inst = make_instance(topo_spec);
     const Algorithm algo = parse_algorithm(algo_name);
+    const Instance inst = make_instance(topo_spec, algo, copies);
     const std::uint32_t n = inst.topology->num_nodes();
     if (dests >= n) throw std::invalid_argument("dests must be < number of nodes");
 
@@ -144,7 +126,7 @@ int main(int argc, char** argv) {
       for (std::uint32_t r = 0; r < runs; ++r) {
         const topo::NodeId src = rng.uniform_int(0, n - 1);
         const mcast::MulticastRequest req{src, rng.sample_destinations(n, src, dests)};
-        const mcast::MulticastRoute route = inst.route(algo, req);
+        const mcast::MulticastRoute route = inst.router->route(req);
         traffic += static_cast<double>(route.traffic());
         additional += static_cast<double>(route.additional_traffic(dests));
         max_hops += route.max_delivery_hops();
@@ -174,12 +156,8 @@ int main(int argc, char** argv) {
     cfg.target_messages = messages;
     cfg.max_messages = messages * 4;
     cfg.max_sim_time_s = 2.0;
-    const worm::RouteBuilder builder = [&inst, algo, copies](
-                                           topo::NodeId src,
-                                           const std::vector<topo::NodeId>& d) {
-      return inst.specs(inst.route(algo, mcast::MulticastRequest{src, d}), copies);
-    };
-    const worm::DynamicResult r = run_dynamic(*inst.topology, builder, cfg);
+    const worm::DynamicResult r = run_dynamic(*inst.router, cfg);
+    const mcast::RouteCacheStats cache = inst.router->stats();
     if (csv) {
       std::printf(
           "topology,algorithm,dests,interarrival_us,latency_us,ci_us,completion_us,"
@@ -201,6 +179,9 @@ int main(int argc, char** argv) {
                   static_cast<unsigned long long>(r.messages_completed));
       std::printf("  converged: %s, saturated: %s\n", r.converged ? "yes" : "no",
                   r.saturated ? "yes" : "no");
+      std::printf("  route cache:      %llu hits / %llu misses (%.1f%% hit rate)\n",
+                  static_cast<unsigned long long>(cache.hits),
+                  static_cast<unsigned long long>(cache.misses), cache.hit_rate() * 100.0);
     }
     return 0;
   } catch (const std::exception& e) {
