@@ -20,6 +20,34 @@ void MulticastRequest::validate(std::uint32_t num_nodes) const {
   }
 }
 
+MulticastRequest MulticastRequest::normalized(std::uint32_t num_nodes) const {
+  if (source >= num_nodes) {
+    throw std::invalid_argument("multicast source " + std::to_string(source) +
+                                " out of range (network has " + std::to_string(num_nodes) +
+                                " nodes)");
+  }
+  if (destinations.empty()) throw std::invalid_argument("multicast needs >= 1 destination");
+  MulticastRequest out;
+  out.source = source;
+  out.destinations.reserve(destinations.size());
+  std::vector<std::uint8_t> seen(num_nodes, 0);
+  for (const NodeId d : destinations) {
+    if (d >= num_nodes) {
+      throw std::invalid_argument("multicast destination " + std::to_string(d) +
+                                  " out of range (network has " + std::to_string(num_nodes) +
+                                  " nodes)");
+    }
+    if (d == source) {
+      throw std::invalid_argument("multicast destination set contains the source node " +
+                                  std::to_string(source));
+    }
+    if (seen[d] != 0) continue;  // dedupe, keeping first occurrence
+    seen[d] = 1;
+    out.destinations.push_back(d);
+  }
+  return out;
+}
+
 std::uint32_t TreeRoute::add_link(NodeId from, NodeId to, std::int32_t parent) {
   Link link;
   link.from = from;

@@ -22,6 +22,14 @@ struct MulticastRequest {
   /// Throws std::invalid_argument on duplicate destinations, destination ==
   /// source, or empty destination list.
   void validate(std::uint32_t num_nodes) const;
+
+  /// Sanitised copy for routing: duplicate destinations are removed (first
+  /// occurrence kept, order preserved), so sloppy callers cannot build
+  /// degenerate double-delivery worms.  Throws std::invalid_argument with a
+  /// precise message when the source is in the destination set, a node id
+  /// is out of range, or the destination list is empty.  Every Router
+  /// normalises requests on entry; validate() stays as the strict check.
+  [[nodiscard]] MulticastRequest normalized(std::uint32_t num_nodes) const;
 };
 
 /// A single multicast path (the MP / star-branch shape): a walk from the

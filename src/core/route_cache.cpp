@@ -32,6 +32,9 @@ Key make_key(const MulticastRequest& request) {
   key.push_back(request.source);
   key.insert(key.end(), request.destinations.begin(), request.destinations.end());
   std::sort(key.begin() + 1, key.end());
+  // Dedupe so requests carrying duplicate destinations share the entry of
+  // their normalised form (the inner router dedupes before routing).
+  key.erase(std::unique(key.begin() + 1, key.end()), key.end());
   return key;
 }
 
@@ -46,6 +49,11 @@ struct CachingRouter::Shard {
   std::mutex mutex;
   std::list<Entry> lru;  // front = most recently used
   std::unordered_map<Key, std::list<Entry>::iterator, KeyHash> map;
+  // Counters are guarded by `mutex` (not atomics): stats() locks every
+  // shard before summing, so snapshots are never torn across counters.
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+  std::uint64_t evictions = 0;
 };
 
 CachingRouter::CachingRouter(std::unique_ptr<Router> inner, RouteCacheConfig config)
@@ -67,17 +75,17 @@ MulticastRoute CachingRouter::route(const MulticastRequest& request) const {
     const auto it = shard.map.find(key);
     if (it != shard.map.end()) {
       shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
-      hits_.fetch_add(1, std::memory_order_relaxed);
+      ++shard.hits;
       return it->second->route;
     }
   }
 
   // Compute outside the lock: route construction is the expensive part and
   // must not serialise concurrent simulation threads.
-  misses_.fetch_add(1, std::memory_order_relaxed);
   MulticastRoute computed = inner_->route(request);
 
   std::lock_guard<std::mutex> lock(shard.mutex);
+  ++shard.misses;  // we did the work even if another thread won the insert
   if (shard.map.find(key) != shard.map.end()) {
     return computed;  // another thread inserted the same key while we routed
   }
@@ -86,15 +94,25 @@ MulticastRoute CachingRouter::route(const MulticastRequest& request) const {
   if (shard.map.size() > shard_capacity_) {
     shard.map.erase(shard.lru.back().key);
     shard.lru.pop_back();
-    evictions_.fetch_add(1, std::memory_order_relaxed);
+    ++shard.evictions;
   }
   return computed;
 }
 
 RouteCacheStats CachingRouter::stats() const {
-  return RouteCacheStats{hits_.load(std::memory_order_relaxed),
-                         misses_.load(std::memory_order_relaxed),
-                         evictions_.load(std::memory_order_relaxed)};
+  // Acquire every shard lock (in fixed index order; route() only ever
+  // holds one shard at a time, so this cannot deadlock) and sum while all
+  // are held: the returned triple is one global point-in-time snapshot.
+  std::vector<std::unique_lock<std::mutex>> locks;
+  locks.reserve(num_shards_);
+  for (std::size_t s = 0; s < num_shards_; ++s) locks.emplace_back(shards_[s].mutex);
+  RouteCacheStats out;
+  for (std::size_t s = 0; s < num_shards_; ++s) {
+    out.hits += shards_[s].hits;
+    out.misses += shards_[s].misses;
+    out.evictions += shards_[s].evictions;
+  }
+  return out;
 }
 
 std::size_t CachingRouter::size() const {

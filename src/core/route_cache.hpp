@@ -6,10 +6,12 @@
 // multicast work exploits when connections outlive single packets.
 //
 // route() is thread-safe; hit/miss/eviction counters are exposed for
-// observability.
+// observability.  Counters live inside the shards and stats() reads them
+// with every shard lock held, so a concurrent sweep always sees one
+// consistent (hits, misses, evictions) snapshot rather than a torn mix of
+// before/after values.
 #pragma once
 
-#include <atomic>
 #include <cstdint>
 #include <memory>
 
@@ -58,6 +60,8 @@ class CachingRouter final : public Router {
   }
 
   [[nodiscard]] const Router& inner() const { return *inner_; }
+  /// Consistent snapshot: all shard locks are held while the counters are
+  /// summed, so hits/misses/evictions always belong to one point in time.
   [[nodiscard]] RouteCacheStats stats() const;
   /// Routes currently held across all shards (<= configured capacity).
   [[nodiscard]] std::size_t size() const;
@@ -71,9 +75,6 @@ class CachingRouter final : public Router {
   std::size_t num_shards_;
   std::size_t shard_capacity_;
   std::unique_ptr<Shard[]> shards_;
-  mutable std::atomic<std::uint64_t> hits_{0};
-  mutable std::atomic<std::uint64_t> misses_{0};
-  mutable std::atomic<std::uint64_t> evictions_{0};
 };
 
 /// make_router(...) wrapped in a CachingRouter.

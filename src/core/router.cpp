@@ -103,7 +103,7 @@ MeshRouter::MeshRouter(const topo::Mesh2D& mesh, Algorithm algorithm, std::uint8
 }
 
 MulticastRoute MeshRouter::route(const MulticastRequest& request) const {
-  return suite_.route(algorithm_, request);
+  return suite_.route(algorithm_, request.normalized(suite_.mesh().num_nodes()));
 }
 
 std::vector<worm::WormSpec> MeshRouter::specs(const MulticastRoute& route) const {
@@ -116,7 +116,7 @@ CubeRouter::CubeRouter(const topo::Hypercube& cube, Algorithm algorithm, std::ui
 }
 
 MulticastRoute CubeRouter::route(const MulticastRequest& request) const {
-  return suite_.route(algorithm_, request);
+  return suite_.route(algorithm_, request.normalized(suite_.cube().num_nodes()));
 }
 
 std::vector<worm::WormSpec> CubeRouter::specs(const MulticastRoute& route) const {
@@ -131,7 +131,7 @@ LabeledRouter::LabeledRouter(const topo::Topology& topology,
 }
 
 MulticastRoute LabeledRouter::route(const MulticastRequest& request) const {
-  return suite_.route(algorithm_, request);
+  return suite_.route(algorithm_, request.normalized(suite_.topology().num_nodes()));
 }
 
 std::vector<worm::WormSpec> LabeledRouter::specs(const MulticastRoute& route) const {

@@ -24,7 +24,10 @@ class Router {
  public:
   virtual ~Router() = default;
 
-  /// Route one multicast request.
+  /// Route one multicast request.  Implementations normalise the request
+  /// first (see MulticastRequest::normalized): duplicate destinations are
+  /// deduped, and a source inside its own destination set throws
+  /// std::invalid_argument instead of producing a degenerate worm.
   [[nodiscard]] virtual MulticastRoute route(const MulticastRequest& request) const = 0;
 
   /// Convert a route into worm specs, applying the topology's channel-copy

@@ -1,0 +1,32 @@
+#include "fault/fault_injector.hpp"
+
+#include "wormhole/network.hpp"
+
+namespace mcnet::fault {
+
+void apply_fault_event(worm::Network& network, const FaultEvent& event) {
+  switch (event.kind) {
+    case FaultKind::kChannelFail:
+      network.fail_channel(event.id);
+      break;
+    case FaultKind::kChannelRecover:
+      network.recover_channel(event.id);
+      break;
+    case FaultKind::kNodeFail:
+      network.fail_node(event.id);
+      break;
+    case FaultKind::kNodeRecover:
+      network.recover_node(event.id);
+      break;
+  }
+}
+
+void schedule_fault_plan(worm::Network& network, evsim::Scheduler& sched,
+                         const FaultPlan& plan) {
+  for (const FaultEvent& event : plan.events) {
+    sched.schedule_at(event.time,
+                      [&network, event] { apply_fault_event(network, event); });
+  }
+}
+
+}  // namespace mcnet::fault

@@ -1,0 +1,25 @@
+// Binds a FaultPlan onto a live wormhole Network: each event is scheduled
+// on the simulation clock and applied through the Network's fail/recover
+// entry points, so worms holding or requesting failed hardware are killed
+// at the instant the fault fires.
+#pragma once
+
+#include "evsim/scheduler.hpp"
+#include "fault/fault_plan.hpp"
+
+namespace mcnet::worm {
+class Network;
+}
+
+namespace mcnet::fault {
+
+/// Apply one event to the network immediately (at the current simulated
+/// time).
+void apply_fault_event(worm::Network& network, const FaultEvent& event);
+
+/// Schedule every event of `plan` at its absolute simulated time.  Events
+/// in the past (time < sched.now()) throw, matching Scheduler semantics.
+void schedule_fault_plan(worm::Network& network, evsim::Scheduler& sched,
+                         const FaultPlan& plan);
+
+}  // namespace mcnet::fault

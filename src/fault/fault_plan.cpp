@@ -1,0 +1,102 @@
+#include "fault/fault_plan.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "evsim/random.hpp"
+
+namespace mcnet::fault {
+
+namespace {
+
+ChannelId require_channel(const topo::Topology& topology, NodeId u, NodeId v) {
+  const ChannelId c = topology.channel(u, v);
+  if (c == topo::kInvalidChannel) {
+    throw std::invalid_argument("fault plan: " + std::to_string(u) + " -> " +
+                                std::to_string(v) + " is not a link of " + topology.name());
+  }
+  return c;
+}
+
+}  // namespace
+
+FaultPlan& FaultPlan::fail_channel_at(double t, ChannelId c) {
+  events.push_back({t, FaultKind::kChannelFail, c});
+  return *this;
+}
+
+FaultPlan& FaultPlan::recover_channel_at(double t, ChannelId c) {
+  events.push_back({t, FaultKind::kChannelRecover, c});
+  return *this;
+}
+
+FaultPlan& FaultPlan::fail_link_at(double t, const topo::Topology& topology, NodeId u,
+                                   NodeId v) {
+  fail_channel_at(t, require_channel(topology, u, v));
+  fail_channel_at(t, require_channel(topology, v, u));
+  return *this;
+}
+
+FaultPlan& FaultPlan::recover_link_at(double t, const topo::Topology& topology, NodeId u,
+                                      NodeId v) {
+  recover_channel_at(t, require_channel(topology, u, v));
+  recover_channel_at(t, require_channel(topology, v, u));
+  return *this;
+}
+
+FaultPlan& FaultPlan::fail_node_at(double t, NodeId n) {
+  events.push_back({t, FaultKind::kNodeFail, n});
+  return *this;
+}
+
+FaultPlan& FaultPlan::recover_node_at(double t, NodeId n) {
+  events.push_back({t, FaultKind::kNodeRecover, n});
+  return *this;
+}
+
+void FaultPlan::sort() {
+  std::stable_sort(events.begin(), events.end(),
+                   [](const FaultEvent& a, const FaultEvent& b) { return a.time < b.time; });
+}
+
+std::vector<std::pair<ChannelId, ChannelId>> undirected_links(
+    const topo::Topology& topology) {
+  std::vector<std::pair<ChannelId, ChannelId>> links;
+  links.reserve(topology.num_channels() / 2);
+  for (ChannelId c = 0; c < topology.num_channels(); ++c) {
+    const topo::ChannelEnds ends = topology.channel_ends(c);
+    if (ends.from < ends.to) {
+      links.emplace_back(c, topology.channel(ends.to, ends.from));
+    }
+  }
+  return links;
+}
+
+FaultPlan FaultPlan::random_link_failures(const topo::Topology& topology, double fraction,
+                                          double t_begin, double t_end,
+                                          std::uint64_t seed) {
+  if (fraction < 0.0 || fraction > 1.0) {
+    throw std::invalid_argument("fault plan: link-failure fraction must be in [0, 1]");
+  }
+  if (t_end < t_begin) throw std::invalid_argument("fault plan: t_end before t_begin");
+
+  std::vector<std::pair<ChannelId, ChannelId>> links = undirected_links(topology);
+  const std::size_t count =
+      static_cast<std::size_t>(fraction * static_cast<double>(links.size()));
+
+  // Partial Fisher-Yates: the first `count` entries are a uniform sample.
+  evsim::Rng rng(seed);
+  FaultPlan plan;
+  for (std::size_t i = 0; i < count; ++i) {
+    const std::size_t j =
+        i + rng.uniform_int(0, static_cast<std::uint32_t>(links.size() - 1 - i));
+    std::swap(links[i], links[j]);
+    const double t = t_end > t_begin ? rng.uniform(t_begin, t_end) : t_begin;
+    plan.fail_channel_at(t, links[i].first);
+    plan.fail_channel_at(t, links[i].second);
+  }
+  plan.sort();
+  return plan;
+}
+
+}  // namespace mcnet::fault

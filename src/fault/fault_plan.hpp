@@ -1,0 +1,65 @@
+// Deterministic fault schedules: a FaultPlan is a time-ordered list of
+// link/node failures and recoveries, built by hand or sampled from a seed.
+// The same (topology, seed, fraction) triple always yields the same plan,
+// so every degraded-network experiment is reproducible.
+//
+// Plans are pure data; fault_injector.hpp binds one onto a running
+// wormhole Network via the event scheduler.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "topology/topology.hpp"
+
+namespace mcnet::fault {
+
+using topo::ChannelId;
+using topo::NodeId;
+
+enum class FaultKind : std::uint8_t {
+  kChannelFail,
+  kChannelRecover,
+  kNodeFail,
+  kNodeRecover,
+};
+
+struct FaultEvent {
+  double time = 0.0;  // simulated seconds
+  FaultKind kind = FaultKind::kChannelFail;
+  std::uint32_t id = 0;  // ChannelId for channel events, NodeId for node events
+
+  friend bool operator==(const FaultEvent&, const FaultEvent&) = default;
+};
+
+struct FaultPlan {
+  std::vector<FaultEvent> events;
+
+  FaultPlan& fail_channel_at(double t, ChannelId c);
+  FaultPlan& recover_channel_at(double t, ChannelId c);
+  /// Fail / recover both directed channels of the undirected link (u, v).
+  /// Throws std::invalid_argument when u and v are not neighbours.
+  FaultPlan& fail_link_at(double t, const topo::Topology& topology, NodeId u, NodeId v);
+  FaultPlan& recover_link_at(double t, const topo::Topology& topology, NodeId u, NodeId v);
+  FaultPlan& fail_node_at(double t, NodeId n);
+  FaultPlan& recover_node_at(double t, NodeId n);
+
+  /// Stable-sort events by time (builders append out of order freely).
+  void sort();
+
+  [[nodiscard]] bool empty() const { return events.empty(); }
+
+  /// Sample `fraction` of the topology's undirected links (rounded down,
+  /// without replacement) and fail both directions of each at a time drawn
+  /// uniformly from [t_begin, t_end].  Fully determined by `seed`.
+  [[nodiscard]] static FaultPlan random_link_failures(const topo::Topology& topology,
+                                                      double fraction, double t_begin,
+                                                      double t_end, std::uint64_t seed);
+};
+
+/// All undirected links of `topology` as (min-end, max-end) directed channel
+/// pairs, ordered by channel id of the lower end.
+[[nodiscard]] std::vector<std::pair<ChannelId, ChannelId>> undirected_links(
+    const topo::Topology& topology);
+
+}  // namespace mcnet::fault

@@ -1,0 +1,73 @@
+#include "fault/fault_state.hpp"
+
+#include <deque>
+
+namespace mcnet::fault {
+
+FaultState::FaultState(const topo::Topology& topology)
+    : topology_(&topology),
+      channel_failed_(topology.num_channels(), 0),
+      node_failed_(topology.num_nodes(), 0) {}
+
+bool FaultState::fail_channel(ChannelId c) {
+  if (channel_failed_[c] != 0) return false;
+  channel_failed_[c] = 1;
+  ++failed_channel_count_;
+  bump();
+  return true;
+}
+
+bool FaultState::recover_channel(ChannelId c) {
+  if (channel_failed_[c] == 0) return false;
+  channel_failed_[c] = 0;
+  --failed_channel_count_;
+  bump();
+  return true;
+}
+
+bool FaultState::fail_node(NodeId n) {
+  if (node_failed_[n] != 0) return false;
+  node_failed_[n] = 1;
+  ++failed_node_count_;
+  bump();
+  return true;
+}
+
+bool FaultState::recover_node(NodeId n) {
+  if (node_failed_[n] == 0) return false;
+  node_failed_[n] = 0;
+  --failed_node_count_;
+  bump();
+  return true;
+}
+
+std::vector<std::uint8_t> FaultState::reachable_from(NodeId source) const {
+  std::vector<std::uint8_t> seen(topology_->num_nodes(), 0);
+  if (node_failed_[source] != 0) return seen;
+  seen[source] = 1;
+  std::deque<NodeId> frontier{source};
+  while (!frontier.empty()) {
+    const NodeId u = frontier.front();
+    frontier.pop_front();
+    for (const NodeId v : topology_->neighbors(u)) {
+      if (seen[v] != 0) continue;
+      if (!channel_usable(topology_->channel(u, v))) continue;
+      seen[v] = 1;
+      frontier.push_back(v);
+    }
+  }
+  return seen;
+}
+
+std::vector<NodeId> FaultState::unreachable_destinations(
+    NodeId source, const std::vector<NodeId>& destinations) const {
+  if (healthy()) return {};
+  const std::vector<std::uint8_t> seen = reachable_from(source);
+  std::vector<NodeId> out;
+  for (const NodeId d : destinations) {
+    if (seen[d] == 0) out.push_back(d);
+  }
+  return out;
+}
+
+}  // namespace mcnet::fault

@@ -1,0 +1,86 @@
+// Live failure state of a network: which directed channels and nodes are
+// currently failed, plus a monotonically increasing *fault epoch* that
+// bumps on every change.  Consumers that precompute or cache anything
+// derived from the healthy topology (route caches, reachability sets)
+// compare epochs instead of diffing failure sets.
+//
+// FaultState is the single source of truth shared between the wormhole
+// Network (which kills worms on the failed hardware) and the fault-aware
+// routing layer (which routes around it).  Mutations must happen on the
+// simulation thread -- in a running simulation, always mutate through
+// worm::Network::fail_channel()/fail_node() so in-flight worms are killed
+// consistently; mutating the state directly is only safe before injection
+// starts.  epoch() is atomic and may be polled from other threads.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <vector>
+
+#include "topology/topology.hpp"
+
+namespace mcnet::fault {
+
+using topo::ChannelId;
+using topo::NodeId;
+
+class FaultState {
+ public:
+  explicit FaultState(const topo::Topology& topology);
+
+  /// Mark a directed channel failed / recovered.  Return true when the
+  /// state changed (and the epoch advanced); repeated calls are idempotent.
+  bool fail_channel(ChannelId c);
+  bool recover_channel(ChannelId c);
+
+  /// Mark a node failed / recovered.  A failed node cannot source, sink or
+  /// forward messages: every channel incident to it becomes unusable
+  /// (without being individually marked failed, so recovery is exact).
+  bool fail_node(NodeId n);
+  bool recover_node(NodeId n);
+
+  [[nodiscard]] bool channel_failed(ChannelId c) const { return channel_failed_[c] != 0; }
+  [[nodiscard]] bool node_failed(NodeId n) const { return node_failed_[n] != 0; }
+
+  /// A channel carries traffic iff it is not failed and neither endpoint is.
+  [[nodiscard]] bool channel_usable(ChannelId c) const {
+    if (channel_failed_[c] != 0) return false;
+    const topo::ChannelEnds ends = topology_->channel_ends(c);
+    return node_failed_[ends.from] == 0 && node_failed_[ends.to] == 0;
+  }
+
+  /// Fast path: true when nothing at all is failed.
+  [[nodiscard]] bool healthy() const {
+    return failed_channel_count_ == 0 && failed_node_count_ == 0;
+  }
+
+  /// Bumped on every successful fail/recover call.
+  [[nodiscard]] std::uint64_t epoch() const {
+    return epoch_.load(std::memory_order_acquire);
+  }
+
+  [[nodiscard]] std::size_t failed_channel_count() const { return failed_channel_count_; }
+  [[nodiscard]] std::size_t failed_node_count() const { return failed_node_count_; }
+  [[nodiscard]] const topo::Topology& topology() const { return *topology_; }
+
+  /// BFS over usable channels: flags[v] != 0 iff v is reachable from
+  /// `source` in the degraded topology (a failed source reaches nothing,
+  /// not even itself).
+  [[nodiscard]] std::vector<std::uint8_t> reachable_from(NodeId source) const;
+
+  /// The subset of `destinations` unreachable from `source`, in input order.
+  [[nodiscard]] std::vector<NodeId> unreachable_destinations(
+      NodeId source, const std::vector<NodeId>& destinations) const;
+
+ private:
+  void bump() { epoch_.fetch_add(1, std::memory_order_acq_rel); }
+
+  const topo::Topology* topology_;
+  std::vector<std::uint8_t> channel_failed_;  // per directed channel
+  std::vector<std::uint8_t> node_failed_;     // per node
+  std::size_t failed_channel_count_ = 0;
+  std::size_t failed_node_count_ = 0;
+  std::atomic<std::uint64_t> epoch_{0};
+};
+
+}  // namespace mcnet::fault

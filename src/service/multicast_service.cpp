@@ -1,11 +1,39 @@
 #include "service/multicast_service.hpp"
 
+#include <algorithm>
+#include <cmath>
 #include <stdexcept>
+#include <unordered_set>
 
 #include "core/router.hpp"
+#include "fault/fault_router.hpp"
 #include "wormhole/worm.hpp"
 
 namespace mcnet::svc {
+
+/// One reliable multicast from first attempt to final report.
+struct MulticastService::ReliableOp {
+  std::uint64_t id = 0;
+  topo::NodeId source = 0;
+  RetryPolicy policy;
+  ReportFn on_report;
+  std::size_t total = 0;  // destinations awaiting a terminal status
+  std::unordered_map<topo::NodeId, DeliveryReport::Destination> final_;
+  std::uint32_t attempts_used = 0;
+  bool reported = false;
+};
+
+/// Live state of one attempt: which destinations it still owes.
+struct MulticastService::AttemptTrack {
+  std::unordered_set<topo::NodeId> remaining;
+  bool settled = false;  // attempt finished (done, or timed out and aborted)
+};
+
+void MulticastService::reliable_finalize(ReliableOp& op, topo::NodeId node,
+                                         DeliveryReport::Status status,
+                                         std::uint32_t attempt, double latency_s) {
+  op.final_[node] = DeliveryReport::Destination{node, status, attempt, latency_s};
+}
 
 MulticastService::MulticastService(const mcast::Router& router,
                                    const worm::WormholeParams& params,
@@ -14,6 +42,30 @@ MulticastService::MulticastService(const mcast::Router& router,
           router.topology(), params, sched,
           [&router](const mcast::MulticastRequest& r) { return router.route(r); },
           [&router](const mcast::MulticastRoute& r) { return router.specs(r); }) {}
+
+MulticastService::MulticastService(const fault::FaultAwareRouter& router,
+                                   const worm::WormholeParams& params,
+                                   evsim::Scheduler& sched)
+    : MulticastService(static_cast<const mcast::Router&>(router), params, sched) {
+  fault_router_ = &router;
+  // Re-wire the network onto the router's FaultState so fail/recover calls
+  // and routing decisions agree on the failure set.
+  network_ = std::make_unique<worm::Network>(router.topology(), params, sched,
+                                            router.fault_state());
+  worm::NetworkHooks hooks;
+  hooks.on_delivery = [this](std::uint64_t msg, topo::NodeId dest, double latency) {
+    const auto it = pending_.find(msg);
+    if (it != pending_.end() && it->second.on_delivery) it->second.on_delivery(dest, latency);
+  };
+  hooks.on_message_done = [this](std::uint64_t msg, double latency) {
+    const auto it = pending_.find(msg);
+    if (it == pending_.end()) return;
+    const DoneFn done = std::move(it->second.on_done);
+    pending_.erase(it);
+    if (done) done(latency);
+  };
+  network_->set_hooks(std::move(hooks));
+}
 
 MulticastService::MulticastService(const topo::Topology& topology,
                                    const worm::WormholeParams& params,
@@ -42,13 +94,123 @@ MulticastService::MulticastService(const topo::Topology& topology,
 
 MulticastService::Handle MulticastService::multicast(const mcast::MulticastRequest& request,
                                                      DeliveryFn on_delivery, DoneFn on_done) {
-  request.validate(topology_->num_nodes());
-  const mcast::MulticastRoute route = route_(request);
+  const mcast::MulticastRequest req = request.normalized(topology_->num_nodes());
+  const mcast::MulticastRoute route = route_(req);
   const Handle h = network_->inject(specs_(route));
   if (on_delivery || on_done) {
     pending_[h] = Pending{std::move(on_delivery), std::move(on_done)};
   }
   return h;
+}
+
+std::uint64_t MulticastService::multicast_reliable(const mcast::MulticastRequest& request,
+                                                   ReportFn on_report, RetryPolicy policy) {
+  if (fault_router_ == nullptr) {
+    throw std::logic_error(
+        "multicast_reliable needs the FaultAwareRouter constructor (no fault state bound)");
+  }
+  if (policy.max_attempts == 0) throw std::invalid_argument("retry policy needs >= 1 attempt");
+  if (policy.timeout_s <= 0.0) throw std::invalid_argument("retry timeout must be positive");
+
+  const mcast::MulticastRequest req = request.normalized(topology_->num_nodes());
+  auto op = std::make_shared<ReliableOp>();
+  op->id = next_reliable_id_++;
+  op->source = req.source;
+  op->policy = policy;
+  op->on_report = std::move(on_report);
+  op->total = req.destinations.size();
+  reliable_attempt(op, req.destinations, 1);
+  return op->id;
+}
+
+void MulticastService::reliable_maybe_report(const std::shared_ptr<ReliableOp>& op) {
+  if (op->reported || op->final_.size() < op->total) return;
+  op->reported = true;
+  DeliveryReport report;
+  report.attempts_used = op->attempts_used;
+  report.finished_at_s = sched_->now();
+  report.destinations.reserve(op->final_.size());
+  for (const auto& [node, dest] : op->final_) report.destinations.push_back(dest);
+  std::sort(report.destinations.begin(), report.destinations.end(),
+            [](const auto& a, const auto& b) { return a.node < b.node; });
+  if (op->on_report) op->on_report(report);
+}
+
+void MulticastService::reliable_attempt(const std::shared_ptr<ReliableOp>& op,
+                                        std::vector<topo::NodeId> destinations,
+                                        std::uint32_t attempt) {
+  op->attempts_used = std::max(op->attempts_used, attempt);
+  // Route around everything failed *now*; partitioned destinations are
+  // terminal immediately (no point burning the retry budget on them).
+  const fault::FaultRouteResult routed =
+      fault_router_->route_with_faults({op->source, destinations});
+  for (const topo::NodeId u : routed.unreachable) {
+    reliable_finalize(*op, u, DeliveryReport::Status::kUnreachable, attempt, -1.0);
+  }
+  std::vector<topo::NodeId> routable;
+  routable.reserve(destinations.size());
+  {
+    std::unordered_set<topo::NodeId> cut(routed.unreachable.begin(),
+                                         routed.unreachable.end());
+    for (const topo::NodeId d : destinations) {
+      if (cut.find(d) == cut.end()) routable.push_back(d);
+    }
+  }
+  if (routable.empty()) {
+    reliable_maybe_report(op);
+    return;
+  }
+
+  auto att = std::make_shared<AttemptTrack>();
+  att->remaining.insert(routable.begin(), routable.end());
+
+  std::vector<worm::WormSpec> specs = specs_(routed.route);
+  if (specs.empty()) {
+    // Defensive: nothing to inject means nothing can deliver; go straight
+    // to the retry/terminal path instead of waiting out the timeout.
+    reliable_attempt_done(op, att, attempt);
+    return;
+  }
+  const Handle h = network_->inject(std::move(specs));
+  pending_[h] = Pending{
+      [op, att, attempt](topo::NodeId dest, double latency) {
+        if (att->settled || att->remaining.erase(dest) == 0) return;
+        reliable_finalize(*op, dest, DeliveryReport::Status::kDelivered, attempt,
+                             latency);
+      },
+      [this, op, att, attempt](double) { reliable_attempt_done(op, att, attempt); }};
+
+  // Timeout backstop: whatever is still in flight when it expires is
+  // aborted, which drops the undelivered destinations and fires the done
+  // callback above.  This is what guarantees the simulation cannot hang on
+  // a reliable message, deadlocked fallback routes included.
+  sched_->schedule_in(op->policy.timeout_s, [this, att, h] {
+    if (!att->settled) network_->abort_message(h);
+  });
+}
+
+void MulticastService::reliable_attempt_done(const std::shared_ptr<ReliableOp>& op,
+                                             const std::shared_ptr<AttemptTrack>& att,
+                                             std::uint32_t attempt) {
+  att->settled = true;
+  std::vector<topo::NodeId> failed(att->remaining.begin(), att->remaining.end());
+  std::sort(failed.begin(), failed.end());  // deterministic retry order
+  if (failed.empty()) {
+    reliable_maybe_report(op);
+    return;
+  }
+  if (attempt >= op->policy.max_attempts) {
+    for (const topo::NodeId d : failed) {
+      reliable_finalize(*op, d, DeliveryReport::Status::kDropped, attempt, -1.0);
+    }
+    reliable_maybe_report(op);
+    return;
+  }
+  const double delay = op->policy.backoff_initial_s *
+                       std::pow(op->policy.backoff_factor, static_cast<double>(attempt - 1));
+  sched_->schedule_in(delay, [this, op, failed, attempt] {
+    reliable_attempt(op, failed, attempt + 1);
+  });
 }
 
 MulticastService::Handle MulticastService::unicast(topo::NodeId source,

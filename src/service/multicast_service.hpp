@@ -7,6 +7,13 @@
 // worms or channels.  Collective operations (barrier, broadcast, gather)
 // are built on the same primitive, mirroring how the paper motivates
 // multicast with barrier synchronisation and data distribution.
+//
+// Under failures (see fault/), multicast_reliable() degrades gracefully
+// instead of hanging: every attempt carries a timeout (expiry aborts the
+// attempt's worms), dropped destinations are retried with exponential
+// backoff and re-routed around whatever has failed since, and callers get
+// a DeliveryReport naming each destination delivered / dropped /
+// unreachable.
 #pragma once
 
 #include <cstdint>
@@ -21,6 +28,9 @@
 namespace mcnet::mcast {
 class Router;
 }
+namespace mcnet::fault {
+class FaultAwareRouter;
+}
 
 namespace mcnet::svc {
 
@@ -30,6 +40,57 @@ using RoutePolicy = std::function<mcast::MulticastRoute(const mcast::MulticastRe
 
 /// Spec conversion policy (handles channel-copy pinning per topology).
 using SpecPolicy = std::function<std::vector<worm::WormSpec>(const mcast::MulticastRoute&)>;
+
+/// Retry/backoff policy for multicast_reliable().  All times are simulated
+/// seconds; the backoff sequence is deterministic (no jitter), so runs
+/// replay exactly.
+struct RetryPolicy {
+  /// Total attempts per destination (1 = no retry).
+  std::uint32_t max_attempts = 4;
+  /// Per-attempt timeout: when it expires, the attempt's remaining worms
+  /// are aborted and the undelivered destinations move to retry.
+  double timeout_s = 500e-6;
+  /// Delay before the first retry; attempt n waits
+  /// backoff_initial_s * backoff_factor^(n-1).
+  double backoff_initial_s = 50e-6;
+  double backoff_factor = 2.0;
+};
+
+/// Per-destination outcome of a reliable multicast.
+struct DeliveryReport {
+  enum class Status : std::uint8_t {
+    kDelivered,    // message arrived (possibly after retries)
+    kDropped,      // every attempt failed; retry budget exhausted
+    kUnreachable,  // no usable path existed at routing time (partition)
+  };
+
+  struct Destination {
+    topo::NodeId node = topo::kInvalidNode;
+    Status status = Status::kDropped;
+    /// Attempts spent on this destination (the successful one included).
+    std::uint32_t attempts = 0;
+    /// Delivery latency of the successful attempt (-1 when not delivered),
+    /// measured from that attempt's injection.
+    double latency_s = -1.0;
+  };
+
+  /// Sorted by node id.
+  std::vector<Destination> destinations;
+  /// Highest attempt number any destination consumed.
+  std::uint32_t attempts_used = 0;
+  /// Simulated time the report was finalised.
+  double finished_at_s = 0.0;
+
+  [[nodiscard]] std::size_t count(Status s) const {
+    std::size_t n = 0;
+    for (const Destination& d : destinations) n += d.status == s ? 1 : 0;
+    return n;
+  }
+  [[nodiscard]] std::size_t delivered() const { return count(Status::kDelivered); }
+  [[nodiscard]] std::size_t dropped() const { return count(Status::kDropped); }
+  [[nodiscard]] std::size_t unreachable() const { return count(Status::kUnreachable); }
+  [[nodiscard]] bool all_delivered() const { return delivered() == destinations.size(); }
+};
 
 class MulticastService {
  public:
@@ -45,16 +106,34 @@ class MulticastService {
   MulticastService(const mcast::Router& router, const worm::WormholeParams& params,
                    evsim::Scheduler& sched);
 
+  /// Failure-aware wiring: the service's Network shares the router's
+  /// FaultState, and multicast_reliable() becomes available.  The router
+  /// must outlive the service.
+  MulticastService(const fault::FaultAwareRouter& router,
+                   const worm::WormholeParams& params, evsim::Scheduler& sched);
+
   using Handle = std::uint64_t;
   /// Callback fired once per destination as the full message arrives.
   using DeliveryFn = std::function<void(topo::NodeId destination, double latency_s)>;
   /// Callback fired when every destination has the message and the tail
   /// has drained.
   using DoneFn = std::function<void(double latency_s)>;
+  /// Callback fired once per reliable multicast with the final report.
+  using ReportFn = std::function<void(const DeliveryReport&)>;
 
-  /// Send `request` (validated); callbacks are optional.
+  /// Send `request` (normalised: duplicate destinations deduped, source in
+  /// the destination set rejected); callbacks are optional.
   Handle multicast(const mcast::MulticastRequest& request, DeliveryFn on_delivery = {},
                    DoneFn on_done = {});
+
+  /// Fault-tolerant send: per-attempt timeout, bounded retry with
+  /// exponential backoff for dropped destinations, unreachable reporting
+  /// for partitioned ones.  `on_report` fires exactly once, when every
+  /// destination reached a terminal status; the simulation never hangs on
+  /// a reliable message.  Requires the FaultAwareRouter constructor
+  /// (throws std::logic_error otherwise).  Returns an operation id.
+  std::uint64_t multicast_reliable(const mcast::MulticastRequest& request,
+                                   ReportFn on_report, RetryPolicy policy = {});
 
   /// One-destination convenience.
   Handle unicast(topo::NodeId source, topo::NodeId destination, DoneFn on_done = {});
@@ -75,11 +154,27 @@ class MulticastService {
   [[nodiscard]] worm::Network& network() { return *network_; }
 
  private:
+  struct ReliableOp;     // one reliable multicast (defined in the .cpp)
+  struct AttemptTrack;   // one attempt of it
+
+  void reliable_attempt(const std::shared_ptr<ReliableOp>& op,
+                        std::vector<topo::NodeId> destinations, std::uint32_t attempt);
+  void reliable_attempt_done(const std::shared_ptr<ReliableOp>& op,
+                             const std::shared_ptr<AttemptTrack>& att,
+                             std::uint32_t attempt);
+  static void reliable_finalize(ReliableOp& op, topo::NodeId node,
+                                DeliveryReport::Status status, std::uint32_t attempt,
+                                double latency_s);
+  /// Fire the report once every destination is terminal.
+  void reliable_maybe_report(const std::shared_ptr<ReliableOp>& op);
+
   const topo::Topology* topology_;
   evsim::Scheduler* sched_;
   std::unique_ptr<worm::Network> network_;
   RoutePolicy route_;
   SpecPolicy specs_;
+  const fault::FaultAwareRouter* fault_router_ = nullptr;
+  std::uint64_t next_reliable_id_ = 0;
 
   struct Pending {
     DeliveryFn on_delivery;

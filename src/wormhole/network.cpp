@@ -11,14 +11,19 @@ constexpr std::uint8_t kNotGranted = 0xFF;
 }
 
 Network::Network(const topo::Topology& topology, const WormholeParams& params,
-                 evsim::Scheduler& sched)
+                 evsim::Scheduler& sched, std::shared_ptr<fault::FaultState> faults)
     : topology_(&topology),
       params_(params),
       sched_(&sched),
       pool_(topology.num_channels(), params.channel_copies, params.arbitration,
-            [this](std::uint32_t worm_id) { return worms_[worm_id].t_created; }) {
+            [this](std::uint32_t worm_id) { return worms_[worm_id].t_created; }),
+      faults_(std::move(faults)) {
   if (params.message_flits == 0) throw std::invalid_argument("message needs >= 1 flit");
   if (params.flit_time <= 0.0) throw std::invalid_argument("flit time must be positive");
+  if (!faults_) faults_ = std::make_shared<fault::FaultState>(topology);
+  if (faults_->topology().num_channels() != topology.num_channels()) {
+    throw std::invalid_argument("fault state built for another topology");
+  }
   acquired_at_.assign(static_cast<std::size_t>(topology.num_channels()) *
                           params.channel_copies,
                       0.0);
@@ -91,6 +96,7 @@ std::uint32_t Network::allocate_worm() {
     return id;
   }
   worms_.emplace_back();
+  worm_gen_.push_back(0);
   return static_cast<std::uint32_t>(worms_.size() - 1);
 }
 
@@ -100,6 +106,16 @@ void Network::begin_frontier(std::uint32_t worm_id) {
   w.frontier_begin = w.depth_start[depth];
   w.frontier_end = w.depth_start[depth + 1];
   w.granted = 0;
+  // A frontier touching failed hardware kills the worm: it can never be
+  // granted, and letting it hold-and-wait would wedge the network.
+  if (!faults_->healthy()) {
+    for (std::uint32_t i = w.frontier_begin; i < w.frontier_end; ++i) {
+      if (!faults_->channel_usable(w.links[i].channel)) {
+        kill_worm(worm_id);
+        return;
+      }
+    }
+  }
   const std::uint32_t frontier_size = w.frontier_end - w.frontier_begin;
   for (std::uint32_t i = w.frontier_begin; i < w.frontier_end; ++i) {
     const WormLink& link = w.links[i];
@@ -110,7 +126,7 @@ void Network::begin_frontier(std::uint32_t worm_id) {
     }
   }
   if (w.granted == frontier_size) {
-    sched_->schedule_in(params_.flit_time, [this, worm_id] { advance(worm_id); });
+    schedule_for_worm(params_.flit_time, worm_id, [this, worm_id] { advance(worm_id); });
   } else {
     w.block_started = sched_->now();
     if (params_.virtual_cut_through) vct_absorb(worm_id);
@@ -189,7 +205,7 @@ void Network::on_grant(std::uint32_t worm_id, std::uint32_t link_index, std::uin
       w.blocked_time += sched_->now() - w.block_started;
       w.block_started = -1.0;
     }
-    sched_->schedule_in(params_.flit_time, [this, worm_id] { advance(worm_id); });
+    schedule_for_worm(params_.flit_time, worm_id, [this, worm_id] { advance(worm_id); });
   }
 }
 
@@ -248,33 +264,43 @@ void Network::drain(std::uint32_t worm_id) {
   const double tau = params_.flit_time;
   const std::uint32_t p = w.progress;
 
+  // The next_delivery / next_release cursors advance as each scheduled
+  // event actually fires (not eagerly here), so a mid-drain kill_worm sees
+  // exactly which links are still held and which destinations are still
+  // owed a delivery.  A kill bumps the worm generation, cancelling every
+  // event scheduled below.
   for (std::uint32_t i = w.next_delivery; i < w.deliveries.size(); ++i) {
     const auto [depth, dest] = w.deliveries[i];
     const double dt = static_cast<double>(depth + l - 1 - p) * tau;
-    sched_->schedule_in(dt, [this, worm_id, dest] {
-      const Worm& worm = worms_[worm_id];
+    schedule_for_worm(dt, worm_id, [this, worm_id, i, dest] {
+      Worm& worm = worms_[worm_id];
+      worm.next_delivery = i + 1;
       if (hooks_.on_delivery) {
         hooks_.on_delivery(worm.message, dest, sched_->now() - worm.t_created);
       }
     });
   }
-  w.next_delivery = static_cast<std::uint32_t>(w.deliveries.size());
 
   for (std::uint32_t i = w.next_release; i < w.links.size(); ++i) {
     const double dt = static_cast<double>(w.links[i].depth + l - p) * tau;
-    sched_->schedule_in(dt, [this, worm_id, i] { release_link(worms_[worm_id], i); });
+    schedule_for_worm(dt, worm_id, [this, worm_id, i] {
+      Worm& worm = worms_[worm_id];
+      worm.next_release = i + 1;
+      release_link(worm, i);
+    });
   }
-  w.next_release = static_cast<std::uint32_t>(w.links.size());
 
   // All releases (and the last delivery) lie at most L flit times out; the
   // finish event is scheduled last so equal-time releases run first.
-  sched_->schedule_in(static_cast<double>(l) * tau, [this, worm_id] { finish_worm(worm_id); });
+  schedule_for_worm(static_cast<double>(l) * tau, worm_id,
+                    [this, worm_id] { finish_worm(worm_id); });
 }
 
 void Network::finish_worm(std::uint32_t worm_id) {
   // Retire the worm slot completely before firing the completion hook: the
   // hook may inject new multicasts, reallocating worms_ / messages_ and
   // reusing this slot.
+  ++worm_gen_[worm_id];  // drop any stray scheduled callbacks
   const std::uint64_t message_id = worms_[worm_id].message;
   blocked_time_total_ += worms_[worm_id].blocked_time;
   {
@@ -296,6 +322,111 @@ void Network::finish_worm(std::uint32_t worm_id) {
     if (hooks_.on_message_done) {
       hooks_.on_message_done(message_id, sched_->now() - t_created);  // may inject
     }
+  }
+}
+
+void Network::kill_worm(std::uint32_t worm_id) {
+  if (!worms_[worm_id].active) return;
+  ++worm_gen_[worm_id];  // cancel every scheduled event of this incarnation
+  pool_.cancel_requests(worm_id);
+  {
+    Worm& w = worms_[worm_id];
+    if (w.block_started >= 0.0) {
+      w.blocked_time += sched_->now() - w.block_started;
+      w.block_started = -1.0;
+    }
+  }
+  // Destinations the worm still owed a delivery are dropped.
+  std::vector<NodeId> dropped;
+  {
+    const Worm& w = worms_[worm_id];
+    for (std::uint32_t i = w.next_delivery; i < w.deliveries.size(); ++i) {
+      dropped.push_back(w.deliveries[i].second);
+    }
+  }
+  // Release surviving holds; grant cascades fire the channel-trace hooks,
+  // which may inject, so re-fetch the worm reference every iteration.
+  const std::uint32_t num_links = static_cast<std::uint32_t>(worms_[worm_id].links.size());
+  for (std::uint32_t i = worms_[worm_id].next_release; i < num_links; ++i) {
+    Worm& w = worms_[worm_id];
+    if (w.copy_used[i] == kNotGranted) continue;
+    release_link(w, i);
+  }
+
+  const std::uint64_t message_id = worms_[worm_id].message;
+  blocked_time_total_ += worms_[worm_id].blocked_time;
+  ++worms_killed_;
+  deliveries_dropped_ += dropped.size();
+  {
+    Worm& w = worms_[worm_id];
+    w.active = false;
+    w.links.clear();
+    w.links.shrink_to_fit();
+    w.deliveries.clear();
+    w.copy_used.clear();
+    w.depth_start.clear();
+  }
+  --active_worms_;
+  free_worm_slots_.push_back(worm_id);
+
+  const double now = sched_->now();
+  if (hooks_.on_drop) {
+    for (const NodeId d : dropped) hooks_.on_drop(message_id, d, now);  // may inject
+  }
+  const double t_created = messages_[message_id].t_created;
+  if (--messages_[message_id].worms_left == 0) {
+    ++messages_completed_;
+    if (hooks_.on_message_done) {
+      hooks_.on_message_done(message_id, sched_->now() - t_created);  // may inject
+    }
+  }
+}
+
+void Network::kill_channel_users(ChannelId c) {
+  // Snapshot (worm, generation) pairs first: kills cascade grants and may
+  // inject via hooks, either of which reshuffles pool state under us.
+  std::vector<std::pair<std::uint32_t, std::uint64_t>> victims;
+  for (std::uint8_t k = 0; k < pool_.copies(); ++k) {
+    const std::uint32_t holder = pool_.holder(c, k);
+    if (holder != kNoWorm) victims.emplace_back(holder, worm_gen_[holder]);
+  }
+  for (const ChannelRequest& req : pool_.waiters(c)) {
+    victims.emplace_back(req.worm_id, worm_gen_[req.worm_id]);
+  }
+  for (const auto& [id, gen] : victims) {
+    if (worm_gen_[id] == gen && worms_[id].active) kill_worm(id);
+  }
+}
+
+void Network::fail_channel(ChannelId c) {
+  if (!faults_->fail_channel(c)) return;
+  kill_channel_users(c);
+}
+
+void Network::recover_channel(ChannelId c) { faults_->recover_channel(c); }
+
+void Network::fail_node(NodeId n) {
+  if (!faults_->fail_node(n)) return;
+  // Every channel incident to the node is now unusable; evict its users.
+  // neighbors() returns a span into the immutable topology, so it stays
+  // valid across the kill cascades.
+  for (const NodeId v : topology_->neighbors(n)) {
+    kill_channel_users(topology_->channel(n, v));
+    kill_channel_users(topology_->channel(v, n));
+  }
+}
+
+void Network::recover_node(NodeId n) { faults_->recover_node(n); }
+
+void Network::abort_message(std::uint64_t message_id) {
+  std::vector<std::pair<std::uint32_t, std::uint64_t>> victims;
+  for (std::uint32_t id = 0; id < worms_.size(); ++id) {
+    if (worms_[id].active && worms_[id].message == message_id) {
+      victims.emplace_back(id, worm_gen_[id]);
+    }
+  }
+  for (const auto& [id, gen] : victims) {
+    if (worm_gen_[id] == gen && worms_[id].active) kill_worm(id);
   }
 }
 

@@ -1,14 +1,26 @@
 // The wormhole network simulator: drives worm trees through the channel
 // pool on an evsim::Scheduler, records per-destination latency, and exposes
 // the blocked-worm wait-for graph for deadlock analysis.
+//
+// Fault model: the network shares a fault::FaultState with the routing
+// layer.  When a channel or node fails mid-flight, every worm holding or
+// requesting the failed hardware is killed -- its channels release (waiters
+// cascade normally), its queued requests are cancelled, and each
+// not-yet-delivered destination is reported through the on_drop hook and
+// counted.  A worm whose frontier reaches a failed channel later is killed
+// at that point, so no worm ever blocks on dead hardware.  Recovery makes
+// the hardware acquirable again; it never resurrects killed worms (the
+// service layer's retry path re-sends instead).
 #pragma once
 
 #include <cstdint>
 #include <functional>
 #include <limits>
+#include <memory>
 #include <vector>
 
 #include "evsim/scheduler.hpp"
+#include "fault/fault_state.hpp"
 #include "topology/topology.hpp"
 #include "wormhole/channel_pool.hpp"
 #include "wormhole/worm.hpp"
@@ -39,7 +51,12 @@ struct NetworkHooks {
   std::function<void(std::uint64_t message_id, NodeId destination, double latency_s)>
       on_delivery;
   /// Every worm of a message finished (all deliveries + tail drained).
+  /// Fires for killed messages too, once their last worm is gone; pair it
+  /// with on_drop to tell full deliveries from degraded ones.
   std::function<void(std::uint64_t message_id, double latency_s)> on_message_done;
+  /// A destination will never receive this message: the worm carrying it
+  /// was killed by a fault or an abort_message() call.
+  std::function<void(std::uint64_t message_id, NodeId destination, double t)> on_drop;
   /// Channel-level trace (for audits/visualisation): a worm acquired /
   /// released physical copy `copy` of channel `c` at the current time.
   std::function<void(ChannelId c, std::uint8_t copy, std::uint32_t worm_id, double t)>
@@ -50,14 +67,43 @@ struct NetworkHooks {
 
 class Network {
  public:
+  /// `faults` is the failure state to simulate against; pass the instance
+  /// shared with a fault::FaultAwareRouter so routing and the simulator
+  /// agree on what is dead.  nullptr creates a private all-healthy state.
   Network(const topo::Topology& topology, const WormholeParams& params,
-          evsim::Scheduler& sched);
+          evsim::Scheduler& sched, std::shared_ptr<fault::FaultState> faults = nullptr);
 
   /// Inject a multicast as a set of worms created at the current simulated
-  /// time; returns the message id.
+  /// time; returns the message id.  Worms routed over already-failed
+  /// channels are killed immediately (their destinations drop).
   std::uint64_t inject(std::vector<WormSpec> specs);
 
   void set_hooks(NetworkHooks hooks) { hooks_ = std::move(hooks); }
+
+  /// Fail a directed channel at the current simulated time: worms holding
+  /// or waiting on any copy of it are killed.  Idempotent.
+  void fail_channel(ChannelId c);
+  /// Recover a failed channel (new acquisitions succeed again).
+  void recover_channel(ChannelId c);
+  /// Fail a node: every incident channel becomes unusable and the worms
+  /// holding or waiting on them are killed.
+  void fail_node(NodeId n);
+  void recover_node(NodeId n);
+
+  /// Kill every still-active worm of `message` (e.g. on a service-level
+  /// timeout).  Undelivered destinations drop; on_message_done fires once
+  /// the last worm is gone.  No-op for completed or unknown messages.
+  void abort_message(std::uint64_t message_id);
+
+  [[nodiscard]] fault::FaultState& faults() { return *faults_; }
+  [[nodiscard]] const fault::FaultState& faults() const { return *faults_; }
+  [[nodiscard]] const std::shared_ptr<fault::FaultState>& fault_state() const {
+    return faults_;
+  }
+  /// Worms killed by faults or aborts.
+  [[nodiscard]] std::uint64_t worms_killed() const { return worms_killed_; }
+  /// Destination deliveries abandoned by killed worms.
+  [[nodiscard]] std::uint64_t deliveries_dropped() const { return deliveries_dropped_; }
 
   [[nodiscard]] const topo::Topology& topology() const { return *topology_; }
   [[nodiscard]] const WormholeParams& params() const { return params_; }
@@ -125,18 +171,36 @@ class Network {
   void drain(std::uint32_t worm_id);
   void release_link(Worm& w, std::uint32_t link_index);
   void finish_worm(std::uint32_t worm_id);
+  /// Kill an active worm: cancel its waits, release its holds, drop its
+  /// undelivered destinations, retire the slot.
+  void kill_worm(std::uint32_t worm_id);
+  /// Kill every worm holding or waiting on channel `c`.
+  void kill_channel_users(ChannelId c);
+  /// Schedule `h` to run for the current incarnation of `worm_id` only:
+  /// the callback is dropped if the worm finishes or is killed first.
+  template <typename Fn>
+  void schedule_for_worm(double dt, std::uint32_t worm_id, Fn&& fn) {
+    const std::uint64_t gen = worm_gen_[worm_id];
+    sched_->schedule_in(dt, [this, worm_id, gen, fn = std::forward<Fn>(fn)] {
+      if (worm_gen_[worm_id] == gen) fn();
+    });
+  }
 
   const topo::Topology* topology_;
   WormholeParams params_;
   evsim::Scheduler* sched_;
   ChannelPool pool_;
+  std::shared_ptr<fault::FaultState> faults_;
   NetworkHooks hooks_;
 
   std::vector<Worm> worms_;
+  std::vector<std::uint64_t> worm_gen_;  // incarnation counter per slot
   std::vector<std::uint32_t> free_worm_slots_;
   std::vector<Message> messages_;  // indexed by message id
   std::uint64_t next_message_ = 0;
   std::uint64_t messages_completed_ = 0;
+  std::uint64_t worms_killed_ = 0;
+  std::uint64_t deliveries_dropped_ = 0;
   std::uint32_t active_worms_ = 0;
   double busy_time_ = 0.0;
   double blocked_time_total_ = 0.0;
