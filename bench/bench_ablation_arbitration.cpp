@@ -13,6 +13,7 @@ using mcast::Algorithm;
 }  // namespace
 
 int main() {
+  mcnet::bench::JsonReporter json("bench_ablation_arbitration");
   const topo::Mesh2D mesh(8, 8);
   const auto router = mcast::make_caching_router(mesh, Algorithm::kDualPath, 1);
 
@@ -37,13 +38,14 @@ int main() {
                      .fixed_destinations = false,
                      .exponential_interarrival = false,
                      .seed = 5};
-      cfg.target_messages = static_cast<std::uint64_t>(1500 * bench::bench_scale());
-      cfg.max_messages = static_cast<std::uint64_t>(6000 * bench::bench_scale());
+      cfg.target_messages = bench::scaled_count(1500);
+      cfg.max_messages = bench::scaled_count(6000);
       cfg.max_sim_time_s = 0.25 * bench::bench_scale();
       const worm::DynamicResult r = worm::run_dynamic(*router, cfg);
       std::printf("%16.0f %14s %13.2f%-3s %16.2f %14.3f\n", interarrival, m.name,
                   r.mean_latency_us, r.saturated ? "sat" : "", r.mean_blocking_us,
                   r.utilization);
+      json.add_point(m.name, bench::JsonReporter::dynamic_point(interarrival, r));
     }
   }
   std::printf("\n");

@@ -54,6 +54,7 @@ class AdaptiveDualPathRouter final : public mcast::Router {
 }  // namespace
 
 int main() {
+  mcnet::bench::JsonReporter json("bench_ablation_channels");
   const topo::Mesh2D mesh(8, 8);
 
   {
@@ -65,7 +66,7 @@ int main() {
     series.push_back({"dual adaptive", std::make_shared<AdaptiveDualPathRouter>(mesh, 1, 99)});
     bench::run_dynamic_load_sweep(
         "=== Ablation: deterministic vs adaptive dual-path, single channel ===", mesh,
-        {1200, 600, 400, 300, 250, 200}, series, cfg);
+        {1200, 600, 400, 300, 250, 200}, series, cfg, &json);
   }
   {
     // Double wires: 2 copies at full bandwidth.
@@ -75,7 +76,7 @@ int main() {
     bench::run_dynamic_load_sweep(
         "=== Ablation: dual-path on doubled physical channels (extra wires) ===", mesh,
         {1200, 600, 400, 300, 250, 200},
-        {{"dual 2 copies", mcast::make_caching_router(mesh, Algorithm::kDualPath, 2)}}, cfg);
+        {{"dual 2 copies", mcast::make_caching_router(mesh, Algorithm::kDualPath, 2)}}, cfg, &json);
   }
   {
     // Virtual channels: V copies sharing one link's bandwidth -> flit time
@@ -93,7 +94,7 @@ int main() {
           mesh, loads,
           {{"dual " + std::to_string(vcs) + " VCs",
             mcast::make_caching_router(mesh, Algorithm::kDualPath, vcs)}},
-          cfg);
+          cfg, &json);
     }
   }
   return 0;

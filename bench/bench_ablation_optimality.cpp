@@ -33,8 +33,19 @@ std::pair<double, double> gap(const topo::Topology& t, std::uint32_t k, std::uin
   return {ratio_sum / runs, worst};
 }
 
+void add_gap_point(bench::JsonReporter& json, const std::string& series, std::uint32_t k,
+                   std::uint32_t runs, double mean, double worst) {
+  obs::Json p = obs::Json::object();
+  p["x"] = obs::Json(k);
+  p["y"] = obs::Json(mean);
+  p["worst"] = obs::Json(worst);
+  p["runs"] = obs::Json(runs);
+  json.add_point(series, std::move(p));
+}
+
 template <typename TopologyT, typename SuiteT>
-void run(const char* title, const TopologyT& t, const SuiteT& suite) {
+void run(const char* title, const char* prefix, const TopologyT& t, const SuiteT& suite,
+         bench::JsonReporter& json) {
   const std::uint32_t runs = bench::scaled_runs(120);
   std::printf("%s (runs/point = %u)\n", title, runs);
   std::printf("%4s | %9s %9s | %9s %9s | %9s %9s | %9s %9s\n", "k", "MP mean", "worst",
@@ -58,6 +69,10 @@ void run(const char* title, const TopologyT& t, const SuiteT& suite) {
         [&](const MulticastRequest& r) { return mcast::exact::multicast_star_optimum_bound(t, r); });
     std::printf("%4u | %9.3f %9.3f | %9.3f %9.3f | %9.3f %9.3f | %9.3f %9.3f\n", k,
                 mp_mean, mp_worst, mc_mean, mc_worst, st_mean, st_worst, ms_mean, ms_worst);
+    add_gap_point(json, std::string(prefix) + ":MP", k, runs, mp_mean, mp_worst);
+    add_gap_point(json, std::string(prefix) + ":MC", k, runs, mc_mean, mc_worst);
+    add_gap_point(json, std::string(prefix) + ":ST", k, runs, st_mean, st_worst);
+    add_gap_point(json, std::string(prefix) + ":MS", k, runs, ms_mean, ms_worst);
     std::fflush(stdout);
   }
   std::printf("\n");
@@ -66,15 +81,18 @@ void run(const char* title, const TopologyT& t, const SuiteT& suite) {
 }  // namespace
 
 int main() {
+  mcnet::bench::JsonReporter json("bench_ablation_optimality");
   {
     const topo::Mesh2D mesh(8, 8);
     const mcast::MeshRoutingSuite suite(mesh);
-    run("=== Ablation: heuristic / optimal traffic ratio, 8x8 mesh ===", mesh, suite);
+    run("=== Ablation: heuristic / optimal traffic ratio, 8x8 mesh ===", "mesh", mesh, suite,
+        json);
   }
   {
     const topo::Hypercube cube(6);
     const mcast::CubeRoutingSuite suite(cube);
-    run("=== Ablation: heuristic / optimal traffic ratio, 6-cube ===", cube, suite);
+    run("=== Ablation: heuristic / optimal traffic ratio, 6-cube ===", "cube", cube, suite,
+        json);
   }
   return 0;
 }

@@ -7,6 +7,7 @@
 #include "bench_common.hpp"
 
 int main() {
+  mcnet::bench::JsonReporter json("bench_ablation_vct");
   using namespace mcnet;
   using mcast::Algorithm;
   const topo::Mesh2D mesh(8, 8);
@@ -24,7 +25,7 @@ int main() {
         mesh, {1200, 600, 400, 300, 250, 200, 150},
         {{vct ? "dual-path (VCT)" : "dual-path (wormhole)",
           mcast::make_caching_router(mesh, Algorithm::kDualPath, 1)}},
-        cfg);
+        cfg, &json);
   }
   return 0;
 }

@@ -5,6 +5,7 @@
 #include "bench_common.hpp"
 
 int main() {
+  mcnet::bench::JsonReporter json("bench_dyn_cube");
   using namespace mcnet;
   using mcast::Algorithm;
   const topo::Hypercube cube(6);
@@ -18,7 +19,7 @@ int main() {
       {bench::router_series(cube, Algorithm::kDualPath, 1),
        bench::router_series(cube, Algorithm::kMultiPath, 1),
        bench::router_series(cube, Algorithm::kFixedPath, 1)},
-      cfg);
+      cfg, &json);
 
   bench::run_dynamic_dest_sweep(
       "=== Extension: latency vs destinations on a 6-cube, 300 us ===", cube, 300.0,
@@ -26,6 +27,6 @@ int main() {
       {bench::router_series(cube, Algorithm::kDualPath, 1),
        bench::router_series(cube, Algorithm::kMultiPath, 1),
        bench::router_series(cube, Algorithm::kFixedPath, 1)},
-      cfg);
+      cfg, &json);
   return 0;
 }

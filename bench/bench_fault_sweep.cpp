@@ -90,6 +90,7 @@ SweepRow run_fraction(double fraction, std::uint32_t messages, std::uint64_t see
 }  // namespace
 
 int main() {
+  mcnet::bench::JsonReporter json("bench_fault_sweep");
   const std::uint32_t messages = mcnet::bench::scaled_runs(300);
   std::printf(
       "fraction,failed_links,messages,destinations,delivered,dropped,unreachable,"
@@ -113,6 +114,17 @@ int main() {
                 static_cast<unsigned long long>(row.dropped),
                 static_cast<unsigned long long>(row.unreachable), rate, mean_latency_us,
                 mean_attempts);
+    mcnet::obs::Json p = mcnet::obs::Json::object();
+    p["x"] = mcnet::obs::Json(fraction);
+    p["y"] = mcnet::obs::Json(rate);
+    p["failed_links"] = mcnet::obs::Json(row.failed_links);
+    p["destinations"] = mcnet::obs::Json(row.destinations);
+    p["delivered"] = mcnet::obs::Json(row.delivered);
+    p["dropped"] = mcnet::obs::Json(row.dropped);
+    p["unreachable"] = mcnet::obs::Json(row.unreachable);
+    p["mean_latency_us"] = mcnet::obs::Json(mean_latency_us);
+    p["mean_attempts"] = mcnet::obs::Json(mean_attempts);
+    json.add_point("delivery_rate", std::move(p));
   }
   return 0;
 }

@@ -66,14 +66,28 @@ int main() {
               p.bandwidth / 1e6);
   std::printf("%6s %12s %12s %12s %12s %14s %14s\n", "D", "SAF", "VCT", "circuit",
               "wormhole", "SAF (sim)", "wormhole (sim)");
+  mcnet::bench::JsonReporter json("bench_fig2_3_switching");
+  const auto point = [&json](const char* series, std::uint32_t d, double latency_us) {
+    mcnet::obs::Json pt = mcnet::obs::Json::object();
+    pt["x"] = mcnet::obs::Json(d);
+    pt["y"] = mcnet::obs::Json(latency_us);
+    json.add_point(series, std::move(pt));
+  };
   for (const std::uint32_t d : {1u, 2u, 4u, 8u, 12u, 16u, 20u, 24u, 28u, 32u}) {
-    std::printf("%6u %12.2f %12.2f %12.2f %12.2f %14.2f %14.2f\n", d,
-                sw::store_and_forward_latency(p, d) * 1e6,
-                sw::virtual_cut_through_latency(p, d) * 1e6,
-                sw::circuit_switching_latency(p, d) * 1e6,
-                sw::wormhole_latency(p, d) * 1e6,
-                simulate_saf(row, d, p.message_bytes / p.bandwidth) * 1e6,
-                simulate_wormhole(row, d, wp) * 1e6);
+    const double saf_us = sw::store_and_forward_latency(p, d) * 1e6;
+    const double vct_us = sw::virtual_cut_through_latency(p, d) * 1e6;
+    const double circuit_us = sw::circuit_switching_latency(p, d) * 1e6;
+    const double worm_us = sw::wormhole_latency(p, d) * 1e6;
+    const double saf_sim_us = simulate_saf(row, d, p.message_bytes / p.bandwidth) * 1e6;
+    const double worm_sim_us = simulate_wormhole(row, d, wp) * 1e6;
+    std::printf("%6u %12.2f %12.2f %12.2f %12.2f %14.2f %14.2f\n", d, saf_us, vct_us,
+                circuit_us, worm_us, saf_sim_us, worm_sim_us);
+    point("SAF", d, saf_us);
+    point("VCT", d, vct_us);
+    point("circuit", d, circuit_us);
+    point("wormhole", d, worm_us);
+    point("SAF (sim)", d, saf_sim_us);
+    point("wormhole (sim)", d, worm_sim_us);
   }
   std::printf("\n");
   return 0;

@@ -4,6 +4,7 @@
 #include "bench_common.hpp"
 
 int main() {
+  mcnet::bench::JsonReporter json("bench_fig7_01_mp_mesh");
   using namespace mcnet;
   using mcast::Algorithm;
   const topo::Mesh2D mesh(32, 32);
@@ -18,6 +19,6 @@ int main() {
       {{"sorted-MP", algo(Algorithm::kSortedMP)},
        {"sorted-MC", algo(Algorithm::kSortedMC)},
        {"multi-unicast", algo(Algorithm::kMultiUnicast)},
-       {"broadcast", algo(Algorithm::kBroadcast)}});
+       {"broadcast", algo(Algorithm::kBroadcast)}}, &json);
   return 0;
 }

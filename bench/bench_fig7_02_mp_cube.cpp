@@ -3,6 +3,7 @@
 #include "bench_common.hpp"
 
 int main() {
+  mcnet::bench::JsonReporter json("bench_fig7_02_mp_cube");
   using namespace mcnet;
   using mcast::Algorithm;
   const topo::Hypercube cube(10);
@@ -17,6 +18,6 @@ int main() {
       {{"sorted-MP", algo(Algorithm::kSortedMP)},
        {"sorted-MC", algo(Algorithm::kSortedMC)},
        {"multi-unicast", algo(Algorithm::kMultiUnicast)},
-       {"broadcast", algo(Algorithm::kBroadcast)}});
+       {"broadcast", algo(Algorithm::kBroadcast)}}, &json);
   return 0;
 }

@@ -3,6 +3,7 @@
 #include "bench_common.hpp"
 
 int main() {
+  mcnet::bench::JsonReporter json("bench_fig7_03_st_mesh");
   using namespace mcnet;
   using mcast::Algorithm;
   const topo::Mesh2D mesh(32, 32);
@@ -17,6 +18,6 @@ int main() {
       {{"greedy-ST", algo(Algorithm::kGreedyST)},
        {"multi-unicast", algo(Algorithm::kMultiUnicast)},
        {"broadcast", algo(Algorithm::kBroadcast)}},
-      /*base_runs=*/600);
+      &json, /*base_runs=*/600);
   return 0;
 }

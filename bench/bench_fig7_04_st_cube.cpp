@@ -4,6 +4,7 @@
 #include "bench_common.hpp"
 
 int main() {
+  mcnet::bench::JsonReporter json("bench_fig7_04_st_cube");
   using namespace mcnet;
   using mcast::Algorithm;
   const topo::Hypercube cube(10);
@@ -19,6 +20,6 @@ int main() {
        {"LEN-tree", algo(Algorithm::kLenTree)},
        {"multi-unicast", algo(Algorithm::kMultiUnicast)},
        {"broadcast", algo(Algorithm::kBroadcast)}},
-      /*base_runs=*/600);
+      &json, /*base_runs=*/600);
   return 0;
 }

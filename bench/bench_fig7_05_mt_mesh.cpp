@@ -3,6 +3,7 @@
 #include "bench_common.hpp"
 
 int main() {
+  mcnet::bench::JsonReporter json("bench_fig7_05_mt_mesh");
   using namespace mcnet;
   using mcast::Algorithm;
   const topo::Mesh2D mesh(16, 16);
@@ -17,6 +18,6 @@ int main() {
       {{"X-first-MT", algo(Algorithm::kXFirstMT)},
        {"divided-greedy-MT", algo(Algorithm::kDividedGreedyMT)},
        {"multi-unicast", algo(Algorithm::kMultiUnicast)},
-       {"broadcast", algo(Algorithm::kBroadcast)}});
+       {"broadcast", algo(Algorithm::kBroadcast)}}, &json);
   return 0;
 }

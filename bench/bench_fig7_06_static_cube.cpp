@@ -4,6 +4,7 @@
 #include "bench_common.hpp"
 
 int main() {
+  mcnet::bench::JsonReporter json("bench_fig7_06_static_cube");
   using namespace mcnet;
   using mcast::Algorithm;
   const topo::Hypercube cube(6);
@@ -18,6 +19,6 @@ int main() {
       {{"dual-path", algo(Algorithm::kDualPath)},
        {"multi-path", algo(Algorithm::kMultiPath)},
        {"fixed-path", algo(Algorithm::kFixedPath)},
-       {"greedy-ST", algo(Algorithm::kGreedyST)}});
+       {"greedy-ST", algo(Algorithm::kGreedyST)}}, &json);
   return 0;
 }

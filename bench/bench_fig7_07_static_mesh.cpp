@@ -4,6 +4,7 @@
 #include "bench_common.hpp"
 
 int main() {
+  mcnet::bench::JsonReporter json("bench_fig7_07_static_mesh");
   using namespace mcnet;
   using mcast::Algorithm;
   const topo::Mesh2D mesh(8, 8);
@@ -18,6 +19,6 @@ int main() {
       {{"dual-path", algo(Algorithm::kDualPath)},
        {"multi-path", algo(Algorithm::kMultiPath)},
        {"fixed-path", algo(Algorithm::kFixedPath)},
-       {"dc-X-first-tree", algo(Algorithm::kDCXFirstTree)}});
+       {"dc-X-first-tree", algo(Algorithm::kDCXFirstTree)}}, &json);
   return 0;
 }

@@ -5,6 +5,7 @@
 #include "bench_common.hpp"
 
 int main() {
+  mcnet::bench::JsonReporter json("bench_fig7_08_dyn_load_dc");
   using namespace mcnet;
   using mcast::Algorithm;
   const topo::Mesh2D mesh(8, 8);
@@ -18,6 +19,6 @@ int main() {
       {bench::router_series(mesh, Algorithm::kDCXFirstTree, 2),
        bench::router_series(mesh, Algorithm::kDualPath, 2),
        bench::router_series(mesh, Algorithm::kMultiPath, 2)},
-      cfg);
+      cfg, &json);
   return 0;
 }

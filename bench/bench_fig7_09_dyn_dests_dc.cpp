@@ -5,6 +5,7 @@
 #include "bench_common.hpp"
 
 int main() {
+  mcnet::bench::JsonReporter json("bench_fig7_09_dyn_dests_dc");
   using namespace mcnet;
   using mcast::Algorithm;
   const topo::Mesh2D mesh(8, 8);
@@ -17,6 +18,6 @@ int main() {
       {bench::router_series(mesh, Algorithm::kDCXFirstTree, 2),
        bench::router_series(mesh, Algorithm::kDualPath, 2),
        bench::router_series(mesh, Algorithm::kMultiPath, 2)},
-      cfg);
+      cfg, &json);
   return 0;
 }

@@ -5,6 +5,7 @@
 #include "bench_common.hpp"
 
 int main() {
+  mcnet::bench::JsonReporter json("bench_fig7_10_dyn_load_sc");
   using namespace mcnet;
   using mcast::Algorithm;
   const topo::Mesh2D mesh(8, 8);
@@ -17,6 +18,6 @@ int main() {
       {2000, 1200, 800, 500, 400, 300, 250, 200},
       {bench::router_series(mesh, Algorithm::kDualPath, 1),
        bench::router_series(mesh, Algorithm::kMultiPath, 1)},
-      cfg);
+      cfg, &json);
   return 0;
 }

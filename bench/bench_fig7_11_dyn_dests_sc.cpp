@@ -6,6 +6,7 @@
 #include "bench_common.hpp"
 
 int main() {
+  mcnet::bench::JsonReporter json("bench_fig7_11_dyn_dests_sc");
   using namespace mcnet;
   using mcast::Algorithm;
   const topo::Mesh2D mesh(8, 8);
@@ -18,6 +19,6 @@ int main() {
       {bench::router_series(mesh, Algorithm::kDualPath, 1),
        bench::router_series(mesh, Algorithm::kMultiPath, 1),
        bench::router_series(mesh, Algorithm::kFixedPath, 1)},
-      cfg);
+      cfg, &json);
   return 0;
 }

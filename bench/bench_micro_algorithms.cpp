@@ -3,6 +3,7 @@
 // construction, and per-multicast routing costs of every algorithm.
 #include <benchmark/benchmark.h>
 
+#include "bench_common.hpp"
 #include "core/dual_path.hpp"
 #include "core/route_factory.hpp"
 #include "evsim/random.hpp"
@@ -86,6 +87,39 @@ BENCHMARK(BM_CubeRoute<Algorithm::kLenTree>)->RangeMultiplier(4)->Range(4, 256)-
 BENCHMARK(BM_CubeRoute<Algorithm::kDualPath>)->RangeMultiplier(4)->Range(4, 256)->Complexity();
 BENCHMARK(BM_CubeRoute<Algorithm::kMultiPath>)->RangeMultiplier(4)->Range(4, 256)->Complexity();
 
+// Console output forwarded unchanged; per-iteration runs also land in the
+// shared JSON report as series "<benchmark>" with x = problem size (the
+// SetComplexityN value) and y = adjusted real time per iteration (ns).
+class JsonForwardingReporter : public benchmark::ConsoleReporter {
+ public:
+  explicit JsonForwardingReporter(mcnet::bench::JsonReporter* json) : json_(json) {}
+
+  void ReportRuns(const std::vector<Run>& runs) override {
+    ConsoleReporter::ReportRuns(runs);
+    if (json_ == nullptr) return;
+    for (const Run& run : runs) {
+      if (run.run_type != Run::RT_Iteration) continue;
+      const std::string name = run.benchmark_name();
+      const std::string series = name.substr(0, name.find('/'));
+      mcnet::obs::Json p = mcnet::obs::Json::object();
+      p["x"] = mcnet::obs::Json(static_cast<double>(run.complexity_n));
+      p["y"] = mcnet::obs::Json(run.GetAdjustedRealTime());
+      p["iterations"] = mcnet::obs::Json(run.iterations);
+      json_->add_point(series, std::move(p));
+    }
+  }
+
+ private:
+  mcnet::bench::JsonReporter* json_;
+};
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  mcnet::bench::JsonReporter json("bench_micro_algorithms");
+  JsonForwardingReporter reporter(&json);
+  benchmark::RunSpecifiedBenchmarks(&reporter);
+  return 0;
+}

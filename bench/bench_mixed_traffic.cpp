@@ -57,14 +57,17 @@ class MixedTrafficRouter final : public mcast::Router {
 
 bench::DynamicSeries mixed_series(const topo::Topology& t, Algorithm algo, double frac,
                                   std::uint64_t seed) {
-  return {std::string(mcast::algorithm_name(algo)),
-          std::make_shared<MixedTrafficRouter>(mcast::make_caching_router(t, algo, 1), frac,
-                                               seed)};
+  char name[64];
+  std::snprintf(name, sizeof name, "%s u=%.0f%%", std::string(mcast::algorithm_name(algo)).c_str(),
+                frac * 100);
+  return {name, std::make_shared<MixedTrafficRouter>(mcast::make_caching_router(t, algo, 1),
+                                                     frac, seed)};
 }
 
 }  // namespace
 
 int main() {
+  mcnet::bench::JsonReporter json("bench_mixed_traffic");
   const topo::Mesh2D mesh(8, 8);
 
   for (const double frac : {0.0, 0.5, 0.9}) {
@@ -78,7 +81,7 @@ int main() {
     bench::run_dynamic_load_sweep(title, mesh, {1000, 500, 300, 200, 150},
                                   {mixed_series(mesh, Algorithm::kDualPath, frac, 1),
                                    mixed_series(mesh, Algorithm::kMultiPath, frac, 2)},
-                                  cfg);
+                                  cfg, &json);
   }
   return 0;
 }

@@ -3,15 +3,33 @@
 // f relative to the paper's cycle start).
 #include <cstdio>
 
+#include "bench_common.hpp"
 #include "topology/hamiltonian.hpp"
 
 namespace {
 
 using namespace mcnet;
 
-void print_mesh_tables() {
+/// Record a cycle table as two series: node -> h(x) and node -> f(x).
+void record_cycle(bench::JsonReporter& json, const char* prefix,
+                  const ham::HamiltonCycle& c, topo::NodeId u0) {
+  const std::uint32_t h0 = c.position(u0) + 1;
+  for (topo::NodeId x = 0; x < c.size(); ++x) {
+    obs::Json h = obs::Json::object();
+    h["x"] = obs::Json(x);
+    h["y"] = obs::Json(c.position(x) + 1);
+    json.add_point(std::string(prefix) + ":h", std::move(h));
+    obs::Json f = obs::Json::object();
+    f["x"] = obs::Json(x);
+    f["y"] = obs::Json(c.key_from(u0, x) + h0);
+    json.add_point(std::string(prefix) + ":f", std::move(f));
+  }
+}
+
+void print_mesh_tables(bench::JsonReporter& json) {
   const topo::Mesh2D mesh(4, 4);
   const ham::HamiltonCycle c = ham::mesh_comb_cycle(mesh);
+  record_cycle(json, "mesh4x4", c, 9);
 
   std::printf("=== Table 5.1: Hamilton cycle and mapping h of a 4x4 mesh ===\n");
   std::printf("%6s %6s\n", "h(x)", "x");
@@ -28,9 +46,10 @@ void print_mesh_tables() {
   }
 }
 
-void print_cube_tables() {
+void print_cube_tables(bench::JsonReporter& json) {
   const topo::Hypercube cube(4);
   const ham::HamiltonCycle c = ham::hypercube_gray_cycle(cube);
+  record_cycle(json, "cube4", c, 0b0011);
 
   std::printf("\n=== Table 5.3: Hamilton cycle and mapping h of a 4-cube ===\n");
   std::printf("%6s %8s\n", "h(x)", "x");
@@ -52,7 +71,8 @@ void print_cube_tables() {
 }  // namespace
 
 int main() {
-  print_mesh_tables();
-  print_cube_tables();
+  mcnet::bench::JsonReporter json("bench_tables_ch5");
+  print_mesh_tables(json);
+  print_cube_tables(json);
   return 0;
 }

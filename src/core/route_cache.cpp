@@ -7,6 +7,8 @@
 #include <unordered_map>
 #include <vector>
 
+#include "obs/metrics.hpp"
+
 namespace mcnet::mcast {
 
 namespace {
@@ -67,6 +69,16 @@ CachingRouter::CachingRouter(std::unique_ptr<Router> inner, RouteCacheConfig con
 
 CachingRouter::~CachingRouter() = default;
 
+void CachingRouter::set_metrics(obs::MetricsRegistry* registry) {
+  if (registry == nullptr) {
+    metric_hits_ = metric_misses_ = metric_evictions_ = nullptr;
+    return;
+  }
+  metric_hits_ = &registry->counter("route_cache.hits");
+  metric_misses_ = &registry->counter("route_cache.misses");
+  metric_evictions_ = &registry->counter("route_cache.evictions");
+}
+
 MulticastRoute CachingRouter::route(const MulticastRequest& request) const {
   const Key key = make_key(request);
   Shard& shard = shards_[KeyHash{}(key) % num_shards_];
@@ -76,6 +88,7 @@ MulticastRoute CachingRouter::route(const MulticastRequest& request) const {
     if (it != shard.map.end()) {
       shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
       ++shard.hits;
+      if (metric_hits_ != nullptr) metric_hits_->inc();
       return it->second->route;
     }
   }
@@ -86,6 +99,7 @@ MulticastRoute CachingRouter::route(const MulticastRequest& request) const {
 
   std::lock_guard<std::mutex> lock(shard.mutex);
   ++shard.misses;  // we did the work even if another thread won the insert
+  if (metric_misses_ != nullptr) metric_misses_->inc();
   if (shard.map.find(key) != shard.map.end()) {
     return computed;  // another thread inserted the same key while we routed
   }
@@ -95,6 +109,7 @@ MulticastRoute CachingRouter::route(const MulticastRequest& request) const {
     shard.map.erase(shard.lru.back().key);
     shard.lru.pop_back();
     ++shard.evictions;
+    if (metric_evictions_ != nullptr) metric_evictions_->inc();
   }
   return computed;
 }

@@ -17,6 +17,11 @@
 
 #include "core/router.hpp"
 
+namespace mcnet::obs {
+class MetricsRegistry;
+class Counter;
+}  // namespace mcnet::obs
+
 namespace mcnet::mcast {
 
 struct RouteCacheConfig {
@@ -59,6 +64,12 @@ class CachingRouter final : public Router {
     return inner_->channel_copies();
   }
 
+  /// Register live counters route_cache.hits / .misses / .evictions on
+  /// `registry` (nullptr detaches).  Counters update as route() runs, so a
+  /// registry dump mid-sweep sees current values; stats() stays the
+  /// consistent-snapshot interface.
+  void set_metrics(obs::MetricsRegistry* registry);
+
   [[nodiscard]] const Router& inner() const { return *inner_; }
   /// Consistent snapshot: all shard locks are held while the counters are
   /// summed, so hits/misses/evictions always belong to one point in time.
@@ -75,6 +86,9 @@ class CachingRouter final : public Router {
   std::size_t num_shards_;
   std::size_t shard_capacity_;
   std::unique_ptr<Shard[]> shards_;
+  obs::Counter* metric_hits_ = nullptr;
+  obs::Counter* metric_misses_ = nullptr;
+  obs::Counter* metric_evictions_ = nullptr;
 };
 
 /// make_router(...) wrapped in a CachingRouter.

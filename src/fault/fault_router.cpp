@@ -4,6 +4,8 @@
 #include <deque>
 #include <stdexcept>
 
+#include "obs/metrics.hpp"
+
 namespace mcnet::fault {
 
 FaultAwareRouter::FaultAwareRouter(std::unique_ptr<mcast::Router> inner,
@@ -21,6 +23,17 @@ FaultAwareRouter::FaultAwareRouter(std::unique_ptr<mcast::Router> inner,
   seen_epoch_.store(faults_->epoch(), std::memory_order_release);
 }
 
+void FaultAwareRouter::set_metrics(obs::MetricsRegistry* registry) {
+  if (registry == nullptr) {
+    metric_fallbacks_ = metric_partitions_ = metric_invalidations_ = nullptr;
+    return;
+  }
+  metric_fallbacks_ = &registry->counter("fault.fallbacks");
+  metric_partitions_ = &registry->counter("fault.partitions");
+  metric_invalidations_ = &registry->counter("fault.epoch_invalidations");
+  if (cache_ != nullptr) cache_->set_metrics(registry);
+}
+
 void FaultAwareRouter::sync_epoch() const {
   const std::uint64_t epoch = faults_->epoch();
   std::uint64_t seen = seen_epoch_.load(std::memory_order_acquire);
@@ -30,6 +43,7 @@ void FaultAwareRouter::sync_epoch() const {
   if (seen_epoch_.compare_exchange_strong(seen, epoch, std::memory_order_acq_rel) &&
       cache_ != nullptr) {
     cache_->clear();
+    if (metric_invalidations_ != nullptr) metric_invalidations_->inc();
   }
 }
 
@@ -110,6 +124,9 @@ FaultRouteResult FaultAwareRouter::route_with_faults(
       result.unreachable.push_back(d);
     }
   }
+  if (!result.unreachable.empty() && metric_partitions_ != nullptr) {
+    metric_partitions_->inc();
+  }
   if (reachable.empty()) return result;
 
   // Prefer the wrapped algorithm's route when it happens to dodge every
@@ -125,6 +142,7 @@ FaultRouteResult FaultAwareRouter::route_with_faults(
     // Some algorithms throw on shapes they cannot route; fall through.
   }
   result.degraded = true;
+  if (metric_fallbacks_ != nullptr) metric_fallbacks_->inc();
   result.route = unicast_split(req.source, reachable);
   return result;
 }

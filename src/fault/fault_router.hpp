@@ -27,6 +27,11 @@
 #include "core/router.hpp"
 #include "fault/fault_state.hpp"
 
+namespace mcnet::obs {
+class MetricsRegistry;
+class Counter;
+}  // namespace mcnet::obs
+
 namespace mcnet::fault {
 
 /// Outcome of routing one request against the current failure state.
@@ -85,6 +90,12 @@ class FaultAwareRouter final : public mcast::Router {
   /// tests and audits.
   [[nodiscard]] bool route_usable(const mcast::MulticastRoute& route) const;
 
+  /// Register live counters fault.fallbacks (degraded unicast-split
+  /// routes), fault.partitions (requests with >= 1 unreachable
+  /// destination) and fault.epoch_invalidations (cache clears on fault
+  /// epoch changes) on `registry`; nullptr detaches.
+  void set_metrics(obs::MetricsRegistry* registry);
+
  private:
   /// Clear the wrapped cache if the fault epoch moved since the last call.
   void sync_epoch() const;
@@ -98,6 +109,9 @@ class FaultAwareRouter final : public mcast::Router {
   mcast::CachingRouter* cache_;  // inner_, when it is a CachingRouter
   std::shared_ptr<FaultState> faults_;
   mutable std::atomic<std::uint64_t> seen_epoch_;
+  obs::Counter* metric_fallbacks_ = nullptr;
+  obs::Counter* metric_partitions_ = nullptr;
+  obs::Counter* metric_invalidations_ = nullptr;
 };
 
 /// make_router(...) behind a CachingRouter behind a FaultAwareRouter — the

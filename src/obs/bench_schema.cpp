@@ -1,0 +1,94 @@
+#include "obs/bench_schema.hpp"
+
+#include <cmath>
+
+namespace mcnet::obs {
+
+namespace {
+
+bool fail(std::string* error, std::string message) {
+  if (error != nullptr) *error = std::move(message);
+  return false;
+}
+
+bool finite_number(const Json* j) { return j != nullptr && j->is_number() && std::isfinite(j->as_double()); }
+
+bool validate_point(const Json& point, const std::string& where, std::string* error) {
+  if (!point.is_object()) return fail(error, where + ": point is not an object");
+  if (!finite_number(point.find("x"))) {
+    return fail(error, where + ": missing or non-finite \"x\"");
+  }
+  if (!finite_number(point.find("y"))) {
+    return fail(error, where + ": missing or non-finite \"y\"");
+  }
+  if (const Json* ci_valid = point.find("ci_valid")) {
+    if (!ci_valid->is_bool()) return fail(error, where + ": \"ci_valid\" is not a bool");
+    const Json* half = point.find("ci_half_us");
+    if (ci_valid->as_bool()) {
+      if (!finite_number(half)) {
+        return fail(error,
+                    where + ": \"ci_valid\" is true but \"ci_half_us\" is not a finite number");
+      }
+    } else if (half != nullptr && !half->is_null()) {
+      return fail(error,
+                  where + ": \"ci_valid\" is false but \"ci_half_us\" carries a value");
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+bool validate_bench_json(const Json& doc, std::string* error) {
+  if (!doc.is_object()) return fail(error, "document is not an object");
+
+  const Json* schema = doc.find("schema");
+  if (schema == nullptr || !schema->is_string() || schema->as_string() != kBenchSchemaName) {
+    return fail(error, std::string("\"schema\" must be \"") + std::string(kBenchSchemaName) + "\"");
+  }
+  const Json* bench = doc.find("bench");
+  if (bench == nullptr || !bench->is_string() || bench->as_string().empty()) {
+    return fail(error, "\"bench\" must be a non-empty string");
+  }
+  const Json* scale = doc.find("scale");
+  if (!finite_number(scale) || scale->as_double() <= 0.0) {
+    return fail(error, "\"scale\" must be a finite number > 0");
+  }
+  const Json* wall = doc.find("wall_clock_s");
+  if (!finite_number(wall) || wall->as_double() < 0.0) {
+    return fail(error, "\"wall_clock_s\" must be a finite number >= 0");
+  }
+
+  const Json* series = doc.find("series");
+  if (series == nullptr || !series->is_array() || series->size() == 0) {
+    return fail(error, "\"series\" must be a non-empty array");
+  }
+  for (std::size_t s = 0; s < series->size(); ++s) {
+    const Json& entry = series->at(s);
+    const std::string where = "series[" + std::to_string(s) + "]";
+    if (!entry.is_object()) return fail(error, where + ": not an object");
+    const Json* name = entry.find("name");
+    if (name == nullptr || !name->is_string() || name->as_string().empty()) {
+      return fail(error, where + ": \"name\" must be a non-empty string");
+    }
+    const Json* points = entry.find("points");
+    if (points == nullptr || !points->is_array() || points->size() == 0) {
+      return fail(error, where + ": \"points\" must be a non-empty array");
+    }
+    for (std::size_t p = 0; p < points->size(); ++p) {
+      if (!validate_point(points->at(p), where + ".points[" + std::to_string(p) + "]",
+                          error)) {
+        return false;
+      }
+    }
+  }
+
+  for (const char* key : {"meta", "metrics", "histograms"}) {
+    if (const Json* extra = doc.find(key); extra != nullptr && !extra->is_object()) {
+      return fail(error, std::string("\"") + key + "\" must be an object when present");
+    }
+  }
+  return true;
+}
+
+}  // namespace mcnet::obs

@@ -1,0 +1,43 @@
+// Schema validation for the structured bench result files written by
+// bench::JsonReporter (schema "mcnet-bench-v1").  One function shared by
+// the unit tests and the mcnet_bench_validate CLI that CI runs over every
+// smoke-run bench, so the schema cannot drift from its checker.
+//
+// Required shape:
+//   {
+//     "schema": "mcnet-bench-v1",
+//     "bench": "<non-empty name>",
+//     "scale": <finite number > 0>,          // MCNET_BENCH_SCALE in effect
+//     "wall_clock_s": <finite number >= 0>,
+//     "series": [                            // >= 1 entry
+//       {"name": "<non-empty>", "points": [  // >= 1 point per series
+//         {"x": <finite>, "y": <finite>, ...extra fields...}
+//       ]}
+//     ],
+//     ...optional: "meta" (object), "metrics" (object),
+//        "histograms" (object of histogram summaries)...
+//   }
+//
+// Point-level rules:
+//   * "x" and "y" are required finite numbers (the writer emits null for
+//     NaN/Inf, which fails validation -- NaNs must not masquerade as data);
+//   * when "ci_valid" is present and true, "ci_half_us" must be a finite
+//     number (an unconverged run claiming a valid CI is the exact bug the
+//     ci_valid flag exists to expose);
+//   * when "ci_valid" is present and false, "ci_half_us" must be null or
+//     absent (no phantom precision).
+#pragma once
+
+#include <string>
+
+#include "obs/json.hpp"
+
+namespace mcnet::obs {
+
+inline constexpr std::string_view kBenchSchemaName = "mcnet-bench-v1";
+
+/// True when `doc` is a valid mcnet-bench-v1 result document; otherwise
+/// false with a human-readable reason in `error` (when non-null).
+[[nodiscard]] bool validate_bench_json(const Json& doc, std::string* error = nullptr);
+
+}  // namespace mcnet::obs

@@ -1,0 +1,109 @@
+// Minimal JSON document type for the observability layer: an ordered
+// object/array/number/string/bool/null variant with a writer and a strict
+// recursive-descent parser.  The writer serialises non-finite numbers as
+// null (JSON has no NaN/Inf), which the bench schema exploits: an invalid
+// confidence interval round-trips as null instead of poisoning consumers.
+//
+// This is deliberately not a general-purpose JSON library -- no comments,
+// no \u surrogate-pair synthesis beyond the BMP escape, object keys kept
+// in insertion order -- just enough for metrics dumps, bench result files
+// and their validation in tests and CI.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace mcnet::obs {
+
+class Json {
+ public:
+  enum class Type : std::uint8_t { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  Json() : type_(Type::kNull) {}
+  Json(std::nullptr_t) : type_(Type::kNull) {}
+  Json(bool b) : type_(Type::kBool), bool_(b) {}
+  Json(double v) : type_(Type::kNumber), number_(v) {}
+  Json(int v) : type_(Type::kNumber), number_(v) {}
+  Json(unsigned v) : type_(Type::kNumber), number_(v) {}
+  Json(long v) : type_(Type::kNumber), number_(static_cast<double>(v)) {}
+  Json(long long v) : type_(Type::kNumber), number_(static_cast<double>(v)) {}
+  Json(unsigned long v) : type_(Type::kNumber), number_(static_cast<double>(v)) {}
+  Json(unsigned long long v) : type_(Type::kNumber), number_(static_cast<double>(v)) {}
+  Json(const char* s) : type_(Type::kString), string_(s) {}
+  Json(std::string s) : type_(Type::kString), string_(std::move(s)) {}
+  Json(std::string_view s) : type_(Type::kString), string_(s) {}
+
+  [[nodiscard]] static Json object() {
+    Json j;
+    j.type_ = Type::kObject;
+    return j;
+  }
+  [[nodiscard]] static Json array() {
+    Json j;
+    j.type_ = Type::kArray;
+    return j;
+  }
+
+  [[nodiscard]] Type type() const { return type_; }
+  [[nodiscard]] bool is_null() const { return type_ == Type::kNull; }
+  [[nodiscard]] bool is_bool() const { return type_ == Type::kBool; }
+  [[nodiscard]] bool is_number() const { return type_ == Type::kNumber; }
+  [[nodiscard]] bool is_string() const { return type_ == Type::kString; }
+  [[nodiscard]] bool is_array() const { return type_ == Type::kArray; }
+  [[nodiscard]] bool is_object() const { return type_ == Type::kObject; }
+
+  [[nodiscard]] bool as_bool() const { return bool_; }
+  [[nodiscard]] double as_double() const { return number_; }
+  [[nodiscard]] const std::string& as_string() const { return string_; }
+
+  /// Object access: inserts a null member on first use (object/null only).
+  Json& operator[](const std::string& key);
+  /// Lookup without insertion; nullptr when absent or not an object.
+  [[nodiscard]] const Json* find(std::string_view key) const;
+  [[nodiscard]] bool contains(std::string_view key) const { return find(key) != nullptr; }
+
+  /// Array append (array/null only; null promotes to array).
+  void push_back(Json value);
+
+  /// Elements of an array / members of an object (insertion order).
+  [[nodiscard]] std::size_t size() const;
+  [[nodiscard]] const Json& at(std::size_t index) const { return items_[index]; }
+  [[nodiscard]] const std::vector<std::pair<std::string, Json>>& members() const {
+    return members_;
+  }
+  [[nodiscard]] const std::vector<Json>& items() const { return items_; }
+
+  /// Serialise.  indent == 0 -> compact one-line output; indent > 0 ->
+  /// pretty-printed with that many spaces per level.  Non-finite numbers
+  /// are written as null.
+  [[nodiscard]] std::string dump(int indent = 0) const;
+
+  /// Strict parse of a complete JSON document (trailing garbage rejected).
+  /// On failure returns nullopt and, when `error` is non-null, stores a
+  /// message with the byte offset.
+  [[nodiscard]] static std::optional<Json> parse(std::string_view text,
+                                                 std::string* error = nullptr);
+
+  /// Append `s` to `out` as a quoted JSON string (used by the streaming
+  /// trace writer, which never builds a DOM).
+  static void append_escaped(std::string& out, std::string_view s);
+  /// Append a JSON number (null when non-finite).
+  static void append_number(std::string& out, double v);
+
+ private:
+  void dump_to(std::string& out, int indent, int depth) const;
+
+  Type type_;
+  bool bool_ = false;
+  double number_ = 0.0;
+  std::string string_;
+  std::vector<Json> items_;                            // kArray
+  std::vector<std::pair<std::string, Json>> members_;  // kObject
+};
+
+}  // namespace mcnet::obs

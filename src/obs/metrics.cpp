@@ -1,0 +1,133 @@
+#include "obs/metrics.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace mcnet::obs {
+
+std::size_t Histogram::bucket_index(double v) {
+  if (!(v > kMinValue)) return 0;  // NaN, negatives and tiny values
+  const double octaves = std::log2(v / kMinValue);
+  const auto idx = static_cast<std::size_t>(octaves * kBucketsPerOctave);
+  return std::min(idx, kNumBuckets - 1);
+}
+
+double Histogram::bucket_lower(std::size_t i) {
+  return kMinValue * std::exp2(static_cast<double>(i) / kBucketsPerOctave);
+}
+
+void Histogram::record(double v) {
+  buckets_[bucket_index(v)].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  sum_.fetch_add(v, std::memory_order_relaxed);
+  // min/max via CAS loops; contention is negligible next to the sim work.
+  if (!any_.exchange(true, std::memory_order_relaxed)) {
+    min_.store(v, std::memory_order_relaxed);
+    max_.store(v, std::memory_order_relaxed);
+    return;
+  }
+  double cur = min_.load(std::memory_order_relaxed);
+  while (v < cur && !min_.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+  }
+  cur = max_.load(std::memory_order_relaxed);
+  while (v > cur && !max_.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+  }
+}
+
+double Histogram::percentile(double q) const {
+  const std::uint64_t n = count();
+  if (n == 0) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  // Rank of the q-th sample (1-based, ceil), then walk the buckets.
+  const auto rank = static_cast<std::uint64_t>(
+      std::max<double>(1.0, std::ceil(q * static_cast<double>(n))));
+  std::uint64_t seen = 0;
+  std::size_t bucket = kNumBuckets - 1;
+  for (std::size_t i = 0; i < kNumBuckets; ++i) {
+    seen += buckets_[i].load(std::memory_order_relaxed);
+    if (seen >= rank) {
+      bucket = i;
+      break;
+    }
+  }
+  const double lo = bucket == 0 ? 0.0 : bucket_lower(bucket);
+  const double hi = bucket_upper(bucket);
+  const double mid = bucket == 0 ? kMinValue / 2 : std::sqrt(lo * hi);
+  // Clamp into the observed range so exact answers survive on degenerate
+  // (single-value) distributions.
+  return std::clamp(mid, min_.load(std::memory_order_relaxed),
+                    max_.load(std::memory_order_relaxed));
+}
+
+HistogramSnapshot Histogram::snapshot() const {
+  HistogramSnapshot s;
+  s.count = count();
+  s.sum = sum();
+  if (s.count > 0) {
+    s.min = min_.load(std::memory_order_relaxed);
+    s.max = max_.load(std::memory_order_relaxed);
+    s.p50 = percentile(0.50);
+    s.p90 = percentile(0.90);
+    s.p99 = percentile(0.99);
+  }
+  return s;
+}
+
+Counter& MetricsRegistry::counter(std::string_view name) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  auto it = counters_.find(name);
+  if (it == counters_.end()) {
+    it = counters_.emplace(std::string(name), std::make_unique<Counter>()).first;
+  }
+  return *it->second;
+}
+
+Gauge& MetricsRegistry::gauge(std::string_view name) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  auto it = gauges_.find(name);
+  if (it == gauges_.end()) {
+    it = gauges_.emplace(std::string(name), std::make_unique<Gauge>()).first;
+  }
+  return *it->second;
+}
+
+Histogram& MetricsRegistry::histogram(std::string_view name) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  auto it = histograms_.find(name);
+  if (it == histograms_.end()) {
+    it = histograms_.emplace(std::string(name), std::make_unique<Histogram>()).first;
+  }
+  return *it->second;
+}
+
+Json histogram_to_json(const HistogramSnapshot& s) {
+  Json h = Json::object();
+  h["count"] = Json(s.count);
+  h["sum"] = Json(s.sum);
+  h["mean"] = Json(s.mean());
+  h["min"] = Json(s.min);
+  h["max"] = Json(s.max);
+  h["p50"] = Json(s.p50);
+  h["p90"] = Json(s.p90);
+  h["p99"] = Json(s.p99);
+  return h;
+}
+
+Json MetricsRegistry::to_json() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  Json out = Json::object();
+  Json& counters = out["counters"];
+  counters = Json::object();
+  for (const auto& [name, c] : counters_) counters[name] = Json(c->value());
+  Json& gauges = out["gauges"];
+  gauges = Json::object();
+  for (const auto& [name, g] : gauges_) gauges[name] = Json(g->value());
+  Json& histograms = out["histograms"];
+  histograms = Json::object();
+  for (const auto& [name, h] : histograms_) {
+    histograms[name] = histogram_to_json(h->snapshot());
+  }
+  return out;
+}
+
+}  // namespace mcnet::obs

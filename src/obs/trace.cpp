@@ -1,0 +1,167 @@
+#include "obs/trace.hpp"
+
+#include <cstdio>
+#include <utility>
+
+#include "obs/json.hpp"
+#include "topology/topology.hpp"
+
+namespace mcnet::obs {
+
+namespace {
+constexpr std::uint64_t kChannelsPid = 1;
+constexpr std::uint64_t kMessagesPid = 2;
+constexpr double kSecondsToUs = 1e6;
+
+std::string msg_args(std::uint64_t message_id) {
+  return "{\"message\":" + std::to_string(message_id) + "}";
+}
+}  // namespace
+
+void EventTracer::push(Event e) {
+  if (events_.size() >= max_events_) {
+    ++dropped_;
+    return;
+  }
+  events_.push_back(std::move(e));
+}
+
+void EventTracer::instant(std::string name, std::string_view category, double ts_s,
+                          std::uint64_t pid, std::uint64_t tid, std::string args_json) {
+  push(Event{std::move(name), std::string(category), 'i', ts_s * kSecondsToUs, 0.0, pid,
+             tid, std::move(args_json)});
+}
+
+void EventTracer::complete(std::string name, std::string_view category, double ts_s,
+                           double dur_s, std::uint64_t pid, std::uint64_t tid,
+                           std::string args_json) {
+  push(Event{std::move(name), std::string(category), 'X', ts_s * kSecondsToUs,
+             dur_s * kSecondsToUs, pid, tid, std::move(args_json)});
+}
+
+worm::NetworkHooks EventTracer::instrument(const worm::Network& network,
+                                           worm::NetworkHooks hooks) {
+  const topo::Topology& t = network.topology();
+  const std::uint8_t copies = network.params().channel_copies;
+  grant_time_.assign(static_cast<std::size_t>(t.num_channels()) * copies, 0.0);
+  grant_worm_.assign(grant_time_.size(), 0);
+
+  // Process/thread metadata so Perfetto labels the lanes: ph "M" events
+  // are modelled as instants here but rewritten with their real phase at
+  // serialisation time via the reserved "__metadata" category.
+  push(Event{"process_name", "__metadata", 'M', 0.0, 0.0, kChannelsPid, 0,
+             "{\"name\":\"channels\"}"});
+  push(Event{"process_name", "__metadata", 'M', 0.0, 0.0, kMessagesPid, 0,
+             "{\"name\":\"messages\"}"});
+  for (topo::ChannelId c = 0; c < t.num_channels(); ++c) {
+    const topo::ChannelEnds ends = t.channel_ends(c);
+    for (std::uint8_t k = 0; k < copies; ++k) {
+      std::string label = "ch " + std::to_string(ends.from) + "->" +
+                          std::to_string(ends.to);
+      if (copies > 1) label += " #" + std::to_string(k);
+      push(Event{"thread_name", "__metadata", 'M', 0.0, 0.0, kChannelsPid,
+                 static_cast<std::uint64_t>(c) * copies + k,
+                 "{\"name\":" + [&label] {
+                   std::string quoted;
+                   Json::append_escaped(quoted, label);
+                   return quoted;
+                 }() + "}"});
+    }
+  }
+
+  worm::NetworkHooks wrapped = std::move(hooks);
+
+  auto prev_inject = std::move(wrapped.on_inject);
+  wrapped.on_inject = [this, prev_inject = std::move(prev_inject)](std::uint64_t msg,
+                                                                   double ts) {
+    instant("inject", "message", ts, kMessagesPid, 0, msg_args(msg));
+    if (prev_inject) prev_inject(msg, ts);
+  };
+
+  auto prev_delivery = std::move(wrapped.on_delivery);
+  wrapped.on_delivery = [this, prev_delivery = std::move(prev_delivery)](
+                            std::uint64_t msg, topo::NodeId dest, double latency) {
+    instant("delivery@" + std::to_string(dest), "message", latency, kMessagesPid, 0,
+            msg_args(msg));
+    if (prev_delivery) prev_delivery(msg, dest, latency);
+  };
+
+  auto prev_done = std::move(wrapped.on_message_done);
+  wrapped.on_message_done = [this, prev_done = std::move(prev_done)](std::uint64_t msg,
+                                                                     double latency) {
+    instant("done", "message", latency, kMessagesPid, 0, msg_args(msg));
+    if (prev_done) prev_done(msg, latency);
+  };
+
+  auto prev_drop = std::move(wrapped.on_drop);
+  wrapped.on_drop = [this, prev_drop = std::move(prev_drop)](std::uint64_t msg,
+                                                             topo::NodeId dest, double ts) {
+    instant("drop@" + std::to_string(dest), "message", ts, kMessagesPid, 0, msg_args(msg));
+    if (prev_drop) prev_drop(msg, dest, ts);
+  };
+
+  auto prev_grant = std::move(wrapped.on_channel_grant);
+  wrapped.on_channel_grant = [this, copies, prev_grant = std::move(prev_grant)](
+                                 worm::ChannelId c, std::uint8_t copy,
+                                 std::uint32_t worm_id, double ts) {
+    const std::size_t idx = static_cast<std::size_t>(c) * copies + copy;
+    grant_time_[idx] = ts;
+    grant_worm_[idx] = worm_id;
+    if (prev_grant) prev_grant(c, copy, worm_id, ts);
+  };
+
+  auto prev_release = std::move(wrapped.on_channel_release);
+  wrapped.on_channel_release = [this, copies, prev_release = std::move(prev_release)](
+                                   worm::ChannelId c, std::uint8_t copy,
+                                   std::uint32_t worm_id, double ts) {
+    const std::size_t idx = static_cast<std::size_t>(c) * copies + copy;
+    complete("worm " + std::to_string(grant_worm_[idx]), "channel", grant_time_[idx],
+             ts - grant_time_[idx], kChannelsPid, idx,
+             "{\"worm\":" + std::to_string(grant_worm_[idx]) + "}");
+    if (prev_release) prev_release(c, copy, worm_id, ts);
+  };
+
+  return wrapped;
+}
+
+std::string EventTracer::to_json() const {
+  std::string out;
+  out.reserve(events_.size() * 96 + 64);
+  out += "{\"displayTimeUnit\":\"ns\",\"traceEvents\":[";
+  bool first = true;
+  for (const Event& e : events_) {
+    if (!first) out += ",";
+    first = false;
+    out += "{\"name\":";
+    Json::append_escaped(out, e.name);
+    const bool metadata = e.category == "__metadata";
+    if (!metadata) {
+      out += ",\"cat\":";
+      Json::append_escaped(out, e.category);
+    }
+    out += ",\"ph\":\"";
+    out.push_back(metadata ? 'M' : e.phase);
+    out += "\",\"ts\":";
+    Json::append_number(out, e.ts_us);
+    if (e.phase == 'X') {
+      out += ",\"dur\":";
+      Json::append_number(out, e.dur_us);
+    }
+    if (e.phase == 'i') out += ",\"s\":\"t\"";  // thread-scoped instant
+    out += ",\"pid\":" + std::to_string(e.pid) + ",\"tid\":" + std::to_string(e.tid);
+    if (!e.args_json.empty()) out += ",\"args\":" + e.args_json;
+    out += "}";
+  }
+  out += "]}";
+  return out;
+}
+
+bool EventTracer::write_file(const std::string& path) const {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) return false;
+  const std::string doc = to_json();
+  const bool ok = std::fwrite(doc.data(), 1, doc.size(), f) == doc.size();
+  return (std::fclose(f) == 0) && ok;
+}
+
+}  // namespace mcnet::obs

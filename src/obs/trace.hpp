@@ -1,0 +1,80 @@
+// EventTracer: records worm-lifecycle and channel grant/release events
+// from the wormhole simulator and writes them as Chrome trace-event JSON
+// (the format chrome://tracing and Perfetto load directly).
+//
+// Mapping onto the trace-event model:
+//  * each physical channel copy is a "thread" (tid = channel * copies +
+//    copy), so Perfetto renders one swim-lane per channel with an "X"
+//    (complete) slice for every hold, named after the worm that held it;
+//  * message lifecycle events -- inject, per-destination delivery, drop,
+//    completion -- are instant events on tid 0 of a second "messages"
+//    process, with the message id in args;
+//  * timestamps are simulated seconds scaled to microseconds (the unit the
+//    format mandates), so a 50 ns flit time renders as 0.05 us slices.
+//
+// The tracer is bounded: past `max_events` new events are counted as
+// dropped instead of stored, so tracing a saturated run cannot exhaust
+// memory.  Recording is single-threaded by design (one tracer per
+// simulation); writing never happens concurrently with recording.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "wormhole/network.hpp"
+
+namespace mcnet::obs {
+
+class EventTracer {
+ public:
+  explicit EventTracer(std::size_t max_events = 1u << 20) : max_events_(max_events) {}
+
+  /// Instant event ("i") at simulated time `ts_s` on lane `tid` of process
+  /// `pid`.  `args_json` is a complete JSON object ("{...}") or empty.
+  void instant(std::string name, std::string_view category, double ts_s,
+               std::uint64_t pid, std::uint64_t tid, std::string args_json = {});
+
+  /// Complete event ("X"): a slice [ts_s, ts_s + dur_s].
+  void complete(std::string name, std::string_view category, double ts_s, double dur_s,
+                std::uint64_t pid, std::uint64_t tid, std::string args_json = {});
+
+  /// Wrap `hooks` so every Network callback both records a trace event and
+  /// forwards to whatever was installed before.  Lane metadata (channel
+  /// names) is emitted for `network`'s topology; pass the result to
+  /// network.set_hooks().  The network must outlive the tracer's use.
+  [[nodiscard]] worm::NetworkHooks instrument(const worm::Network& network,
+                                              worm::NetworkHooks hooks = {});
+
+  [[nodiscard]] std::size_t size() const { return events_.size(); }
+  [[nodiscard]] std::uint64_t dropped() const { return dropped_; }
+
+  /// The complete document: {"traceEvents": [...], "displayTimeUnit": "ns"}.
+  [[nodiscard]] std::string to_json() const;
+  /// Write to_json() to `path`; false (with errno intact) on I/O failure.
+  [[nodiscard]] bool write_file(const std::string& path) const;
+
+ private:
+  struct Event {
+    std::string name;
+    std::string category;
+    char phase;       // 'i' or 'X'
+    double ts_us;
+    double dur_us;    // 'X' only
+    std::uint64_t pid;
+    std::uint64_t tid;
+    std::string args_json;
+  };
+
+  void push(Event e);
+
+  std::size_t max_events_;
+  std::uint64_t dropped_ = 0;
+  std::vector<Event> events_;
+  /// Grant timestamps per physical channel copy, for 'X' slice construction
+  /// (index = channel * copies + copy).
+  std::vector<double> grant_time_;
+  std::vector<std::uint32_t> grant_worm_;
+};
+
+}  // namespace mcnet::obs

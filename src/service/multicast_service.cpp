@@ -7,6 +7,7 @@
 
 #include "core/router.hpp"
 #include "fault/fault_router.hpp"
+#include "obs/metrics.hpp"
 #include "wormhole/worm.hpp"
 
 namespace mcnet::svc {
@@ -92,8 +93,25 @@ MulticastService::MulticastService(const topo::Topology& topology,
   network_->set_hooks(std::move(hooks));
 }
 
+void MulticastService::set_metrics(obs::MetricsRegistry* registry) {
+  if (registry == nullptr) {
+    metrics_ = Metrics{};
+    network_->set_metrics(nullptr);
+    return;
+  }
+  metrics_.multicasts = &registry->counter("service.multicasts");
+  metrics_.retries = &registry->counter("service.retries");
+  metrics_.timeouts = &registry->counter("service.timeouts");
+  metrics_.reports = &registry->counter("service.reports");
+  metrics_.delivered = &registry->counter("service.delivered");
+  metrics_.dropped = &registry->counter("service.dropped");
+  metrics_.unreachable = &registry->counter("service.unreachable");
+  network_->set_metrics(registry);
+}
+
 MulticastService::Handle MulticastService::multicast(const mcast::MulticastRequest& request,
                                                      DeliveryFn on_delivery, DoneFn on_done) {
+  if (metrics_.active()) metrics_.multicasts->inc();
   const mcast::MulticastRequest req = request.normalized(topology_->num_nodes());
   const mcast::MulticastRoute route = route_(req);
   const Handle h = network_->inject(specs_(route));
@@ -126,6 +144,22 @@ std::uint64_t MulticastService::multicast_reliable(const mcast::MulticastRequest
 void MulticastService::reliable_maybe_report(const std::shared_ptr<ReliableOp>& op) {
   if (op->reported || op->final_.size() < op->total) return;
   op->reported = true;
+  if (metrics_.active()) {
+    metrics_.reports->inc();
+    for (const auto& [node, dest] : op->final_) {
+      switch (dest.status) {
+        case DeliveryReport::Status::kDelivered:
+          metrics_.delivered->inc();
+          break;
+        case DeliveryReport::Status::kDropped:
+          metrics_.dropped->inc();
+          break;
+        case DeliveryReport::Status::kUnreachable:
+          metrics_.unreachable->inc();
+          break;
+      }
+    }
+  }
   DeliveryReport report;
   report.attempts_used = op->attempts_used;
   report.finished_at_s = sched_->now();
@@ -140,6 +174,7 @@ void MulticastService::reliable_attempt(const std::shared_ptr<ReliableOp>& op,
                                         std::vector<topo::NodeId> destinations,
                                         std::uint32_t attempt) {
   op->attempts_used = std::max(op->attempts_used, attempt);
+  if (attempt > 1 && metrics_.active()) metrics_.retries->inc();
   // Route around everything failed *now*; partitioned destinations are
   // terminal immediately (no point burning the retry budget on them).
   const fault::FaultRouteResult routed =
@@ -185,7 +220,10 @@ void MulticastService::reliable_attempt(const std::shared_ptr<ReliableOp>& op,
   // callback above.  This is what guarantees the simulation cannot hang on
   // a reliable message, deadlocked fallback routes included.
   sched_->schedule_in(op->policy.timeout_s, [this, att, h] {
-    if (!att->settled) network_->abort_message(h);
+    if (!att->settled) {
+      if (metrics_.active()) metrics_.timeouts->inc();
+      network_->abort_message(h);
+    }
   });
 }
 

@@ -31,6 +31,10 @@ class Router;
 namespace mcnet::fault {
 class FaultAwareRouter;
 }
+namespace mcnet::obs {
+class MetricsRegistry;
+class Counter;
+}
 
 namespace mcnet::svc {
 
@@ -153,6 +157,14 @@ class MulticastService {
   [[nodiscard]] const worm::Network& network() const { return *network_; }
   [[nodiscard]] worm::Network& network() { return *network_; }
 
+  /// Register service-level counters on `registry` (nullptr detaches):
+  /// service.multicasts, service.retries (re-attempts after drops),
+  /// service.timeouts (attempts aborted by expiry), service.reports
+  /// (reliable operations finalised), service.delivered / .dropped /
+  /// .unreachable (per-destination terminal outcomes).  The owned Network
+  /// registers its own instruments on the same registry.
+  void set_metrics(obs::MetricsRegistry* registry);
+
  private:
   struct ReliableOp;     // one reliable multicast (defined in the .cpp)
   struct AttemptTrack;   // one attempt of it
@@ -168,6 +180,18 @@ class MulticastService {
   /// Fire the report once every destination is terminal.
   void reliable_maybe_report(const std::shared_ptr<ReliableOp>& op);
 
+  struct Metrics {
+    obs::Counter* multicasts = nullptr;
+    obs::Counter* retries = nullptr;
+    obs::Counter* timeouts = nullptr;
+    obs::Counter* reports = nullptr;
+    obs::Counter* delivered = nullptr;
+    obs::Counter* dropped = nullptr;
+    obs::Counter* unreachable = nullptr;
+
+    [[nodiscard]] bool active() const { return multicasts != nullptr; }
+  };
+
   const topo::Topology* topology_;
   evsim::Scheduler* sched_;
   std::unique_ptr<worm::Network> network_;
@@ -175,6 +199,7 @@ class MulticastService {
   SpecPolicy specs_;
   const fault::FaultAwareRouter* fault_router_ = nullptr;
   std::uint64_t next_reliable_id_ = 0;
+  Metrics metrics_;
 
   struct Pending {
     DeliveryFn on_delivery;

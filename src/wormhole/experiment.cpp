@@ -2,9 +2,14 @@
 
 #include <algorithm>
 #include <atomic>
+#include <exception>
+#include <limits>
+#include <mutex>
 
 #include "core/router.hpp"
 #include "evsim/scheduler.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 namespace mcnet::worm {
 
@@ -13,12 +18,14 @@ DynamicResult run_dynamic(const topo::Topology& topology, const RouteBuilder& bu
   evsim::Scheduler sched;
   Network network(topology, config.params, sched);
   TrafficDriver driver(sched, network, config.traffic, builder);
+  network.set_metrics(config.metrics);
 
   evsim::BatchMeans latency(config.batch_size, /*discard=*/1);
   evsim::Summary completion;
   NetworkHooks hooks;
   hooks.on_delivery = [&](std::uint64_t, topo::NodeId, double l) { latency.add(l); };
   hooks.on_message_done = [&](std::uint64_t, double l) { completion.add(l); };
+  if (config.tracer != nullptr) hooks = config.tracer->instrument(network, std::move(hooks));
   network.set_hooks(std::move(hooks));
 
   driver.start();
@@ -38,7 +45,9 @@ DynamicResult run_dynamic(const topo::Topology& topology, const RouteBuilder& bu
 
   DynamicResult result;
   result.mean_latency_us = latency.mean() * 1e6;
-  result.ci_half_us = latency.effective_batches() >= 2 ? latency.half_width() * 1e6 : 0.0;
+  result.ci_valid = latency.effective_batches() >= 2;
+  result.ci_half_us = result.ci_valid ? latency.half_width() * 1e6
+                                      : std::numeric_limits<double>::quiet_NaN();
   result.mean_completion_us = completion.mean() * 1e6;
   result.deliveries = latency.samples();
   result.messages_completed = network.messages_completed();
@@ -73,15 +82,34 @@ void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn,
     for (std::size_t i = 0; i < n; ++i) fn(i);
     return;
   }
+  // The first exception thrown by any worker wins; the rest of the work is
+  // abandoned (an uncaught exception in a std::thread would terminate the
+  // whole process).
   std::atomic<std::size_t> next{0};
+  std::atomic<bool> failed{false};
+  std::exception_ptr first_error;
+  std::mutex error_mutex;
   std::vector<std::thread> pool;
   pool.reserve(threads);
   for (unsigned t = 0; t < threads; ++t) {
     pool.emplace_back([&] {
-      for (std::size_t i = next.fetch_add(1); i < n; i = next.fetch_add(1)) fn(i);
+      for (std::size_t i = next.fetch_add(1); i < n; i = next.fetch_add(1)) {
+        if (failed.load(std::memory_order_acquire)) return;
+        try {
+          fn(i);
+        } catch (...) {
+          {
+            const std::lock_guard<std::mutex> lock(error_mutex);
+            if (!first_error) first_error = std::current_exception();
+          }
+          failed.store(true, std::memory_order_release);
+          return;
+        }
+      }
     });
   }
   for (std::thread& th : pool) th.join();
+  if (first_error) std::rethrow_exception(first_error);
 }
 
 }  // namespace mcnet::worm

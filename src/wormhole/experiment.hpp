@@ -13,6 +13,11 @@
 #include "wormhole/network.hpp"
 #include "wormhole/traffic.hpp"
 
+namespace mcnet::obs {
+class MetricsRegistry;
+class EventTracer;
+}  // namespace mcnet::obs
+
 namespace mcnet::worm {
 
 struct DynamicConfig {
@@ -26,11 +31,22 @@ struct DynamicConfig {
   std::uint32_t batch_size = 1000;  // per-delivery samples per batch
   double rel_precision = 0.05;
   std::uint32_t min_batches = 10;
+  /// Optional observability: when set, the run's Network registers its
+  /// counters/histograms here (thread-safe; sweeps may share one registry
+  /// across parallel runs).
+  obs::MetricsRegistry* metrics = nullptr;
+  /// Optional event tracing: worm lifecycle and channel occupancy land in
+  /// this tracer (one tracer per run -- tracers are not thread-safe).
+  obs::EventTracer* tracer = nullptr;
 };
 
 struct DynamicResult {
   double mean_latency_us = 0.0;      // per-destination network latency
-  double ci_half_us = 0.0;           // 95 % CI half-width
+  /// 95 % CI half-width; quiet NaN when `ci_valid` is false (fewer than 2
+  /// effective batches -- an unconverged or saturated run must not report
+  /// a zero half-width and masquerade as perfectly precise).
+  double ci_half_us = 0.0;
+  bool ci_valid = false;
   double mean_completion_us = 0.0;   // whole-multicast completion latency
   std::uint64_t deliveries = 0;
   std::uint64_t messages_completed = 0;
@@ -61,6 +77,12 @@ struct DynamicResult {
 /// simulations only; results land in caller-provided storage inside `fn`).
 /// `threads == 0` means one per hardware thread, falling back to 4 workers
 /// when std::thread::hardware_concurrency() reports 0 (unknown).
+///
+/// Exception safety: if `fn` throws in a worker, the first exception is
+/// captured, remaining indices are abandoned (workers drain without
+/// calling `fn` again), every thread is joined, and the exception is
+/// rethrown on the calling thread -- a throwing body no longer
+/// std::terminate()s the process.
 void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn,
                   unsigned threads = 0);
 

@@ -4,6 +4,8 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "obs/metrics.hpp"
+
 namespace mcnet::worm {
 
 namespace {
@@ -29,6 +31,21 @@ Network::Network(const topo::Topology& topology, const WormholeParams& params,
                       0.0);
 }
 
+void Network::set_metrics(obs::MetricsRegistry* registry) {
+  if (registry == nullptr) {
+    metrics_ = Metrics{};
+    return;
+  }
+  metrics_.injections = &registry->counter("network.injections");
+  metrics_.deliveries = &registry->counter("network.deliveries");
+  metrics_.drops = &registry->counter("network.drops");
+  metrics_.worms_killed = &registry->counter("network.worms_killed");
+  metrics_.delivery_latency_s = &registry->histogram("network.delivery_latency_s");
+  metrics_.grant_wait_s = &registry->histogram("network.grant_wait_s");
+  metrics_.channel_hold_s = &registry->histogram("network.channel_hold_s");
+  metrics_.channel_busy_time_s = &registry->gauge("network.channel_busy_time_s");
+}
+
 void Network::note_grant(ChannelId c, std::uint8_t copy) {
   acquired_at_[phys_index(c, copy)] = sched_->now();
   if (hooks_.on_channel_grant) {
@@ -37,7 +54,12 @@ void Network::note_grant(ChannelId c, std::uint8_t copy) {
 }
 
 void Network::note_release(ChannelId c, std::uint8_t copy) {
-  busy_time_ += sched_->now() - acquired_at_[phys_index(c, copy)];
+  const double held = sched_->now() - acquired_at_[phys_index(c, copy)];
+  busy_time_ += held;
+  if (metrics_.active()) {
+    metrics_.channel_hold_s->record(held);
+    metrics_.channel_busy_time_s->add(held);
+  }
   if (hooks_.on_channel_release) {
     hooks_.on_channel_release(c, copy, pool_.holder(c, copy), sched_->now());
   }
@@ -59,6 +81,8 @@ double Network::utilization() const {
 std::uint64_t Network::inject(std::vector<WormSpec> specs) {
   const std::uint64_t msg = next_message_++;
   messages_.push_back(Message{sched_->now(), static_cast<std::uint32_t>(specs.size())});
+  if (metrics_.active()) metrics_.injections->inc();
+  if (hooks_.on_inject) hooks_.on_inject(msg, sched_->now());
   if (specs.empty()) {
     ++messages_completed_;
     if (hooks_.on_message_done) hooks_.on_message_done(msg, 0.0);
@@ -202,8 +226,10 @@ void Network::on_grant(std::uint32_t worm_id, std::uint32_t link_index, std::uin
   ++w.granted;
   if (w.granted == w.frontier_end - w.frontier_begin) {
     if (w.block_started >= 0.0) {
-      w.blocked_time += sched_->now() - w.block_started;
+      const double waited = sched_->now() - w.block_started;
+      w.blocked_time += waited;
       w.block_started = -1.0;
+      if (metrics_.active()) metrics_.grant_wait_s->record(waited);
     }
     schedule_for_worm(params_.flit_time, worm_id, [this, worm_id] { advance(worm_id); });
   }
@@ -247,6 +273,10 @@ void Network::advance(std::uint32_t worm_id) {
     const auto [depth, dest] = w.deliveries[w.next_delivery++];
     const std::uint64_t message = w.message;
     const double latency = sched_->now() - w.t_created;
+    if (metrics_.active()) {
+      metrics_.deliveries->inc();
+      metrics_.delivery_latency_s->record(latency);
+    }
     if (hooks_.on_delivery) hooks_.on_delivery(message, dest, latency);  // may inject
   }
 
@@ -275,9 +305,12 @@ void Network::drain(std::uint32_t worm_id) {
     schedule_for_worm(dt, worm_id, [this, worm_id, i, dest] {
       Worm& worm = worms_[worm_id];
       worm.next_delivery = i + 1;
-      if (hooks_.on_delivery) {
-        hooks_.on_delivery(worm.message, dest, sched_->now() - worm.t_created);
+      const double latency = sched_->now() - worm.t_created;
+      if (metrics_.active()) {
+        metrics_.deliveries->inc();
+        metrics_.delivery_latency_s->record(latency);
       }
+      if (hooks_.on_delivery) hooks_.on_delivery(worm.message, dest, latency);
     });
   }
 
@@ -357,6 +390,10 @@ void Network::kill_worm(std::uint32_t worm_id) {
   blocked_time_total_ += worms_[worm_id].blocked_time;
   ++worms_killed_;
   deliveries_dropped_ += dropped.size();
+  if (metrics_.active()) {
+    metrics_.worms_killed->inc();
+    metrics_.drops->inc(dropped.size());
+  }
   {
     Worm& w = worms_[worm_id];
     w.active = false;

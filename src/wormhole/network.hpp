@@ -25,6 +25,13 @@
 #include "wormhole/channel_pool.hpp"
 #include "wormhole/worm.hpp"
 
+namespace mcnet::obs {
+class MetricsRegistry;
+class Counter;
+class Gauge;
+class Histogram;
+}  // namespace mcnet::obs
+
 namespace mcnet::worm {
 
 struct WormholeParams {
@@ -47,6 +54,8 @@ struct WormholeParams {
 
 /// Observer callbacks (all optional).
 struct NetworkHooks {
+  /// A multicast entered the network (fires before any of its worms move).
+  std::function<void(std::uint64_t message_id, double t)> on_inject;
   /// A destination received the complete message.
   std::function<void(std::uint64_t message_id, NodeId destination, double latency_s)>
       on_delivery;
@@ -79,6 +88,15 @@ class Network {
   std::uint64_t inject(std::vector<WormSpec> specs);
 
   void set_hooks(NetworkHooks hooks) { hooks_ = std::move(hooks); }
+
+  /// Register this network's instruments on `registry` (nullptr detaches):
+  /// counters network.injections / .deliveries / .drops / .worms_killed,
+  /// histograms network.delivery_latency_s / .grant_wait_s /
+  /// .channel_hold_s (all in simulated seconds) and gauge
+  /// network.channel_busy_time_s.  When detached (the default) the hot
+  /// paths pay one null check.  Multiple networks may share a registry;
+  /// their counts aggregate.
+  void set_metrics(obs::MetricsRegistry* registry);
 
   /// Fail a directed channel at the current simulated time: worms holding
   /// or waiting on any copy of it are killed.  Idempotent.
@@ -186,12 +204,28 @@ class Network {
     });
   }
 
+  /// Registry instruments bound once in set_metrics(); all-null when
+  /// metrics are disabled (`active()` is the single hot-path check).
+  struct Metrics {
+    obs::Counter* injections = nullptr;
+    obs::Counter* deliveries = nullptr;
+    obs::Counter* drops = nullptr;
+    obs::Counter* worms_killed = nullptr;
+    obs::Histogram* delivery_latency_s = nullptr;
+    obs::Histogram* grant_wait_s = nullptr;
+    obs::Histogram* channel_hold_s = nullptr;
+    obs::Gauge* channel_busy_time_s = nullptr;
+
+    [[nodiscard]] bool active() const { return injections != nullptr; }
+  };
+
   const topo::Topology* topology_;
   WormholeParams params_;
   evsim::Scheduler* sched_;
   ChannelPool pool_;
   std::shared_ptr<fault::FaultState> faults_;
   NetworkHooks hooks_;
+  Metrics metrics_;
 
   std::vector<Worm> worms_;
   std::vector<std::uint64_t> worm_gen_;  // incarnation counter per slot

@@ -1,0 +1,163 @@
+// Bench harness (bench/bench_common.hpp): run-count scaling must survive
+// hostile MCNET_BENCH_SCALE values (the double -> uint32_t cast used to be
+// UB for huge scales), and the JsonReporter must emit schema-valid
+// documents.
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <limits>
+#include <optional>
+#include <sstream>
+
+#include "bench_common.hpp"
+
+namespace {
+
+using namespace mcnet;
+
+/// RAII environment override (tests run serially within a binary).
+class ScopedEnv {
+ public:
+  ScopedEnv(const char* name, const char* value) : name_(name) {
+    if (const char* old = std::getenv(name)) saved_ = old;
+    if (value != nullptr) {
+      ::setenv(name, value, 1);
+    } else {
+      ::unsetenv(name);
+    }
+  }
+  ~ScopedEnv() {
+    if (saved_.has_value()) {
+      ::setenv(name_, saved_->c_str(), 1);
+    } else {
+      ::unsetenv(name_);
+    }
+  }
+
+ private:
+  const char* name_;
+  std::optional<std::string> saved_;
+};
+
+TEST(BenchScale, DefaultsToOneAndParsesOverrides) {
+  {
+    ScopedEnv env("MCNET_BENCH_SCALE", nullptr);
+    EXPECT_DOUBLE_EQ(bench::bench_scale(), 1.0);
+  }
+  {
+    ScopedEnv env("MCNET_BENCH_SCALE", "0.25");
+    EXPECT_DOUBLE_EQ(bench::bench_scale(), 0.25);
+  }
+}
+
+TEST(BenchScale, RejectsNonFiniteAndNonPositiveValues) {
+  for (const char* bad : {"nan", "inf", "-inf", "0", "-3", "bogus", ""}) {
+    ScopedEnv env("MCNET_BENCH_SCALE", bad);
+    EXPECT_DOUBLE_EQ(bench::bench_scale(), 1.0) << bad;
+  }
+}
+
+TEST(ScaledRuns, ClampsInsteadOfOverflowing) {
+  {
+    // 1000 * 1e30 would previously hit the UB double -> uint32_t cast.
+    ScopedEnv env("MCNET_BENCH_SCALE", "1e30");
+    EXPECT_EQ(bench::scaled_runs(1000), std::numeric_limits<std::uint32_t>::max());
+    EXPECT_EQ(bench::scaled_count(1000), std::numeric_limits<std::uint64_t>::max());
+  }
+  {
+    ScopedEnv env("MCNET_BENCH_SCALE", "1e-12");
+    EXPECT_EQ(bench::scaled_runs(1000), 8u);  // floor keeps statistics sane
+    EXPECT_EQ(bench::scaled_count(1000), 1u);
+  }
+  {
+    ScopedEnv env("MCNET_BENCH_SCALE", "2");
+    EXPECT_EQ(bench::scaled_runs(1000), 2000u);
+    EXPECT_EQ(bench::scaled_count(1000), 2000u);
+  }
+}
+
+TEST(JsonReporter, WritesSchemaValidDocument) {
+  char dir_template[] = "/tmp/mcnet_bench_json_XXXXXX";
+  ASSERT_NE(::mkdtemp(dir_template), nullptr);
+  const std::string dir = dir_template;
+  ScopedEnv env_dir("MCNET_BENCH_JSON_DIR", dir.c_str());
+  ScopedEnv env_on("MCNET_BENCH_JSON", nullptr);
+
+  {
+    bench::JsonReporter json("bench_unit_test");
+    obs::Json p = obs::Json::object();
+    p["x"] = obs::Json(1);
+    p["y"] = obs::Json(2.5);
+    json.add_point("series-a", std::move(p));
+    json.meta()["topology"] = obs::Json("mesh(4,4)");
+    json.registry().counter("network.injections").inc(3);
+    json.registry().histogram("network.delivery_latency_s").record(1e-6);
+    ASSERT_TRUE(json.write());
+  }
+
+  std::ifstream in(dir + "/bench_unit_test.json");
+  ASSERT_TRUE(in.good());
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  std::string error;
+  const auto doc = obs::Json::parse(buffer.str(), &error);
+  ASSERT_TRUE(doc.has_value()) << error;
+  EXPECT_TRUE(obs::validate_bench_json(*doc, &error)) << error;
+  EXPECT_EQ(doc->find("bench")->as_string(), "bench_unit_test");
+  EXPECT_EQ(doc->find("meta")->find("topology")->as_string(), "mesh(4,4)");
+  // The reporter's registry is dumped automatically, histograms included.
+  EXPECT_DOUBLE_EQ(
+      doc->find("metrics")->find("counters")->find("network.injections")->as_double(), 3.0);
+  ASSERT_TRUE(doc->contains("histograms"));
+  EXPECT_DOUBLE_EQ(
+      doc->find("histograms")->find("network.delivery_latency_s")->find("count")->as_double(),
+      1.0);
+
+  std::remove((dir + "/bench_unit_test.json").c_str());
+  ::rmdir(dir.c_str());
+}
+
+TEST(JsonReporter, DynamicPointEncodesInvalidCiAsNull) {
+  worm::DynamicResult r;
+  r.mean_latency_us = 12.5;
+  r.ci_valid = false;
+  r.ci_half_us = std::numeric_limits<double>::quiet_NaN();
+  const obs::Json p = bench::JsonReporter::dynamic_point(300.0, r);
+  EXPECT_FALSE(p.find("ci_valid")->as_bool());
+  // NaN serialises as null, which is exactly what the schema requires for
+  // an invalid CI.
+  const auto round_trip = obs::Json::parse(p.dump());
+  ASSERT_TRUE(round_trip.has_value());
+  EXPECT_TRUE(round_trip->find("ci_half_us")->is_null());
+
+  r.ci_valid = true;
+  r.ci_half_us = 0.75;
+  const obs::Json q = bench::JsonReporter::dynamic_point(300.0, r);
+  EXPECT_TRUE(q.find("ci_valid")->as_bool());
+  EXPECT_DOUBLE_EQ(q.find("ci_half_us")->as_double(), 0.75);
+}
+
+TEST(JsonReporter, DisabledOutputWritesNothing) {
+  char dir_template[] = "/tmp/mcnet_bench_json_XXXXXX";
+  ASSERT_NE(::mkdtemp(dir_template), nullptr);
+  const std::string dir = dir_template;
+  ScopedEnv env_dir("MCNET_BENCH_JSON_DIR", dir.c_str());
+  ScopedEnv env_off("MCNET_BENCH_JSON", "off");
+  EXPECT_FALSE(bench::json_output_enabled());
+  {
+    bench::JsonReporter json("bench_disabled");
+    obs::Json p = obs::Json::object();
+    p["x"] = obs::Json(1);
+    p["y"] = obs::Json(1);
+    json.add_point("s", std::move(p));
+  }
+  std::ifstream in(dir + "/bench_disabled.json");
+  EXPECT_FALSE(in.good());
+  ::rmdir(dir.c_str());
+}
+
+}  // namespace

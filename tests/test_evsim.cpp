@@ -2,6 +2,7 @@
 
 #include <cmath>
 #include <set>
+#include <stdexcept>
 #include <vector>
 
 #include "evsim/facility.hpp"
@@ -218,6 +219,73 @@ TEST(Random, SampleDestinationsFullNetwork) {
   EXPECT_EQ(set.size(), 15u);
   EXPECT_FALSE(set.contains(3u));
   EXPECT_THROW((void)rng.sample_destinations(16, 3, 16), std::invalid_argument);
+}
+
+TEST(Summary, HandlesEdgeCases) {
+  Summary s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);  // no samples: defined as zero
+  s.add(5.0);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);  // single sample: zero, not NaN
+  EXPECT_DOUBLE_EQ(s.min(), 5.0);
+  EXPECT_DOUBLE_EQ(s.max(), 5.0);
+  s.add(-5.0);
+  EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 50.0);
+  EXPECT_DOUBLE_EQ(s.min(), -5.0);
+}
+
+TEST(BatchMeans, DiscardAtLeastCompletedLeavesNoEffectiveBatches) {
+  BatchMeans bm(10, /*discard=*/3);
+  for (int i = 0; i < 30; ++i) bm.add(1.0);  // exactly 3 completed batches
+  EXPECT_EQ(bm.completed_batches(), 3u);
+  EXPECT_EQ(bm.effective_batches(), 0u);
+  EXPECT_DOUBLE_EQ(bm.mean(), 0.0);
+  EXPECT_TRUE(std::isinf(bm.half_width()));
+  EXPECT_FALSE(bm.converged());
+}
+
+TEST(BatchMeans, SingleEffectiveBatchHasInfiniteHalfWidth) {
+  BatchMeans bm(5, /*discard=*/1);
+  for (int i = 0; i < 10; ++i) bm.add(2.0);  // 2 completed, 1 effective
+  EXPECT_EQ(bm.effective_batches(), 1u);
+  EXPECT_DOUBLE_EQ(bm.mean(), 2.0);
+  // One batch mean gives no variance estimate: the half-width must be
+  // infinite (unknown), never zero (claiming perfect precision).
+  EXPECT_TRUE(std::isinf(bm.half_width()));
+  EXPECT_FALSE(bm.converged(0.05, 1));
+}
+
+TEST(BatchMeans, ZeroMeanNeverConverges) {
+  BatchMeans bm(2, /*discard=*/0);
+  for (int i = 0; i < 100; ++i) bm.add(0.0);
+  EXPECT_EQ(bm.effective_batches(), 50u);
+  EXPECT_DOUBLE_EQ(bm.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(bm.half_width(), 0.0);
+  // The relative-width rule is undefined at mean zero; converged() must
+  // answer false rather than divide by zero.
+  EXPECT_FALSE(bm.converged());
+}
+
+TEST(BatchMeans, ConvergesOnSteadyData) {
+  BatchMeans bm(10, /*discard=*/1);
+  Rng rng(42);
+  for (int i = 0; i < 2000; ++i) bm.add(100.0 + rng.uniform(-1.0, 1.0));
+  EXPECT_GE(bm.effective_batches(), 10u);
+  EXPECT_NEAR(bm.mean(), 100.0, 0.5);
+  EXPECT_TRUE(bm.converged(0.05, 10));
+  EXPECT_LT(bm.half_width(), 1.0);
+}
+
+TEST(BatchMeans, PartialBatchDoesNotCount) {
+  BatchMeans bm(10, /*discard=*/0);
+  for (int i = 0; i < 9; ++i) bm.add(1.0);
+  EXPECT_EQ(bm.samples(), 9u);
+  EXPECT_EQ(bm.completed_batches(), 0u);
+  bm.add(1.0);
+  EXPECT_EQ(bm.completed_batches(), 1u);
+  EXPECT_THROW(BatchMeans(0, 0), std::invalid_argument);
 }
 
 TEST(Random, SampleDestinationsIsRoughlyUniform) {

@@ -2,7 +2,9 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <cmath>
 #include <set>
+#include <stdexcept>
 
 #include "core/route_factory.hpp"
 #include "wormhole/experiment.hpp"
@@ -129,6 +131,83 @@ TEST(ParallelFor, CoversAllIndicesOnce) {
   int calls = 0;
   worm::parallel_for(3, [&](std::size_t) { ++calls; }, 1);
   EXPECT_EQ(calls, 3);
+}
+
+TEST(ParallelFor, RethrowsWorkerExceptionInsteadOfTerminating) {
+  // A throwing body used to escape into the worker thread and
+  // std::terminate the whole process; now the first exception is rethrown
+  // on the calling thread after every worker joined.
+  EXPECT_THROW(
+      worm::parallel_for(
+          64,
+          [](std::size_t i) {
+            if (i == 13) throw std::runtime_error("boom at 13");
+          },
+          4),
+      std::runtime_error);
+
+  try {
+    worm::parallel_for(
+        8, [](std::size_t) { throw std::logic_error("always"); }, 2);
+    FAIL() << "expected logic_error";
+  } catch (const std::logic_error& e) {
+    EXPECT_STREQ(e.what(), "always");
+  }
+
+  // Remaining indices are abandoned after the failure: with one worker the
+  // iteration order is deterministic, so nothing past the throw runs.
+  std::vector<int> visited;
+  EXPECT_THROW(worm::parallel_for(
+                   10,
+                   [&](std::size_t i) {
+                     if (i == 3) throw std::runtime_error("stop");
+                     visited.push_back(static_cast<int>(i));
+                   },
+                   1),
+               std::runtime_error);
+  EXPECT_EQ(visited, (std::vector<int>{0, 1, 2}));
+}
+
+TEST(DynamicExperiment, TinyRunReportsInvalidConfidenceInterval) {
+  const Mesh2D mesh(4, 4);
+  const MeshRoutingSuite suite(mesh);
+  DynamicConfig cfg;
+  cfg.params = {.flit_time = 50e-9, .message_flits = 16, .channel_copies = 1};
+  cfg.traffic = {.mean_interarrival_s = 200e-6,
+                 .avg_destinations = 2,
+                 .fixed_destinations = true,
+                 .exponential_interarrival = false,
+                 .seed = 3};
+  // A handful of messages cannot fill two effective batches, so the CI is
+  // meaningless -- it must be flagged invalid and NaN, never silently 0.
+  cfg.target_messages = 4;
+  cfg.max_messages = 4;
+  cfg.max_sim_time_s = 0.5;
+  cfg.batch_size = 1000;
+  const DynamicResult r = run_dynamic(mesh, make_builder(suite, Algorithm::kDualPath, 1), cfg);
+  EXPECT_FALSE(r.ci_valid);
+  EXPECT_TRUE(std::isnan(r.ci_half_us));
+  EXPECT_GT(r.deliveries, 0u);
+}
+
+TEST(DynamicExperiment, LongRunReportsValidConfidenceInterval) {
+  const Mesh2D mesh(4, 4);
+  const MeshRoutingSuite suite(mesh);
+  DynamicConfig cfg;
+  cfg.params = {.flit_time = 50e-9, .message_flits = 16, .channel_copies = 1};
+  cfg.traffic = {.mean_interarrival_s = 200e-6,
+                 .avg_destinations = 2,
+                 .fixed_destinations = true,
+                 .exponential_interarrival = false,
+                 .seed = 3};
+  cfg.target_messages = 200;
+  cfg.max_messages = 800;
+  cfg.max_sim_time_s = 1.0;
+  cfg.batch_size = 20;
+  const DynamicResult r = run_dynamic(mesh, make_builder(suite, Algorithm::kDualPath, 1), cfg);
+  EXPECT_TRUE(r.ci_valid);
+  EXPECT_TRUE(std::isfinite(r.ci_half_us));
+  EXPECT_GE(r.ci_half_us, 0.0);
 }
 
 }  // namespace

@@ -45,12 +45,36 @@ class ArgParser {
   [[nodiscard]] double get_double(const std::string& key, double def,
                                   const std::string& help) {
     const std::string v = get(key, std::to_string(def), help);
-    return std::stod(v);
+    // std::stod throws bare invalid_argument/out_of_range that name no
+    // flag; rewrap so the user learns which option is malformed.
+    std::size_t used = 0;
+    double parsed = 0.0;
+    try {
+      parsed = std::stod(v, &used);
+    } catch (const std::exception&) {
+      throw std::invalid_argument("option --" + key + " expects a number, got \"" + v + "\"");
+    }
+    if (used != v.size()) {
+      throw std::invalid_argument("option --" + key + " expects a number, got \"" + v + "\"");
+    }
+    return parsed;
   }
   [[nodiscard]] std::int64_t get_int(const std::string& key, std::int64_t def,
                                      const std::string& help) {
     const std::string v = get(key, std::to_string(def), help);
-    return std::stoll(v);
+    std::size_t used = 0;
+    std::int64_t parsed = 0;
+    try {
+      parsed = std::stoll(v, &used);
+    } catch (const std::exception&) {
+      throw std::invalid_argument("option --" + key + " expects an integer, got \"" + v +
+                                  "\"");
+    }
+    if (used != v.size()) {
+      throw std::invalid_argument("option --" + key + " expects an integer, got \"" + v +
+                                  "\"");
+    }
+    return parsed;
   }
   [[nodiscard]] bool get_flag(const std::string& key, const std::string& help) {
     declare(key, "", help);

@@ -1,0 +1,44 @@
+#!/usr/bin/env bash
+# Smoke-run one bench per family at a tiny scale and validate every JSON
+# result file against the mcnet-bench-v1 schema.  Run from anywhere:
+#   tools/bench_smoke.sh <build-dir> [out-dir]
+# Exit status is non-zero when a bench fails or emits invalid JSON.
+set -euo pipefail
+
+build_dir=${1:?usage: bench_smoke.sh <build-dir> [out-dir]}
+out_dir=${2:-"${build_dir}/bench-smoke"}
+mkdir -p "${out_dir}"
+
+export MCNET_BENCH_SCALE=${MCNET_BENCH_SCALE:-0.05}
+export MCNET_BENCH_JSON_DIR="${out_dir}"
+
+# One representative per family: static sweep, dynamic load sweep, dynamic
+# destination sweep, ablation, fault robustness, analytic tables, and the
+# mixed-traffic extension.
+benches=(
+  bench_fig7_01_mp_mesh       # static sweep
+  bench_fig7_08_dyn_load_dc   # dynamic load sweep
+  bench_fig7_09_dyn_dests_dc  # dynamic destination sweep
+  bench_ablation_vct          # ablation (two sweeps, one JSON)
+  bench_fault_sweep           # reliable delivery under faults
+  bench_tables_ch5            # analytic tables
+  bench_fig2_3_switching      # switching-model comparison
+)
+
+for bench in "${benches[@]}"; do
+  echo "== ${bench} (scale ${MCNET_BENCH_SCALE}) =="
+  "${build_dir}/bench/${bench}" > /dev/null
+done
+
+# The simulator driver's trace output must stay loadable too.
+"${build_dir}/tools/mcnet_sim" --topology mesh:8x8 --algorithm dual-path \
+  --dests 5 --messages 50 --interarrival-us 300 \
+  --trace "${out_dir}/mcnet_sim_trace.json" --metrics > /dev/null
+python3 - "${out_dir}/mcnet_sim_trace.json" <<'EOF'
+import json, sys
+doc = json.load(open(sys.argv[1]))
+assert isinstance(doc["traceEvents"], list) and doc["traceEvents"], "empty trace"
+EOF
+
+"${build_dir}/tools/mcnet_bench_validate" "${out_dir}"/bench_*.json
+echo "bench smoke: all JSON results valid"

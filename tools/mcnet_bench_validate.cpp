@@ -1,0 +1,55 @@
+// mcnet_bench_validate -- check bench result files against the
+// "mcnet-bench-v1" schema (see src/obs/bench_schema.hpp).  CI runs every
+// bench at a smoke scale and feeds the JSON through this tool, so a bench
+// that silently stops emitting points (or emits a bogus CI) fails the
+// build instead of rotting.
+//
+// Usage: mcnet_bench_validate FILE...
+// Exit status: 0 when every file parses and validates, 1 otherwise.
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "obs/bench_schema.hpp"
+#include "obs/json.hpp"
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    std::fprintf(stderr, "usage: %s FILE...\n", argv[0]);
+    return 1;
+  }
+  bool all_ok = true;
+  for (int i = 1; i < argc; ++i) {
+    const char* path = argv[i];
+    std::ifstream in(path);
+    if (!in) {
+      std::fprintf(stderr, "%s: cannot open\n", path);
+      all_ok = false;
+      continue;
+    }
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    std::string error;
+    const auto doc = mcnet::obs::Json::parse(buffer.str(), &error);
+    if (!doc) {
+      std::fprintf(stderr, "%s: parse error: %s\n", path, error.c_str());
+      all_ok = false;
+      continue;
+    }
+    if (!mcnet::obs::validate_bench_json(*doc, &error)) {
+      std::fprintf(stderr, "%s: schema violation: %s\n", path, error.c_str());
+      all_ok = false;
+      continue;
+    }
+    std::size_t points = 0;
+    if (const mcnet::obs::Json* series = doc->find("series")) {
+      for (const auto& s : series->items()) {
+        if (const mcnet::obs::Json* p = s.find("points")) points += p->size();
+      }
+    }
+    std::printf("%s: ok (%zu series, %zu points)\n", path,
+                doc->find("series")->size(), points);
+  }
+  return all_ok ? 0 : 1;
+}

@@ -7,6 +7,7 @@
 //             --interarrival-us 300 --messages 2000
 //   mcnet_sim --topology mesh3:4x4x4 --algorithm fixed-path --dests 8 --static
 //   mcnet_sim --topology kary:4x3 --algorithm dual-path --dests 6 --static --csv
+#include <cmath>
 #include <cstdio>
 #include <memory>
 #include <set>
@@ -15,6 +16,8 @@
 #include "core/route_cache.hpp"
 #include "core/router.hpp"
 #include "evsim/random.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "topology/kary_ncube.hpp"
 #include "topology/mesh3d.hpp"
 #include "wormhole/experiment.hpp"
@@ -34,13 +37,24 @@ std::unique_ptr<topo::Topology> make_topology(const std::string& spec) {
   if (colon == std::string::npos) throw std::invalid_argument("topology needs kind:dims");
   const std::string kind = spec.substr(0, colon);
   const std::string dims = spec.substr(colon + 1);
-  const auto parse_dims = [&dims] {
+  const auto parse_dims = [&spec, &dims] {
     std::vector<std::uint32_t> out;
     std::size_t pos = 0;
     while (pos < dims.size()) {
       const std::size_t x = dims.find('x', pos);
-      out.push_back(static_cast<std::uint32_t>(
-          std::stoul(dims.substr(pos, x == std::string::npos ? x : x - pos))));
+      const std::string part = dims.substr(pos, x == std::string::npos ? x : x - pos);
+      std::size_t used = 0;
+      unsigned long value = 0;
+      try {
+        value = std::stoul(part, &used);
+      } catch (const std::exception&) {
+        used = 0;
+      }
+      if (used != part.size() || part.empty() || value > 0xffffffffUL) {
+        throw std::invalid_argument("topology \"" + spec + "\" has a bad dimension \"" +
+                                    part + "\" (expected kind:NxM...)");
+      }
+      out.push_back(static_cast<std::uint32_t>(value));
       if (x == std::string::npos) break;
       pos = x + 1;
     }
@@ -109,6 +123,10 @@ int main(int argc, char** argv) {
         args.get_int("flits", 128, "message length in flits (dynamic)"));
     const auto seed = static_cast<std::uint64_t>(args.get_int("seed", 2026, "random seed"));
     const bool csv = args.get_flag("csv", "machine-readable output");
+    const std::string trace_path =
+        args.get("trace", "", "write a Chrome/Perfetto trace of the dynamic run (dynamic)");
+    const bool metrics_dump =
+        args.get_flag("metrics", "dump the metrics registry as JSON after the run (dynamic)");
     if (args.help_requested()) {
       args.print_usage();
       return 0;
@@ -156,23 +174,40 @@ int main(int argc, char** argv) {
     cfg.target_messages = messages;
     cfg.max_messages = messages * 4;
     cfg.max_sim_time_s = 2.0;
+
+    obs::MetricsRegistry registry;
+    if (metrics_dump) {
+      cfg.metrics = &registry;
+      inst.router->set_metrics(&registry);
+    }
+    std::unique_ptr<obs::EventTracer> tracer;
+    if (!trace_path.empty()) {
+      tracer = std::make_unique<obs::EventTracer>();
+      cfg.tracer = tracer.get();
+    }
+
     const worm::DynamicResult r = run_dynamic(*inst.router, cfg);
     const mcast::RouteCacheStats cache = inst.router->stats();
     if (csv) {
       std::printf(
-          "topology,algorithm,dests,interarrival_us,latency_us,ci_us,completion_us,"
-          "deliveries,messages,converged,saturated\n");
-      std::printf("%s,%s,%u,%.1f,%.3f,%.3f,%.3f,%llu,%llu,%d,%d\n",
+          "topology,algorithm,dests,interarrival_us,latency_us,ci_us,ci_valid,"
+          "completion_us,deliveries,messages,converged,saturated\n");
+      std::printf("%s,%s,%u,%.1f,%.3f,%.3f,%d,%.3f,%llu,%llu,%d,%d\n",
                   inst.topology->name().c_str(), algo_name.c_str(), dests, interarrival_us,
-                  r.mean_latency_us, r.ci_half_us, r.mean_completion_us,
-                  static_cast<unsigned long long>(r.deliveries),
+                  r.mean_latency_us, r.ci_valid ? r.ci_half_us : std::nan(""), r.ci_valid,
+                  r.mean_completion_us, static_cast<unsigned long long>(r.deliveries),
                   static_cast<unsigned long long>(r.messages_completed), r.converged,
                   r.saturated);
     } else {
       std::printf("%s, %s, avg %u dests, %.0f us interarrival\n",
                   inst.topology->name().c_str(), algo_name.c_str(), dests, interarrival_us);
-      std::printf("  mean latency:     %.2f us (95%% CI +/- %.2f)\n", r.mean_latency_us,
-                  r.ci_half_us);
+      if (r.ci_valid) {
+        std::printf("  mean latency:     %.2f us (95%% CI +/- %.2f)\n", r.mean_latency_us,
+                    r.ci_half_us);
+      } else {
+        std::printf("  mean latency:     %.2f us (CI unavailable: too few batches)\n",
+                    r.mean_latency_us);
+      }
       std::printf("  mean completion:  %.2f us\n", r.mean_completion_us);
       std::printf("  deliveries:       %llu over %llu messages\n",
                   static_cast<unsigned long long>(r.deliveries),
@@ -182,6 +217,18 @@ int main(int argc, char** argv) {
       std::printf("  route cache:      %llu hits / %llu misses (%.1f%% hit rate)\n",
                   static_cast<unsigned long long>(cache.hits),
                   static_cast<unsigned long long>(cache.misses), cache.hit_rate() * 100.0);
+    }
+    if (tracer != nullptr) {
+      if (!tracer->write_file(trace_path)) {
+        std::fprintf(stderr, "error: cannot write trace to %s\n", trace_path.c_str());
+        return 1;
+      }
+      std::fprintf(stderr, "trace: wrote %zu events to %s%s\n", tracer->size(),
+                   trace_path.c_str(),
+                   tracer->dropped() > 0 ? " (buffer full, some events dropped)" : "");
+    }
+    if (metrics_dump) {
+      std::printf("%s\n", registry.to_json().dump(2).c_str());
     }
     return 0;
   } catch (const std::exception& e) {
