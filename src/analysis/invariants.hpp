@@ -1,0 +1,52 @@
+// Static per-router invariant checks (the non-deadlock half of the
+// analyzer): every enumerated instance's route is checked for
+//
+//  * reachability totality -- the algorithm produces a route for every
+//    (source, destination-set) instance instead of throwing;
+//  * structural soundness  -- hops are channels, every destination is
+//    delivered (core verify_route);
+//  * label-order monotonicity -- high-subnetwork paths visit strictly
+//    ascending labels, low-subnetwork paths strictly descending (which
+//    also confines each path to its own subnetwork's channels);
+//  * quadrant-subnetwork membership -- double-channel X-first trees only
+//    hop in their quadrant's two directions;
+//  * channel capacity -- no worm acquires the same virtual channel twice;
+//  * shortest-path unicast legs -- singleton destinations are delivered in
+//    at least distance(src, dst) hops, and exactly that many when the
+//    algorithm claims shortest unicast routing (dual-path, Lemma 6.1).
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "analysis/mcdg.hpp"
+#include "analysis/scenario.hpp"
+
+namespace mcnet::analysis {
+
+/// One concrete invariant violation.
+struct InvariantViolation {
+  /// Which check failed: "reachability", "structure", "label-monotone",
+  /// "quadrant", "capacity", or "shortest".
+  std::string kind;
+  mcast::MulticastRequest instance;
+  std::string detail;
+};
+
+/// Result of the invariant sweep of one scenario.
+struct InvariantReport {
+  std::size_t instances_checked = 0;
+  std::size_t violations = 0;
+  /// First few violations, for reporting (capped; `violations` is exact).
+  std::vector<InvariantViolation> samples;
+
+  [[nodiscard]] bool ok() const { return violations == 0; }
+};
+
+/// Check every enumerated instance of `scenario` against the invariants it
+/// claims (see Scenario flags).
+[[nodiscard]] InvariantReport check_invariants(const Scenario& scenario,
+                                               const AnalysisConfig& config = {});
+
+}  // namespace mcnet::analysis

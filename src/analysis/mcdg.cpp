@@ -1,0 +1,535 @@
+#include "analysis/mcdg.hpp"
+
+#include <algorithm>
+#include <sstream>
+#include <stdexcept>
+
+#include "analysis/instances.hpp"
+
+namespace mcnet::analysis {
+
+namespace {
+
+using cdg::ChannelGraph;
+using cdg::EdgeTag;
+using mcast::MulticastRequest;
+using mcast::MulticastRoute;
+using mcast::PathRoute;
+using mcast::TreeRoute;
+using topo::ChannelId;
+using topo::NodeId;
+
+// Small dynamic bitset over tree-link indices.
+class LinkSet {
+ public:
+  LinkSet() = default;
+  explicit LinkSet(std::size_t bits) : words_((bits + 63) / 64, 0) {}
+  void set(std::size_t i) { words_[i / 64] |= std::uint64_t{1} << (i % 64); }
+  [[nodiscard]] bool test(std::size_t i) const {
+    return (words_[i / 64] >> (i % 64)) & 1u;
+  }
+  void merge(const LinkSet& other) {
+    for (std::size_t w = 0; w < words_.size(); ++w) words_[w] |= other.words_[w];
+  }
+
+ private:
+  std::vector<std::uint64_t> words_;
+};
+
+std::uint8_t copy_for(const Scenario& s, std::uint8_t cls, NodeId from, NodeId to) {
+  return s.copy_of ? s.copy_of(cls, from, to) : 0;
+}
+
+ChannelId vc_of_hop(const Scenario& s, std::uint8_t cls, NodeId from, NodeId to) {
+  const ChannelId c = s.topology->channel(from, to);
+  if (c == topo::kInvalidChannel) {
+    throw std::logic_error("route uses a non-channel hop");
+  }
+  return virtual_channel_id(c, copy_for(s, cls, from, to), s.channel_copies);
+}
+
+// Virtual channel of every tree link.
+std::vector<ChannelId> tree_link_vcs(const Scenario& s, const TreeRoute& tree) {
+  std::vector<ChannelId> vcs;
+  vcs.reserve(tree.links.size());
+  for (const TreeRoute::Link& l : tree.links) {
+    vcs.push_back(vc_of_hop(s, tree.channel_class, l.from, l.to));
+  }
+  return vcs;
+}
+
+// Acquisition-requirement closure of every link of a lock-step tree worm:
+// requesting link i requires its parent and every earlier sibling of the
+// same fork to be acquired already (branches are created -- and their first
+// channels requested -- in algorithm order), transitively.  Links are
+// stored in creation order, so parents and earlier siblings always have
+// smaller indices.
+std::vector<LinkSet> link_closures(const TreeRoute& tree) {
+  const std::size_t n = tree.links.size();
+  std::vector<LinkSet> closure(n, LinkSet(n));
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::int32_t parent = tree.links[i].parent;
+    if (parent >= 0) {
+      closure[i].merge(closure[static_cast<std::size_t>(parent)]);
+      closure[i].set(static_cast<std::size_t>(parent));
+    }
+    for (std::size_t j = 0; j < i; ++j) {
+      if (tree.links[j].parent == parent) closure[i].set(j);
+    }
+  }
+  return closure;
+}
+
+void add_path_dependencies(const Scenario& s, const PathRoute& path, ChannelGraph& g,
+                           EdgeTag tag) {
+  ChannelId prev = topo::kInvalidChannel;
+  for (std::size_t i = 0; i + 1 < path.nodes.size(); ++i) {
+    const ChannelId vc = vc_of_hop(s, path.channel_class, path.nodes[i], path.nodes[i + 1]);
+    if (prev != topo::kInvalidChannel && prev != vc) g.add_dependency(prev, vc, tag);
+    prev = vc;
+  }
+}
+
+void add_tree_dependencies(const Scenario& s, const TreeRoute& tree, ChannelGraph& g,
+                           EdgeTag tag) {
+  const std::vector<ChannelId> vcs = tree_link_vcs(s, tree);
+  if (s.tree_semantics == TreeSemantics::kIndependentBranches) {
+    for (std::size_t i = 0; i < tree.links.size(); ++i) {
+      const std::int32_t parent = tree.links[i].parent;
+      if (parent >= 0 && vcs[static_cast<std::size_t>(parent)] != vcs[i]) {
+        g.add_dependency(vcs[static_cast<std::size_t>(parent)], vcs[i], tag);
+      }
+    }
+    return;
+  }
+  // Lock-step: a blocked branch stalls the whole worm, so any held channel
+  // h can wait on any channel r whose acquisition does not require h --
+  // i.e. every ordered pair (h, r) with r outside h's requirement closure.
+  const std::vector<LinkSet> closure = link_closures(tree);
+  for (std::size_t h = 0; h < tree.links.size(); ++h) {
+    for (std::size_t r = 0; r < tree.links.size(); ++r) {
+      if (h == r || vcs[h] == vcs[r] || closure[h].test(r)) continue;
+      g.add_dependency(vcs[h], vcs[r], tag);
+    }
+  }
+}
+
+// --- multi-instance cycle search -------------------------------------------
+
+struct FoundCycle {
+  std::vector<ChannelId> vcs;                   // cycle nodes in order
+  std::vector<std::vector<EdgeTag>> edge_tags;  // tags of edge i: vcs[i] -> vcs[i+1]
+};
+
+std::vector<std::vector<EdgeTag>> collect_edge_tags(const ChannelGraph& g,
+                                                    const std::vector<ChannelId>& cycle) {
+  std::vector<std::vector<EdgeTag>> tags;
+  tags.reserve(cycle.size());
+  for (std::size_t i = 0; i < cycle.size(); ++i) {
+    const auto span = g.edge_tags(cycle[i], cycle[(i + 1) % cycle.size()]);
+    tags.emplace_back(span.begin(), span.end());
+  }
+  return tags;
+}
+
+// A cycle is a deadlock candidate only if its edges can be attributed to at
+// least two distinct instances: a single message cannot circularly wait on
+// itself, and two concurrent copies of the *same* instance cannot either
+// (their acquisition closures both contain the first channel out of the
+// shared source, so their hold sets can never coexist).
+bool multi_instance(const std::vector<std::vector<EdgeTag>>& edge_tags) {
+  EdgeTag first = cdg::kNoEdgeTag;
+  for (const auto& tags : edge_tags) {
+    if (tags.empty()) return false;  // unattributable edge
+    for (const EdgeTag t : tags) {
+      if (first == cdg::kNoEdgeTag) {
+        first = t;
+      } else if (t != first) {
+        return true;
+      }
+    }
+  }
+  return false;
+}
+
+std::optional<FoundCycle> find_multi_instance_cycle(const ChannelGraph& g) {
+  std::vector<EdgeTag> exhausted;
+  for (int rounds = 0; rounds < 256; ++rounds) {
+    const auto usable = [&](ChannelId from, ChannelId to) {
+      if (exhausted.empty()) return true;
+      const auto tags = g.edge_tags(from, to);
+      return std::any_of(tags.begin(), tags.end(), [&](EdgeTag t) {
+        return std::find(exhausted.begin(), exhausted.end(), t) == exhausted.end();
+      });
+    };
+    const auto cycle = g.find_cycle_if(usable);
+    if (!cycle) return std::nullopt;
+    FoundCycle found{*cycle, collect_edge_tags(g, *cycle)};
+    if (multi_instance(found.edge_tags)) return found;
+    // Single-instance (or unattributable) cycle: retire its sole tag and
+    // search for a structurally different one.
+    EdgeTag sole = cdg::kNoEdgeTag;
+    for (const auto& tags : found.edge_tags) {
+      if (!tags.empty()) sole = tags.front();
+    }
+    if (sole == cdg::kNoEdgeTag) return std::nullopt;
+    exhausted.push_back(sole);
+  }
+  return std::nullopt;
+}
+
+// Assign one instance to each cycle edge, preferring to alternate with the
+// previous edge's instance so the assignment stays attributable to the
+// smallest concurrent set while still using >= 2 distinct instances.
+std::vector<EdgeTag> assign_edges(const FoundCycle& cycle) {
+  std::vector<EdgeTag> assignment(cycle.edge_tags.size(), cdg::kNoEdgeTag);
+  for (std::size_t i = 0; i < cycle.edge_tags.size(); ++i) {
+    const auto& tags = cycle.edge_tags[i];
+    assignment[i] = tags.front();
+    if (i > 0) {
+      for (const EdgeTag t : tags) {
+        if (t != assignment[i - 1]) {
+          assignment[i] = t;
+          break;
+        }
+      }
+    }
+  }
+  // Ensure at least two distinct instances overall.
+  const bool uniform = std::all_of(assignment.begin(), assignment.end(),
+                                   [&](EdgeTag t) { return t == assignment.front(); });
+  if (uniform) {
+    for (std::size_t i = 0; i < cycle.edge_tags.size(); ++i) {
+      for (const EdgeTag t : cycle.edge_tags[i]) {
+        if (t != assignment.front()) {
+          assignment[i] = t;
+          return assignment;
+        }
+      }
+    }
+  }
+  return assignment;
+}
+
+// --- realizability ---------------------------------------------------------
+
+// Per-instance link table of a route's trees: vc -> (tree, link) lookup
+// plus requirement closures, for reconstructing concrete hold states.
+struct InstanceLinks {
+  MulticastRoute route;
+  std::vector<std::vector<ChannelId>> vcs;     // per tree
+  std::vector<std::vector<LinkSet>> closures;  // per tree
+
+  [[nodiscard]] std::optional<std::pair<std::size_t, std::size_t>> find(ChannelId vc) const {
+    for (std::size_t t = 0; t < vcs.size(); ++t) {
+      for (std::size_t l = 0; l < vcs[t].size(); ++l) {
+        if (vcs[t][l] == vc) return std::make_pair(t, l);
+      }
+    }
+    return std::nullopt;
+  }
+};
+
+InstanceLinks build_instance_links(const Scenario& s, const MulticastRequest& request) {
+  InstanceLinks il;
+  il.route = s.route(request);
+  for (const TreeRoute& tree : il.route.trees) {
+    il.vcs.push_back(tree_link_vcs(s, tree));
+    il.closures.push_back(link_closures(tree));
+  }
+  return il;
+}
+
+// Check that the assigned cycle is a realizable circular wait: each
+// participating instance admits a hold state (closed under its acquisition
+// requirements) containing its held cycle channels and the prerequisites of
+// its requested ones but not the requests themselves, and the hold states
+// of distinct instances are channel-disjoint.
+bool check_realizable(const Scenario& s, const std::vector<MulticastRequest>& instances,
+                      const std::vector<ChannelId>& cycle,
+                      const std::vector<std::uint32_t>& edge_instance) {
+  const std::size_t k = cycle.size();
+  // Contract runs of consecutive edges with the same instance into
+  // message-level (held, requested) pairs.
+  struct Claim {
+    std::uint32_t instance = 0;
+    std::vector<ChannelId> held;
+    std::vector<ChannelId> requested;
+  };
+  std::vector<Claim> claims;
+  const auto claim_for = [&claims](std::uint32_t m) -> Claim& {
+    for (Claim& c : claims) {
+      if (c.instance == m) return c;
+    }
+    claims.push_back({m, {}, {}});
+    return claims.back();
+  };
+  std::size_t segments = 0;
+  for (std::size_t i = 0; i < k; ++i) {
+    const std::uint32_t m = edge_instance[i];
+    claim_for(m).held.push_back(cycle[i]);
+    if (edge_instance[(i + 1) % k] != m) {
+      claim_for(m).requested.push_back(cycle[(i + 1) % k]);
+      ++segments;
+    }
+  }
+  if (segments < 2 || claims.size() < 2) return false;
+
+  std::vector<std::vector<ChannelId>> hold_sets;
+  for (const Claim& claim : claims) {
+    if (claim.requested.empty()) return false;  // holds but never waits: not a cycle
+    InstanceLinks il;
+    try {
+      il = build_instance_links(s, instances[claim.instance]);
+    } catch (const std::exception&) {
+      return false;
+    }
+    // Held links: the channel itself plus everything its acquisition needed.
+    std::vector<LinkSet> held_per_tree;
+    held_per_tree.reserve(il.vcs.size());
+    for (const auto& tree_vcs : il.vcs) held_per_tree.emplace_back(tree_vcs.size());
+    const auto absorb = [&](ChannelId vc, bool include_self) -> bool {
+      const auto where = il.find(vc);
+      if (!where) return false;
+      const auto [t, l] = *where;
+      held_per_tree[t].merge(il.closures[t][l]);
+      if (include_self) held_per_tree[t].set(l);
+      return true;
+    };
+    for (const ChannelId vc : claim.held) {
+      if (!absorb(vc, /*include_self=*/true)) return false;
+    }
+    for (const ChannelId vc : claim.requested) {
+      if (!absorb(vc, /*include_self=*/false)) return false;
+    }
+    // A requested channel must not already be forced into the hold state.
+    for (const ChannelId vc : claim.requested) {
+      const auto where = il.find(vc);
+      if (!where || held_per_tree[where->first].test(where->second)) return false;
+    }
+    std::vector<ChannelId> holds;
+    for (std::size_t t = 0; t < il.vcs.size(); ++t) {
+      for (std::size_t l = 0; l < il.vcs[t].size(); ++l) {
+        if (held_per_tree[t].test(l)) holds.push_back(il.vcs[t][l]);
+      }
+    }
+    std::sort(holds.begin(), holds.end());
+    hold_sets.push_back(std::move(holds));
+  }
+  // Hold states of distinct messages must be channel-disjoint.
+  for (std::size_t a = 0; a < hold_sets.size(); ++a) {
+    for (std::size_t b = a + 1; b < hold_sets.size(); ++b) {
+      std::vector<ChannelId> common;
+      std::set_intersection(hold_sets[a].begin(), hold_sets[a].end(), hold_sets[b].begin(),
+                            hold_sets[b].end(), std::back_inserter(common));
+      if (!common.empty()) return false;
+    }
+  }
+  return true;
+}
+
+// --- deadlock search -------------------------------------------------------
+
+struct DeadlockCandidate {
+  std::vector<ChannelId> vcs;       // cycle, in order
+  std::vector<EdgeTag> assignment;  // instance inducing each edge
+  bool realizable = false;
+};
+
+// Realizable deadlocks are searched for first among 2-cycles (the shape the
+// paper's double-multicast counterexamples take): for every mutually
+// dependent channel pair, try all cross-instance tag assignments until one
+// passes the hold-state disjointness check.  Falling back to the general
+// multi-instance cycle search keeps the analysis sound (any cycle is still
+// reported) but such witnesses stay marked over-approximate.
+std::optional<DeadlockCandidate> find_deadlock(const Scenario& s,
+                                               const std::vector<MulticastRequest>& instances,
+                                               const ChannelGraph& g,
+                                               bool require_realizable) {
+  for (ChannelId c = 0; c < g.num_channels(); ++c) {
+    for (const ChannelId d : g.successors(c)) {
+      if (d <= c) continue;
+      const auto back = g.edge_tags(d, c);
+      if (back.empty()) continue;
+      const auto fwd = g.edge_tags(c, d);
+      for (const EdgeTag ta : fwd) {
+        for (const EdgeTag tb : back) {
+          if (ta == tb) continue;
+          const std::vector<ChannelId> cycle{c, d};
+          const std::vector<std::uint32_t> assignment{ta, tb};
+          if (check_realizable(s, instances, cycle, assignment)) {
+            return DeadlockCandidate{cycle, {ta, tb}, true};
+          }
+        }
+      }
+    }
+  }
+  const auto found = find_multi_instance_cycle(g);
+  if (!found) return std::nullopt;
+  DeadlockCandidate cand;
+  cand.vcs = found->vcs;
+  cand.assignment = assign_edges(*found);
+  cand.realizable = check_realizable(s, instances, cand.vcs, cand.assignment);
+  if (require_realizable && !cand.realizable) return std::nullopt;
+  return cand;
+}
+
+ChannelGraph build_cdg_over(const Scenario& s, const std::vector<MulticastRequest>& instances) {
+  ChannelGraph g(s.topology->num_channels() * s.channel_copies);
+  for (std::size_t i = 0; i < instances.size(); ++i) {
+    MulticastRoute route;
+    try {
+      route = s.route(instances[i]);
+    } catch (const std::exception&) {
+      continue;  // unroutable instances are reported by the invariant pass
+    }
+    add_route_dependencies(s, route, g, static_cast<EdgeTag>(i));
+  }
+  return g;
+}
+
+// Does the CDG restricted to `instances` still witness a deadlock (at the
+// same realizability level as the one being shrunk)?
+bool subset_deadlocks(const Scenario& s, const std::vector<MulticastRequest>& instances,
+                      bool require_realizable) {
+  return find_deadlock(s, instances, build_cdg_over(s, instances), require_realizable)
+      .has_value();
+}
+
+DeadlockWitness make_witness(const Scenario& s, std::vector<MulticastRequest> instances,
+                             const DeadlockCandidate& cand) {
+  DeadlockWitness witness;
+  witness.instances = std::move(instances);
+  witness.cycle.reserve(cand.vcs.size());
+  for (const ChannelId vc : cand.vcs) {
+    witness.cycle.push_back(
+        {vc / s.channel_copies, static_cast<std::uint8_t>(vc % s.channel_copies)});
+  }
+  witness.edge_instance.assign(cand.assignment.begin(), cand.assignment.end());
+  witness.realizable = cand.realizable;
+  return witness;
+}
+
+DeadlockWitness shrink_witness(const Scenario& s, std::vector<MulticastRequest> working,
+                               bool require_realizable) {
+  // Phase 1: drop whole instances while the reduced set still deadlocks.
+  for (std::size_t i = 0; i < working.size() && working.size() > 2;) {
+    std::vector<MulticastRequest> trial = working;
+    trial.erase(trial.begin() + static_cast<std::ptrdiff_t>(i));
+    if (subset_deadlocks(s, trial, require_realizable)) {
+      working = std::move(trial);
+    } else {
+      ++i;
+    }
+  }
+  // Phase 2: delta-debug destination sets, one destination at a time, to a
+  // fixpoint.
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (std::size_t i = 0; i < working.size(); ++i) {
+      for (std::size_t d = 0; d < working[i].destinations.size();) {
+        if (working[i].destinations.size() <= 1) break;
+        std::vector<MulticastRequest> trial = working;
+        trial[i].destinations.erase(trial[i].destinations.begin() +
+                                    static_cast<std::ptrdiff_t>(d));
+        if (subset_deadlocks(s, trial, require_realizable)) {
+          working = std::move(trial);
+          changed = true;
+        } else {
+          ++d;
+        }
+      }
+    }
+  }
+
+  const auto cand = find_deadlock(s, working, build_cdg_over(s, working), require_realizable);
+  if (!cand) {
+    // Cannot happen (shrinking only keeps deadlocking subsets); stay safe.
+    DeadlockWitness witness;
+    witness.instances = std::move(working);
+    return witness;
+  }
+  return make_witness(s, std::move(working), *cand);
+}
+
+}  // namespace
+
+void add_route_dependencies(const Scenario& scenario, const MulticastRoute& route,
+                            ChannelGraph& graph, EdgeTag tag) {
+  for (const PathRoute& path : route.paths) {
+    add_path_dependencies(scenario, path, graph, tag);
+  }
+  for (const TreeRoute& tree : route.trees) {
+    add_tree_dependencies(scenario, tree, graph, tag);
+  }
+}
+
+ChannelGraph build_multicast_cdg(const Scenario& scenario,
+                                 const std::vector<MulticastRequest>& instances) {
+  return build_cdg_over(scenario, instances);
+}
+
+DeadlockReport analyze_deadlock(const Scenario& scenario, const AnalysisConfig& config) {
+  const std::vector<MulticastRequest> instances =
+      enumerate_instances(*scenario.topology, config.max_set_size, config.max_instances);
+  const ChannelGraph g = build_cdg_over(scenario, instances);
+
+  DeadlockReport report;
+  report.instances_analyzed = instances.size();
+  report.virtual_channels = g.num_channels();
+  report.dependencies = g.num_dependencies();
+
+  const auto cand = find_deadlock(scenario, instances, g, /*require_realizable=*/false);
+  if (!cand) return report;
+
+  // Seed the witness with the instances the assignment blames, remap the
+  // assignment onto the seed, then shrink.
+  std::vector<EdgeTag> distinct = cand->assignment;
+  std::sort(distinct.begin(), distinct.end());
+  distinct.erase(std::unique(distinct.begin(), distinct.end()), distinct.end());
+  std::vector<MulticastRequest> seed;
+  seed.reserve(distinct.size());
+  for (const EdgeTag t : distinct) seed.push_back(instances[t]);
+  DeadlockCandidate remapped = *cand;
+  for (EdgeTag& t : remapped.assignment) {
+    const auto it = std::lower_bound(distinct.begin(), distinct.end(), t);
+    t = static_cast<EdgeTag>(it - distinct.begin());
+  }
+
+  if (config.shrink && subset_deadlocks(scenario, seed, cand->realizable)) {
+    report.witness = shrink_witness(scenario, std::move(seed), cand->realizable);
+  } else {
+    report.witness = make_witness(scenario, std::move(seed), remapped);
+  }
+  return report;
+}
+
+std::string DeadlockWitness::format(const topo::Topology& topology) const {
+  std::ostringstream out;
+  out << "deadlock witness: " << instances.size() << " concurrent multicast(s)\n";
+  for (std::size_t i = 0; i < instances.size(); ++i) {
+    out << "  M" << i << ": node " << instances[i].source << " -> {";
+    for (std::size_t d = 0; d < instances[i].destinations.size(); ++d) {
+      out << (d ? ", " : "") << instances[i].destinations[d];
+    }
+    out << "}\n";
+  }
+  out << "  dependency cycle (" << cycle.size() << " channels):\n";
+  for (std::size_t i = 0; i < cycle.size(); ++i) {
+    const topo::ChannelEnds ends = topology.channel_ends(cycle[i].channel);
+    out << "    c" << cycle[i].channel << " (" << ends.from << " -> " << ends.to << ", copy "
+        << static_cast<unsigned>(cycle[i].copy) << ")";
+    if (i < edge_instance.size()) {
+      out << "  held by M" << edge_instance[i] << " waiting on the next channel";
+    }
+    out << "\n";
+  }
+  out << "  realizability: "
+      << (realizable ? "confirmed (disjoint hold states found)"
+                     : "not confirmed (over-approximate cycle)")
+      << "\n";
+  return out.str();
+}
+
+}  // namespace mcnet::analysis

@@ -1,0 +1,95 @@
+// Multicast channel-dependency-graph analysis (the static half of Chapter
+// 6): enumerate the channel dependencies each multicast algorithm induces
+// over systematically enumerated (source, destination-set) instances,
+// search the CDG for directed cycles, and turn a cycle into a concrete,
+// shrunk deadlock witness -- the minimal set of concurrent multicasts whose
+// dependencies close the cycle.
+//
+// Dependencies are taken over *virtual* channels (physical channel id x
+// copy), so the double-channel schemes are analyzed over the channel sets
+// their subnetworks actually own.  Tree-shaped routes contribute edges
+// according to the scenario's TreeSemantics (see analysis/scenario.hpp):
+// lock-step worms admit cross-branch waits, independent branches only
+// consecutive-channel waits.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "analysis/scenario.hpp"
+#include "cdg/channel_graph.hpp"
+#include "core/multicast.hpp"
+
+namespace mcnet::analysis {
+
+/// Knobs shared by the deadlock and invariant analyses.
+struct AnalysisConfig {
+  /// Largest destination-set size enumerated per source.
+  std::uint32_t max_set_size = 2;
+  /// Instance budget; the enumeration is stride-sampled above it.
+  std::size_t max_instances = 300000;
+  /// Run counterexample shrinking on a found cycle.
+  bool shrink = true;
+};
+
+/// Virtual channel: a physical channel and the copy it is pinned to.
+struct VirtualChannel {
+  topo::ChannelId channel = topo::kInvalidChannel;
+  std::uint8_t copy = 0;
+};
+
+/// A concrete deadlock counterexample: a minimal set of concurrent
+/// multicasts and the virtual-channel cycle their dependencies close.
+struct DeadlockWitness {
+  /// The concurrent multicast instances (after shrinking: typically two,
+  /// with minimal destination sets).
+  std::vector<mcast::MulticastRequest> instances;
+  /// The dependency cycle, as virtual channels in order (edge i goes from
+  /// cycle[i] to cycle[(i+1) % size]).
+  std::vector<VirtualChannel> cycle;
+  /// Which instance (index into `instances`) induces each cycle edge.
+  std::vector<std::uint32_t> edge_instance;
+  /// True when a hold/request state assignment was found in which each
+  /// instance's held channels are mutually disjoint and every requested
+  /// channel is held by the next instance around the cycle -- i.e. the
+  /// cycle is a realizable circular wait, not just an over-approximation.
+  bool realizable = false;
+
+  [[nodiscard]] std::string format(const topo::Topology& topology) const;
+};
+
+/// Result of the deadlock-freedom analysis of one scenario.
+struct DeadlockReport {
+  std::size_t instances_analyzed = 0;
+  std::size_t virtual_channels = 0;
+  std::size_t dependencies = 0;
+  /// Present iff the CDG admits a multi-instance dependency cycle.
+  std::optional<DeadlockWitness> witness;
+
+  [[nodiscard]] bool deadlock_free() const { return !witness.has_value(); }
+};
+
+/// Dense virtual-channel id: channel * copies + copy.
+[[nodiscard]] inline topo::ChannelId virtual_channel_id(topo::ChannelId channel,
+                                                        std::uint8_t copy,
+                                                        std::uint8_t copies) {
+  return channel * copies + copy;
+}
+
+/// Append the dependency edges `route` induces under the scenario's
+/// semantics to `graph`, tagging each edge with `tag`.  Exposed for tests.
+void add_route_dependencies(const Scenario& scenario, const mcast::MulticastRoute& route,
+                            cdg::ChannelGraph& graph, cdg::EdgeTag tag);
+
+/// Build the full multicast CDG of `scenario` over `instances`.
+[[nodiscard]] cdg::ChannelGraph build_multicast_cdg(
+    const Scenario& scenario, const std::vector<mcast::MulticastRequest>& instances);
+
+/// Enumerate instances, build the CDG, search for a multi-instance cycle
+/// and (optionally) shrink it to a minimal witness.
+[[nodiscard]] DeadlockReport analyze_deadlock(const Scenario& scenario,
+                                              const AnalysisConfig& config = {});
+
+}  // namespace mcnet::analysis

@@ -1,0 +1,144 @@
+#include "analysis/scenario.hpp"
+
+#include <stdexcept>
+
+#include "core/dc_xfirst_tree.hpp"
+#include "core/dual_path.hpp"
+#include "core/fixed_path.hpp"
+#include "core/multi_path.hpp"
+#include "core/naive_tree.hpp"
+#include "core/router.hpp"
+#include "core/xfirst_mt.hpp"
+
+namespace mcnet::analysis {
+
+using mcast::Algorithm;
+
+Fixture make_fixture(const std::string& topology_spec) {
+  Fixture f;
+  f.topology = topo::make_topology(topology_spec);
+  if ((f.mesh2d = dynamic_cast<const topo::Mesh2D*>(f.topology.get()))) {
+    f.labeling = std::make_unique<ham::MeshBoustrophedonLabeling>(*f.mesh2d);
+  } else if ((f.cube = dynamic_cast<const topo::Hypercube*>(f.topology.get()))) {
+    f.labeling = std::make_unique<ham::HypercubeGrayLabeling>(*f.cube);
+  } else if ((f.mesh3d = dynamic_cast<const topo::Mesh3D*>(f.topology.get()))) {
+    f.labeling = std::make_unique<ham::MixedRadixGrayLabeling>(
+        ham::MixedRadixGrayLabeling::for_mesh3d(*f.mesh3d));
+  } else if ((f.kary = dynamic_cast<const topo::KAryNCube*>(f.topology.get()))) {
+    f.labeling = std::make_unique<ham::MixedRadixGrayLabeling>(
+        ham::MixedRadixGrayLabeling::for_kary(*f.kary));
+  }
+  return f;
+}
+
+std::vector<Algorithm> verifiable_algorithms(const Fixture& fixture) {
+  if (fixture.mesh2d != nullptr) {
+    return {Algorithm::kXFirstMT, Algorithm::kDCXFirstTree, Algorithm::kDualPath,
+            Algorithm::kMultiPath, Algorithm::kFixedPath};
+  }
+  if (fixture.cube != nullptr) {
+    return {Algorithm::kBinomialBroadcast, Algorithm::kEcubeMT, Algorithm::kDualPath,
+            Algorithm::kMultiPath, Algorithm::kFixedPath};
+  }
+  return {Algorithm::kDualPath, Algorithm::kMultiPath, Algorithm::kFixedPath};
+}
+
+bool claimed_deadlock_free(Algorithm algorithm) {
+  return mcast::algorithm_deadlock_free(algorithm);
+}
+
+Scenario make_scenario(const Fixture& fixture, Algorithm algorithm) {
+  Scenario s;
+  s.topology = fixture.topology.get();
+  s.labeling = fixture.labeling.get();
+  s.name = std::string(mcast::algorithm_name(algorithm)) + " @ " + fixture.topology->name();
+
+  const topo::Mesh2D* mesh = fixture.mesh2d;
+  const topo::Hypercube* cube = fixture.cube;
+  const topo::Topology* topology = fixture.topology.get();
+  const ham::Labeling* labeling = fixture.labeling.get();
+
+  switch (algorithm) {
+    case Algorithm::kXFirstMT:
+      if (mesh == nullptr) break;
+      s.route = [mesh](const mcast::MulticastRequest& r) {
+        return mcast::xfirst_mt_route(*mesh, r);
+      };
+      s.tree_semantics = TreeSemantics::kLockStep;
+      return s;
+
+    case Algorithm::kEcubeMT:
+      if (cube == nullptr) break;
+      s.route = [cube](const mcast::MulticastRequest& r) {
+        return mcast::ecube_mt_route(*cube, r);
+      };
+      s.tree_semantics = TreeSemantics::kLockStep;
+      return s;
+
+    case Algorithm::kBinomialBroadcast:
+      if (cube == nullptr) break;
+      s.route = [cube](const mcast::MulticastRequest& r) {
+        return mcast::binomial_broadcast_route(*cube, r);
+      };
+      s.tree_semantics = TreeSemantics::kLockStep;
+      return s;
+
+    case Algorithm::kDCXFirstTree:
+      if (mesh == nullptr) break;
+      s.route = [mesh](const mcast::MulticastRequest& r) {
+        return mcast::dc_xfirst_tree_route(*mesh, r);
+      };
+      s.tree_semantics = TreeSemantics::kIndependentBranches;
+      s.channel_copies = 2;
+      s.copy_of = [mesh](std::uint8_t cls, topo::NodeId from, topo::NodeId to) {
+        const topo::Coord2 a = mesh->coord(from);
+        const topo::Coord2 b = mesh->coord(to);
+        return mcast::quadrant_channel_copy(static_cast<mcast::Quadrant>(cls), b.x - a.x,
+                                            b.y - a.y);
+      };
+      s.quadrant_mesh = mesh;
+      return s;
+
+    case Algorithm::kDualPath:
+      if (labeling == nullptr) break;
+      s.route = [topology, labeling](const mcast::MulticastRequest& r) {
+        return mcast::dual_path_route(*topology, *labeling, r);
+      };
+      s.label_monotone_paths = true;
+      // Lemma 6.1: the label router takes shortest paths -- on meshes and
+      // hypercubes.  Wraparound rings break the claim (the Hamiltonian
+      // subnetworks cannot shortcut across the wrap channels).
+      s.shortest_unicast = fixture.kary == nullptr || !fixture.kary->wraps();
+      return s;
+
+    case Algorithm::kMultiPath:
+      if (labeling == nullptr) break;
+      if (mesh != nullptr) {
+        const auto* mlab = static_cast<const ham::MeshBoustrophedonLabeling*>(labeling);
+        s.route = [mesh, mlab](const mcast::MulticastRequest& r) {
+          return mcast::multi_path_route(*mesh, *mlab, r);
+        };
+      } else {
+        s.route = [topology, labeling](const mcast::MulticastRequest& r) {
+          return mcast::multi_path_route(*topology, *labeling, r);
+        };
+      }
+      s.label_monotone_paths = true;
+      return s;
+
+    case Algorithm::kFixedPath:
+      if (labeling == nullptr) break;
+      s.route = [topology, labeling](const mcast::MulticastRequest& r) {
+        return mcast::fixed_path_route(*topology, *labeling, r);
+      };
+      s.label_monotone_paths = true;
+      return s;
+
+    default:
+      break;
+  }
+  throw std::invalid_argument("algorithm " + std::string(mcast::algorithm_name(algorithm)) +
+                              " is not verifiable on " + fixture.topology->name());
+}
+
+}  // namespace mcnet::analysis

@@ -25,6 +25,36 @@ RoutingFunction ecube_routing(const topo::Hypercube& cube) {
   };
 }
 
+RoutingFunction zfirst_routing(const topo::Mesh3D& mesh) {
+  return [&mesh](NodeId cur, NodeId dst) -> NodeId {
+    if (cur == dst) return topo::kInvalidNode;
+    const topo::Coord3 c = mesh.coord(cur);
+    const topo::Coord3 d = mesh.coord(dst);
+    if (c.x != d.x) return mesh.node({c.x + (d.x > c.x ? 1 : -1), c.y, c.z});
+    if (c.y != d.y) return mesh.node({c.x, c.y + (d.y > c.y ? 1 : -1), c.z});
+    return mesh.node({c.x, c.y, c.z + (d.z > c.z ? 1 : -1)});
+  };
+}
+
+RoutingFunction dimension_order_routing(const topo::KAryNCube& cube) {
+  return [&cube](NodeId cur, NodeId dst) -> NodeId {
+    if (cur == dst) return topo::kInvalidNode;
+    const std::uint32_t k = cube.radix();
+    for (std::uint32_t dim = 0; dim < cube.dimensions(); ++dim) {
+      const std::uint32_t dc = cube.digit(cur, dim);
+      const std::uint32_t dd = cube.digit(dst, dim);
+      if (dc == dd) continue;
+      // Distance going +1 around the ring (modulo k when wrapping).
+      const std::uint32_t up = dd > dc ? dd - dc : k - (dc - dd);
+      const bool go_up = cube.wraps() ? up <= k - up : dd > dc;
+      const std::uint32_t next =
+          go_up ? (dc + 1 == k ? 0 : dc + 1) : (dc == 0 ? k - 1 : dc - 1);
+      return cube.with_digit(cur, dim, next);
+    }
+    return topo::kInvalidNode;
+  };
+}
+
 RoutingFunction label_routing(const topo::Topology& topology, const ham::Labeling& labeling,
                               bool high) {
   return [&topology, &labeling, high](NodeId cur, NodeId dst) -> NodeId {

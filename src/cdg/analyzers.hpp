@@ -5,7 +5,9 @@
 #include "cdg/channel_graph.hpp"
 #include "topology/hamiltonian.hpp"
 #include "topology/hypercube.hpp"
+#include "topology/kary_ncube.hpp"
 #include "topology/mesh2d.hpp"
+#include "topology/mesh3d.hpp"
 
 namespace mcnet::cdg {
 
@@ -16,6 +18,20 @@ namespace mcnet::cdg {
 /// E-cube unicast routing on a hypercube: resolve the lowest differing
 /// dimension first.  Known deadlock-free [Dally & Seitz 87].
 [[nodiscard]] RoutingFunction ecube_routing(const topo::Hypercube& cube);
+
+/// Dimension-ordered (XYZ) unicast routing on a 3-D mesh: correct the X
+/// offset fully, then Y, then Z.  Deadlock-free by the same dimension-order
+/// argument as X-first on the 2-D mesh (Corollaries 4.1-4.4 extend the
+/// host-graph results to 3-D meshes).
+[[nodiscard]] RoutingFunction zfirst_routing(const topo::Mesh3D& mesh);
+
+/// Dimension-ordered unicast routing on a k-ary n-cube: resolve digits from
+/// dimension 0 upward; within a wraparound ring take the shorter direction
+/// (ties broken towards +1).  Deadlock-free on the non-wrap (mesh-like)
+/// variant; on wraparound rings with k >= 4 the ring channels close a
+/// dependency cycle (the classic torus result motivating virtual channels),
+/// which the analyzer tests demonstrate.
+[[nodiscard]] RoutingFunction dimension_order_routing(const topo::KAryNCube& cube);
 
 /// Label-order-preserving routing restricted to one subnetwork of a
 /// Hamiltonian labeling (the function R of Section 6.2.2): used to verify

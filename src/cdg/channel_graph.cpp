@@ -5,9 +5,21 @@
 
 namespace mcnet::cdg {
 
-void ChannelGraph::add_dependency(ChannelId from, ChannelId to) {
+void ChannelGraph::add_dependency(ChannelId from, ChannelId to, EdgeTag tag) {
   auto& s = succ_.at(from);
-  if (std::find(s.begin(), s.end(), to) == s.end()) s.push_back(to);
+  auto& t = tags_.at(from);
+  const auto it = std::lower_bound(s.begin(), s.end(), to);
+  const auto idx = static_cast<std::size_t>(it - s.begin());
+  if (it == s.end() || *it != to) {
+    s.insert(it, to);
+    t.emplace(t.begin() + static_cast<std::ptrdiff_t>(idx));
+  }
+  if (tag == kNoEdgeTag) return;
+  auto& edge_tags = t[idx];
+  if (edge_tags.size() >= kMaxTagsPerEdge) return;
+  if (std::find(edge_tags.begin(), edge_tags.end(), tag) == edge_tags.end()) {
+    edge_tags.push_back(tag);
+  }
 }
 
 std::size_t ChannelGraph::num_dependencies() const {
@@ -16,9 +28,21 @@ std::size_t ChannelGraph::num_dependencies() const {
   return n;
 }
 
+std::span<const EdgeTag> ChannelGraph::edge_tags(ChannelId from, ChannelId to) const {
+  const auto& s = succ_.at(from);
+  const auto it = std::lower_bound(s.begin(), s.end(), to);
+  if (it == s.end() || *it != to) return {};
+  return tags_[from][static_cast<std::size_t>(it - s.begin())];
+}
+
 bool ChannelGraph::acyclic() const { return !find_cycle().has_value(); }
 
 std::optional<std::vector<ChannelId>> ChannelGraph::find_cycle() const {
+  return find_cycle_if({});
+}
+
+std::optional<std::vector<ChannelId>> ChannelGraph::find_cycle_if(
+    const std::function<bool(ChannelId, ChannelId)>& edge_ok) const {
   // Iterative three-colour DFS keeping the grey path for cycle extraction.
   enum class Colour : std::uint8_t { White, Grey, Black };
   std::vector<Colour> colour(succ_.size(), Colour::White);
@@ -34,6 +58,7 @@ std::optional<std::vector<ChannelId>> ChannelGraph::find_cycle() const {
       auto& [c, idx] = stack.back();
       if (idx < succ_[c].size()) {
         const ChannelId next = succ_[c][idx++];
+        if (edge_ok && !edge_ok(c, next)) continue;
         if (colour[next] == Colour::Grey) {
           // Cycle: suffix of `path` from the first occurrence of `next`.
           const auto it = std::find(path.begin(), path.end(), next);

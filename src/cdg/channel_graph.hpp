@@ -3,11 +3,18 @@
 // cycle.  The nodes of the CDG are the directed channels of the network; an
 // edge (c_i, c_j) exists when the routing function can forward a message
 // arriving on c_i out through c_j.
+//
+// Beyond the plain graph, every dependency edge can carry *provenance
+// tags*: opaque identifiers of the message instances whose routes induced
+// the edge.  The static multicast analyzer (src/analysis/) uses tags to
+// turn an abstract CDG cycle into a concrete deadlock witness -- the
+// minimal set of concurrent multicasts whose dependencies close the cycle.
 #pragma once
 
 #include <cstdint>
 #include <functional>
 #include <optional>
+#include <span>
 #include <vector>
 
 #include "topology/topology.hpp"
@@ -23,20 +30,42 @@ using topo::NodeId;
 /// deadlock analyses.
 using RoutingFunction = std::function<NodeId(NodeId current, NodeId destination)>;
 
-/// Directed graph over channel ids.
+/// Opaque provenance tag attached to a dependency edge (the analysis layer
+/// uses the index of the multicast instance that created the edge).
+using EdgeTag = std::uint32_t;
+inline constexpr EdgeTag kNoEdgeTag = static_cast<EdgeTag>(-1);
+
+/// Directed graph over channel ids with optional per-edge provenance.
 class ChannelGraph {
  public:
-  explicit ChannelGraph(std::uint32_t num_channels) : succ_(num_channels) {}
+  /// At most this many distinct tags are retained per edge; later
+  /// contributors of an already-saturated edge are dropped (the edge itself
+  /// is always kept).
+  static constexpr std::size_t kMaxTagsPerEdge = 4;
 
-  void add_dependency(ChannelId from, ChannelId to);
+  explicit ChannelGraph(std::uint32_t num_channels)
+      : succ_(num_channels), tags_(num_channels) {}
+
+  void add_dependency(ChannelId from, ChannelId to) {
+    add_dependency(from, to, kNoEdgeTag);
+  }
+  /// Record the dependency and attach `tag` to it (kNoEdgeTag attaches
+  /// nothing).  Duplicate (from, to) pairs are merged; their tag sets are
+  /// unioned up to kMaxTagsPerEdge distinct tags.
+  void add_dependency(ChannelId from, ChannelId to, EdgeTag tag);
 
   [[nodiscard]] std::uint32_t num_channels() const {
     return static_cast<std::uint32_t>(succ_.size());
   }
+  /// Successor channel ids of `c`, sorted ascending.
   [[nodiscard]] const std::vector<ChannelId>& successors(ChannelId c) const {
     return succ_[c];
   }
   [[nodiscard]] std::size_t num_dependencies() const;
+
+  /// Distinct provenance tags recorded for edge (from, to); empty when the
+  /// edge does not exist or carries no tags.
+  [[nodiscard]] std::span<const EdgeTag> edge_tags(ChannelId from, ChannelId to) const;
 
   /// True iff the graph contains no directed cycle.
   [[nodiscard]] bool acyclic() const;
@@ -45,8 +74,14 @@ class ChannelGraph {
   /// conceptually but not stored), or nullopt if acyclic.
   [[nodiscard]] std::optional<std::vector<ChannelId>> find_cycle() const;
 
+  /// find_cycle() restricted to edges accepted by `edge_ok`; edges for
+  /// which the predicate returns false are treated as absent.
+  [[nodiscard]] std::optional<std::vector<ChannelId>> find_cycle_if(
+      const std::function<bool(ChannelId from, ChannelId to)>& edge_ok) const;
+
  private:
-  std::vector<std::vector<ChannelId>> succ_;
+  std::vector<std::vector<ChannelId>> succ_;        // sorted adjacency
+  std::vector<std::vector<std::vector<EdgeTag>>> tags_;  // parallel to succ_
 };
 
 /// Build the CDG of `route` on `topology`: for every (source, destination)

@@ -37,6 +37,13 @@ std::string_view algorithm_name(Algorithm a) {
   return "unknown";
 }
 
+Algorithm parse_algorithm(std::string_view name) {
+  for (int a = 0; a <= static_cast<int>(Algorithm::kBinomialBroadcast); ++a) {
+    if (algorithm_name(static_cast<Algorithm>(a)) == name) return static_cast<Algorithm>(a);
+  }
+  throw std::invalid_argument("unknown algorithm: " + std::string(name));
+}
+
 MeshRoutingSuite::MeshRoutingSuite(const topo::Mesh2D& mesh)
     : mesh_(&mesh), labeling_(mesh), unicast_(cdg::xfirst_routing(mesh)) {
   if (mesh.num_nodes() == 1 ||

@@ -35,6 +35,10 @@ enum class Algorithm {
 
 [[nodiscard]] std::string_view algorithm_name(Algorithm a);
 
+/// Inverse of algorithm_name(); throws std::invalid_argument on unknown
+/// names (shared by the CLI tools).
+[[nodiscard]] Algorithm parse_algorithm(std::string_view name);
+
 /// All algorithms instantiated for a 2-D mesh.
 class MeshRoutingSuite {
  public:

@@ -1,0 +1,17 @@
+// Textual topology specifications shared by the CLI tools and the static
+// analyzer: "mesh:WxH", "cube:N", "mesh3:XxYxZ", "kary:KxN" (wraparound) and
+// "karymesh:KxN" (non-wraparound k-ary n-cube).
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "topology/topology.hpp"
+
+namespace mcnet::topo {
+
+/// Parse `spec` and construct the topology.  Throws std::invalid_argument
+/// with a precise message on malformed specs or unknown kinds.
+[[nodiscard]] std::unique_ptr<Topology> make_topology(const std::string& spec);
+
+}  // namespace mcnet::topo

@@ -1,0 +1,289 @@
+// Tests for the static multicast analyzer (src/analysis/): instance
+// enumeration, dependency extraction under both tree semantics, the pinned
+// naive-tree deadlock regression, clean proofs for the Chapter 6
+// algorithms, and the invariant sweep.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <stdexcept>
+
+#include "analysis/instances.hpp"
+#include "analysis/invariants.hpp"
+#include "analysis/mcdg.hpp"
+#include "analysis/scenario.hpp"
+#include "core/dual_path.hpp"
+
+namespace {
+
+using namespace mcnet;
+using analysis::AnalysisConfig;
+using analysis::DeadlockReport;
+using analysis::InvariantReport;
+using analysis::Scenario;
+using analysis::TreeSemantics;
+using mcast::Algorithm;
+using mcast::MulticastRequest;
+using mcast::MulticastRoute;
+using mcast::TreeRoute;
+using topo::ChannelId;
+using topo::NodeId;
+
+TEST(Instances, EnumeratesEverySourceAndDestinationSet) {
+  const auto fixture = analysis::make_fixture("mesh:3x3");
+  const std::size_t expected = analysis::count_instances(9, 2);  // 9 * (8 + C(8,2))
+  EXPECT_EQ(expected, 9u * (8u + 28u));
+  const auto instances = analysis::enumerate_instances(*fixture.topology, 2, 0);
+  EXPECT_EQ(instances.size(), expected);
+  std::set<std::pair<NodeId, std::vector<NodeId>>> seen;
+  for (const MulticastRequest& r : instances) {
+    EXPECT_FALSE(r.destinations.empty());
+    EXPECT_TRUE(std::is_sorted(r.destinations.begin(), r.destinations.end()));
+    EXPECT_EQ(std::count(r.destinations.begin(), r.destinations.end(), r.source), 0);
+    seen.insert({r.source, r.destinations});
+  }
+  EXPECT_EQ(seen.size(), expected);  // no duplicates
+}
+
+TEST(Instances, StrideSamplingRespectsBudget) {
+  const auto fixture = analysis::make_fixture("mesh:4x4");
+  const auto sampled = analysis::enumerate_instances(*fixture.topology, 2, 100);
+  EXPECT_GT(sampled.size(), 50u);
+  EXPECT_LE(sampled.size(), 110u);  // stride rounding may slightly overshoot
+}
+
+TEST(Scenario, VerifiableAlgorithmsMatchTopology) {
+  const auto mesh = analysis::make_fixture("mesh:4x4");
+  const auto mesh_algos = analysis::verifiable_algorithms(mesh);
+  EXPECT_TRUE(std::count(mesh_algos.begin(), mesh_algos.end(), Algorithm::kXFirstMT));
+  EXPECT_TRUE(std::count(mesh_algos.begin(), mesh_algos.end(), Algorithm::kDCXFirstTree));
+
+  const auto cube = analysis::make_fixture("cube:3");
+  const auto cube_algos = analysis::verifiable_algorithms(cube);
+  EXPECT_TRUE(std::count(cube_algos.begin(), cube_algos.end(), Algorithm::kEcubeMT));
+  EXPECT_TRUE(
+      std::count(cube_algos.begin(), cube_algos.end(), Algorithm::kBinomialBroadcast));
+
+  for (const char* spec : {"mesh3:3x3x3", "kary:4x2"}) {
+    const auto f = analysis::make_fixture(spec);
+    const auto algos = analysis::verifiable_algorithms(f);
+    EXPECT_TRUE(std::count(algos.begin(), algos.end(), Algorithm::kDualPath)) << spec;
+    EXPECT_TRUE(std::count(algos.begin(), algos.end(), Algorithm::kMultiPath)) << spec;
+    EXPECT_TRUE(std::count(algos.begin(), algos.end(), Algorithm::kFixedPath)) << spec;
+  }
+}
+
+TEST(Scenario, RejectsAlgorithmTopologyMismatch) {
+  const auto mesh = analysis::make_fixture("mesh:4x4");
+  EXPECT_THROW((void)analysis::make_scenario(mesh, Algorithm::kEcubeMT),
+               std::invalid_argument);
+  const auto cube = analysis::make_fixture("cube:3");
+  EXPECT_THROW((void)analysis::make_scenario(cube, Algorithm::kXFirstMT),
+               std::invalid_argument);
+}
+
+// Hand-planted tree: two root branches of two links each, created in order
+// (spine first).  Under lock-step semantics the two branch channels must
+// depend on each other (the cross-branch 2-cycle shape); under independent
+// branches only parent -> child edges may appear.
+TEST(Mcdg, TreeSemanticsControlDependencyExtraction) {
+  const auto fixture = analysis::make_fixture("mesh:3x3");
+  const auto* mesh = fixture.mesh2d;
+  TreeRoute tree;
+  tree.source = mesh->node(1, 1);
+  const auto l0 = tree.add_link(mesh->node(1, 1), mesh->node(1, 0), -1);
+  const auto l1 =
+      tree.add_link(mesh->node(1, 0), mesh->node(0, 0), static_cast<std::int32_t>(l0));
+  const auto l2 = tree.add_link(mesh->node(1, 1), mesh->node(1, 2), -1);
+  const auto l3 =
+      tree.add_link(mesh->node(1, 2), mesh->node(2, 2), static_cast<std::int32_t>(l2));
+  tree.delivery_links = {l1, l3};
+  MulticastRoute route;
+  route.source = tree.source;
+  route.trees.push_back(tree);
+
+  const auto channel = [&](std::uint32_t a, std::uint32_t b) {
+    const ChannelId c = mesh->channel(a, b);
+    EXPECT_NE(c, topo::kInvalidChannel);
+    return c;
+  };
+  const ChannelId spine2 = channel(mesh->node(1, 0), mesh->node(0, 0));   // l1
+  const ChannelId branch1 = channel(mesh->node(1, 1), mesh->node(1, 2));  // l2
+  const ChannelId branch2 = channel(mesh->node(1, 2), mesh->node(2, 2));  // l3
+
+  Scenario s;
+  s.topology = fixture.topology.get();
+  s.tree_semantics = TreeSemantics::kLockStep;
+  cdg::ChannelGraph lockstep(fixture.topology->num_channels());
+  analysis::add_route_dependencies(s, route, lockstep, 7);
+  // Cross-branch wait both ways between the two second-hop channels: l3 is
+  // not in l1's acquisition closure and vice versa.
+  EXPECT_EQ(lockstep.edge_tags(spine2, branch2).size(), 1u);
+  EXPECT_EQ(lockstep.edge_tags(spine2, branch2).front(), 7u);
+  EXPECT_FALSE(lockstep.edge_tags(branch2, spine2).empty());
+  // l2's closure contains l0 (earlier root sibling) but never l1.
+  EXPECT_FALSE(lockstep.edge_tags(spine2, branch1).empty());
+
+  s.tree_semantics = TreeSemantics::kIndependentBranches;
+  cdg::ChannelGraph independent(fixture.topology->num_channels());
+  analysis::add_route_dependencies(s, route, independent, 7);
+  // Only parent -> child pairs: 2 edges, no cross-branch dependencies.
+  EXPECT_EQ(independent.num_dependencies(), 2u);
+  EXPECT_FALSE(independent.edge_tags(branch1, branch2).empty());
+  EXPECT_TRUE(independent.edge_tags(spine2, branch2).empty());
+  EXPECT_TRUE(independent.edge_tags(branch2, spine2).empty());
+}
+
+// Regression pin for the paper's central negative result (Section 6.1): the
+// naive X-first multicast tree deadlocks on a 2-D mesh, and the analyzer
+// must shrink the counterexample to two concurrent double-destination
+// multicasts whose dependency cycle has length two and is realizable (the
+// two worms' hold states are channel-disjoint).
+TEST(McdgRegression, NaiveXFirstTreeYieldsShrunkRealizableWitness) {
+  const auto fixture = analysis::make_fixture("mesh:4x4");
+  const Scenario s = analysis::make_scenario(fixture, Algorithm::kXFirstMT);
+  const DeadlockReport report = analysis::analyze_deadlock(s, {});
+  EXPECT_GT(report.dependencies, 0u);
+  ASSERT_FALSE(report.deadlock_free());
+  const auto& w = *report.witness;
+  ASSERT_EQ(w.instances.size(), 2u);
+  // Shrinking cannot go below two destinations per multicast: a single
+  // destination makes the tree a path, and X-first paths cannot close a
+  // two-instance cycle.
+  EXPECT_EQ(w.instances[0].destinations.size(), 2u);
+  EXPECT_EQ(w.instances[1].destinations.size(), 2u);
+  ASSERT_EQ(w.cycle.size(), 2u);
+  EXPECT_NE(w.cycle[0].channel, w.cycle[1].channel);
+  ASSERT_EQ(w.edge_instance.size(), 2u);
+  EXPECT_NE(w.edge_instance[0], w.edge_instance[1]);
+  EXPECT_TRUE(w.realizable);
+  EXPECT_FALSE(w.format(*fixture.topology).empty());
+}
+
+TEST(McdgRegression, NaiveHypercubeTreesDeadlock) {
+  const auto fixture = analysis::make_fixture("cube:3");
+  for (const Algorithm a : {Algorithm::kEcubeMT, Algorithm::kBinomialBroadcast}) {
+    const Scenario s = analysis::make_scenario(fixture, a);
+    const DeadlockReport report = analysis::analyze_deadlock(s, {});
+    EXPECT_FALSE(report.deadlock_free()) << s.name;
+    ASSERT_TRUE(report.witness.has_value()) << s.name;
+    EXPECT_GE(report.witness->instances.size(), 2u) << s.name;
+  }
+}
+
+TEST(Mcdg, ChapterSixAlgorithmsProveClean) {
+  const struct {
+    const char* spec;
+    std::vector<Algorithm> algorithms;
+  } cases[] = {
+      {"mesh:4x4",
+       {Algorithm::kDCXFirstTree, Algorithm::kDualPath, Algorithm::kMultiPath,
+        Algorithm::kFixedPath}},
+      {"cube:3", {Algorithm::kDualPath, Algorithm::kMultiPath, Algorithm::kFixedPath}},
+      {"mesh3:2x3x3", {Algorithm::kDualPath, Algorithm::kFixedPath}},
+      {"kary:4x2", {Algorithm::kDualPath, Algorithm::kMultiPath}},
+  };
+  for (const auto& c : cases) {
+    const auto fixture = analysis::make_fixture(c.spec);
+    for (const Algorithm a : c.algorithms) {
+      const Scenario s = analysis::make_scenario(fixture, a);
+      const DeadlockReport deadlock = analysis::analyze_deadlock(s, {});
+      EXPECT_TRUE(deadlock.deadlock_free()) << s.name;
+      const InvariantReport inv = analysis::check_invariants(s, {});
+      EXPECT_TRUE(inv.ok()) << s.name << ": " << inv.violations << " violations";
+      EXPECT_GT(inv.instances_checked, 0u) << s.name;
+    }
+  }
+}
+
+TEST(Mcdg, WitnessSurvivesWithShrinkingDisabled) {
+  const auto fixture = analysis::make_fixture("mesh:4x4");
+  const Scenario s = analysis::make_scenario(fixture, Algorithm::kXFirstMT);
+  AnalysisConfig config;
+  config.shrink = false;
+  const DeadlockReport report = analysis::analyze_deadlock(s, config);
+  ASSERT_FALSE(report.deadlock_free());
+  EXPECT_GE(report.witness->instances.size(), 2u);
+  EXPECT_GE(report.witness->cycle.size(), 2u);
+}
+
+// The invariant sweep must flag deliberately broken routes: a route that
+// walks source -> dest -> source -> dest breaks label monotonicity, reuses
+// a channel, and overshoots the shortest-path bound; an algorithm that
+// throws for some instance breaks reachability totality.
+TEST(Invariants, FlagsBrokenRoutes) {
+  const auto fixture = analysis::make_fixture("mesh:3x3");
+  Scenario s;
+  s.topology = fixture.topology.get();
+  s.labeling = fixture.labeling.get();
+  s.label_monotone_paths = true;
+  s.shortest_unicast = true;
+  s.route = [&fixture](const MulticastRequest& r) {
+    if (r.destinations.size() != 1) {
+      throw std::runtime_error("only unicast supported");
+    }
+    const NodeId dest = r.destinations.front();
+    MulticastRoute route;
+    route.source = r.source;
+    mcast::PathRoute path;
+    path.channel_class = mcast::kHighChannelClass;
+    // Ping-pong to an adjacent destination; otherwise a plain two-node path.
+    if (fixture.topology->channel(r.source, dest) != topo::kInvalidChannel) {
+      path.nodes = {r.source, dest, r.source, dest};
+      path.delivery_hops = {3};
+    } else {
+      path.nodes = {r.source};
+      NodeId cur = r.source;
+      // Greedy walk: step to any neighbour closer to dest (grid distance).
+      while (cur != dest) {
+        for (const NodeId n : fixture.topology->neighbors(cur)) {
+          if (fixture.topology->distance(n, dest) < fixture.topology->distance(cur, dest)) {
+            cur = n;
+            break;
+          }
+        }
+        path.nodes.push_back(cur);
+      }
+      path.delivery_hops = {static_cast<std::uint32_t>(path.nodes.size() - 1)};
+    }
+    route.paths.push_back(std::move(path));
+    return route;
+  };
+
+  // The adjacent ping-pong routes violate capacity, monotonicity and the
+  // shortest-path bound; at least one of each must be flagged.
+  AnalysisConfig unicast;
+  unicast.max_set_size = 1;
+  const InvariantReport report = analysis::check_invariants(s, unicast);
+  EXPECT_FALSE(report.ok());
+  EXPECT_GT(report.violations, 0u);
+  std::set<std::string> kinds;
+  for (const auto& v : report.samples) kinds.insert(v.kind);
+  EXPECT_TRUE(kinds.contains("capacity"));
+  EXPECT_TRUE(kinds.contains("label-monotone"));
+  EXPECT_TRUE(kinds.contains("shortest"));
+
+  // An algorithm that throws for some instance breaks reachability totality.
+  Scenario throwing = s;
+  throwing.route = [](const MulticastRequest&) -> MulticastRoute {
+    throw std::runtime_error("unroutable");
+  };
+  const InvariantReport unreachable = analysis::check_invariants(throwing, unicast);
+  EXPECT_FALSE(unreachable.ok());
+  EXPECT_EQ(unreachable.violations, unreachable.instances_checked);
+  ASSERT_FALSE(unreachable.samples.empty());
+  EXPECT_EQ(unreachable.samples.front().kind, "reachability");
+}
+
+TEST(Invariants, CleanAlgorithmsPassOnWraparoundTorus) {
+  // The shortest-unicast claim is relaxed on wraparound rings (the label
+  // router cannot shortcut across wrap channels), so dual-path must still
+  // report zero violations there.
+  const auto fixture = analysis::make_fixture("kary:3x2");
+  const Scenario s = analysis::make_scenario(fixture, Algorithm::kDualPath);
+  EXPECT_FALSE(s.shortest_unicast);
+  const InvariantReport report = analysis::check_invariants(s, {});
+  EXPECT_TRUE(report.ok()) << report.violations << " violations";
+}
+
+}  // namespace

@@ -9,6 +9,9 @@ build_dir=${1:?usage: bench_smoke.sh <build-dir> [out-dir]}
 out_dir=${2:-"${build_dir}/bench-smoke"}
 mkdir -p "${out_dir}"
 
+# shellcheck source=tools/topology_matrix.sh
+source "$(dirname "${BASH_SOURCE[0]}")/topology_matrix.sh"
+
 export MCNET_BENCH_SCALE=${MCNET_BENCH_SCALE:-0.05}
 export MCNET_BENCH_JSON_DIR="${out_dir}"
 
@@ -31,7 +34,7 @@ for bench in "${benches[@]}"; do
 done
 
 # The simulator driver's trace output must stay loadable too.
-"${build_dir}/tools/mcnet_sim" --topology mesh:8x8 --algorithm dual-path \
+"${build_dir}/tools/mcnet_sim" --topology "${MCNET_SIM_TOPOLOGY}" --algorithm dual-path \
   --dests 5 --messages 50 --interarrival-us 300 \
   --trace "${out_dir}/mcnet_sim_trace.json" --metrics > /dev/null
 python3 - "${out_dir}/mcnet_sim_trace.json" <<'EOF'

@@ -18,8 +18,7 @@
 #include "evsim/random.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
-#include "topology/kary_ncube.hpp"
-#include "topology/mesh3d.hpp"
+#include "topology/spec.hpp"
 #include "wormhole/experiment.hpp"
 
 namespace {
@@ -32,72 +31,11 @@ struct Instance {
   std::unique_ptr<mcast::CachingRouter> router;
 };
 
-std::unique_ptr<topo::Topology> make_topology(const std::string& spec) {
-  const std::size_t colon = spec.find(':');
-  if (colon == std::string::npos) throw std::invalid_argument("topology needs kind:dims");
-  const std::string kind = spec.substr(0, colon);
-  const std::string dims = spec.substr(colon + 1);
-  const auto parse_dims = [&spec, &dims] {
-    std::vector<std::uint32_t> out;
-    std::size_t pos = 0;
-    while (pos < dims.size()) {
-      const std::size_t x = dims.find('x', pos);
-      const std::string part = dims.substr(pos, x == std::string::npos ? x : x - pos);
-      std::size_t used = 0;
-      unsigned long value = 0;
-      try {
-        value = std::stoul(part, &used);
-      } catch (const std::exception&) {
-        used = 0;
-      }
-      if (used != part.size() || part.empty() || value > 0xffffffffUL) {
-        throw std::invalid_argument("topology \"" + spec + "\" has a bad dimension \"" +
-                                    part + "\" (expected kind:NxM...)");
-      }
-      out.push_back(static_cast<std::uint32_t>(value));
-      if (x == std::string::npos) break;
-      pos = x + 1;
-    }
-    return out;
-  };
-
-  if (kind == "mesh") {
-    const auto d = parse_dims();
-    if (d.size() != 2) throw std::invalid_argument("mesh:WxH");
-    return std::make_unique<topo::Mesh2D>(d[0], d[1]);
-  }
-  if (kind == "cube") {
-    const auto d = parse_dims();
-    if (d.size() != 1) throw std::invalid_argument("cube:N");
-    return std::make_unique<topo::Hypercube>(d[0]);
-  }
-  if (kind == "mesh3") {
-    const auto d = parse_dims();
-    if (d.size() != 3) throw std::invalid_argument("mesh3:XxYxZ");
-    return std::make_unique<topo::Mesh3D>(d[0], d[1], d[2]);
-  }
-  if (kind == "kary") {
-    const auto d = parse_dims();
-    if (d.size() != 2) throw std::invalid_argument("kary:KxN");
-    return std::make_unique<topo::KAryNCube>(d[0], d[1]);
-  }
-  throw std::invalid_argument("unknown topology kind: " + kind);
-}
-
 Instance make_instance(const std::string& spec, Algorithm algo, std::uint8_t copies) {
   Instance inst;
-  inst.topology = make_topology(spec);
+  inst.topology = topo::make_topology(spec);
   inst.router = mcast::make_caching_router(*inst.topology, algo, copies);
   return inst;
-}
-
-Algorithm parse_algorithm(const std::string& name) {
-  for (int a = 0; a <= static_cast<int>(Algorithm::kBinomialBroadcast); ++a) {
-    if (mcast::algorithm_name(static_cast<Algorithm>(a)) == name) {
-      return static_cast<Algorithm>(a);
-    }
-  }
-  throw std::invalid_argument("unknown algorithm: " + name);
 }
 
 }  // namespace
@@ -106,7 +44,8 @@ int main(int argc, char** argv) {
   try {
     tools::ArgParser args(argc, argv);
     const std::string topo_spec =
-        args.get("topology", "mesh:8x8", "mesh:WxH | cube:N | mesh3:XxYxZ | kary:KxN");
+        args.get("topology", "mesh:8x8",
+                 "mesh:WxH | cube:N | mesh3:XxYxZ | kary:KxN | karymesh:KxN");
     const std::string algo_name = args.get("algorithm", "dual-path",
                                            "routing algorithm (see README)");
     const auto dests = static_cast<std::uint32_t>(args.get_int("dests", 10, "destinations"));
@@ -133,7 +72,7 @@ int main(int argc, char** argv) {
     }
     args.reject_unknown();
 
-    const Algorithm algo = parse_algorithm(algo_name);
+    const Algorithm algo = mcast::parse_algorithm(algo_name);
     const Instance inst = make_instance(topo_spec, algo, copies);
     const std::uint32_t n = inst.topology->num_nodes();
     if (dests >= n) throw std::invalid_argument("dests must be < number of nodes");

@@ -1,0 +1,185 @@
+// mcnet_verify: static deadlock-freedom and routing-invariant analyzer.
+//
+// Without running the simulator, enumerate the channel dependencies a
+// multicast algorithm induces over a topology, search the resulting CDG
+// for multi-instance cycles (deadlock witnesses, shrunk to a minimal set
+// of concurrent multicasts), and sweep the per-router invariants the
+// algorithm claims.  Unicast routing functions are checked through the
+// classic Dally-Seitz construction.
+//
+// Exit codes: 0 = verdict matches --expect (or no expectation given),
+//             2 = verdict contradicts --expect, 1 = usage/setup error.
+#include <cstdio>
+#include <exception>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "analysis/invariants.hpp"
+#include "analysis/mcdg.hpp"
+#include "analysis/scenario.hpp"
+#include "arg_parser.hpp"
+#include "cdg/analyzers.hpp"
+#include "cdg/channel_graph.hpp"
+#include "core/route_factory.hpp"
+
+namespace {
+
+using namespace mcnet;
+
+struct Verdict {
+  std::string name;
+  bool deadlock_free = false;
+  bool invariants_ok = true;
+
+  [[nodiscard]] bool clean() const { return deadlock_free && invariants_ok; }
+  [[nodiscard]] const char* label() const {
+    if (clean()) return "CLEAN";
+    if (!deadlock_free) return invariants_ok ? "DEADLOCK" : "DEADLOCK+VIOLATIONS";
+    return "INVARIANT-VIOLATIONS";
+  }
+};
+
+// Unicast routing functions addressable by name; checked via the plain
+// Dally-Seitz CDG instead of the multicast instance enumeration.
+std::optional<cdg::RoutingFunction> unicast_routing(const analysis::Fixture& f,
+                                                    const std::string& name) {
+  if (name == "xfirst" && f.mesh2d != nullptr) return cdg::xfirst_routing(*f.mesh2d);
+  if (name == "ecube" && f.cube != nullptr) return cdg::ecube_routing(*f.cube);
+  if (name == "zfirst" && f.mesh3d != nullptr) return cdg::zfirst_routing(*f.mesh3d);
+  if (name == "dimension-order" && f.kary != nullptr) {
+    return cdg::dimension_order_routing(*f.kary);
+  }
+  if ((name == "label-high" || name == "label-low") && f.labeling != nullptr) {
+    return cdg::label_routing(*f.topology, *f.labeling, name == "label-high");
+  }
+  return std::nullopt;
+}
+
+bool is_unicast_name(const std::string& name) {
+  return name == "xfirst" || name == "ecube" || name == "zfirst" ||
+         name == "dimension-order" || name == "label-high" || name == "label-low";
+}
+
+Verdict verify_unicast(const analysis::Fixture& f, const std::string& name) {
+  const auto routing = unicast_routing(f, name);
+  if (!routing) {
+    throw std::invalid_argument("unicast routing \"" + name + "\" is not defined on " +
+                                f.topology->name());
+  }
+  const cdg::ChannelGraph g = cdg::build_unicast_cdg(*f.topology, *routing);
+  std::printf("scenario: %s @ %s (unicast)\n", name.c_str(), f.topology->name().c_str());
+  std::printf("  channels:     %u\n", g.num_channels());
+  std::printf("  dependencies: %zu\n", g.num_dependencies());
+  const auto cycle = g.find_cycle();
+  if (!cycle) {
+    std::printf("  deadlock: NONE (CDG acyclic)\n");
+    return {name, true, true};
+  }
+  std::printf("  deadlock: channel dependency cycle of length %zu:\n", cycle->size());
+  for (const topo::ChannelId c : *cycle) {
+    const topo::ChannelEnds ends = f.topology->channel_ends(c);
+    std::printf("    c%u (%u -> %u)\n", c, ends.from, ends.to);
+  }
+  return {name, false, true};
+}
+
+Verdict verify_multicast(const analysis::Fixture& f, mcast::Algorithm algorithm,
+                         const analysis::AnalysisConfig& config) {
+  const analysis::Scenario scenario = analysis::make_scenario(f, algorithm);
+  std::printf("scenario: %s\n", scenario.name.c_str());
+
+  const analysis::DeadlockReport deadlock = analysis::analyze_deadlock(scenario, config);
+  std::printf("  instances analyzed: %zu (destination sets up to %u)\n",
+              deadlock.instances_analyzed, config.max_set_size);
+  std::printf("  virtual channels:   %zu\n", deadlock.virtual_channels);
+  std::printf("  dependencies:       %zu\n", deadlock.dependencies);
+
+  const analysis::InvariantReport inv = analysis::check_invariants(scenario, config);
+  if (inv.ok()) {
+    std::printf("  invariants: OK (%zu instances checked)\n", inv.instances_checked);
+  } else {
+    std::printf("  invariants: %zu violation(s) over %zu instances\n", inv.violations,
+                inv.instances_checked);
+    for (const analysis::InvariantViolation& v : inv.samples) {
+      std::printf("    [%s] source %u, %zu destination(s): %s\n", v.kind.c_str(),
+                  v.instance.source, v.instance.destinations.size(), v.detail.c_str());
+    }
+  }
+
+  if (deadlock.deadlock_free()) {
+    std::printf("  deadlock: NONE (multicast CDG admits no multi-instance cycle)\n");
+  } else {
+    std::printf("  %s", deadlock.witness->format(*f.topology).c_str());
+  }
+  return {std::string(mcast::algorithm_name(algorithm)), deadlock.deadlock_free(), inv.ok()};
+}
+
+int run(int argc, char** argv) {
+  tools::ArgParser args(argc, argv);
+  const std::string topology_spec =
+      args.get("topology", "mesh:4x4", "topology spec (mesh:WxH, cube:N, mesh3:XxYxZ, kary:KxN, karymesh:KxN)");
+  const std::string algorithm = args.get(
+      "algorithm", "all",
+      "multicast algorithm name, unicast routing (xfirst, ecube, zfirst, dimension-order, "
+      "label-high, label-low), or \"all\" for every verifiable multicast algorithm");
+  analysis::AnalysisConfig config;
+  config.max_set_size =
+      static_cast<std::uint32_t>(args.get_int("max-dests", config.max_set_size,
+                                              "largest destination-set size enumerated"));
+  config.max_instances = static_cast<std::size_t>(
+      args.get_int("max-instances", static_cast<std::int64_t>(config.max_instances),
+                   "instance budget (stride-sampled above it)"));
+  config.shrink = !args.get_flag("no-shrink", "skip counterexample shrinking");
+  const std::string expect =
+      args.get("expect", "", "expected verdict: clean, deadlock, or auto (per-algorithm claim)");
+  if (args.help_requested()) {
+    args.print_usage();
+    return 0;
+  }
+  args.reject_unknown();
+  if (!expect.empty() && expect != "clean" && expect != "deadlock" && expect != "auto") {
+    throw std::invalid_argument("--expect must be clean, deadlock, or auto");
+  }
+
+  const analysis::Fixture fixture = analysis::make_fixture(topology_spec);
+
+  std::vector<Verdict> verdicts;
+  std::vector<bool> expected_clean;
+  if (algorithm == "all") {
+    for (const mcast::Algorithm a : analysis::verifiable_algorithms(fixture)) {
+      verdicts.push_back(verify_multicast(fixture, a, config));
+      expected_clean.push_back(analysis::claimed_deadlock_free(a));
+    }
+  } else if (is_unicast_name(algorithm)) {
+    verdicts.push_back(verify_unicast(fixture, algorithm));
+    expected_clean.push_back(true);
+  } else {
+    const mcast::Algorithm a = mcast::parse_algorithm(algorithm);
+    verdicts.push_back(verify_multicast(fixture, a, config));
+    expected_clean.push_back(analysis::claimed_deadlock_free(a));
+  }
+
+  int status = 0;
+  for (std::size_t i = 0; i < verdicts.size(); ++i) {
+    std::printf("  verdict: %s [%s]\n", verdicts[i].label(), verdicts[i].name.c_str());
+    if (expect.empty()) continue;
+    const bool want_clean = expect == "auto" ? expected_clean[i] : expect == "clean";
+    if (verdicts[i].clean() != want_clean) {
+      std::printf("  MISMATCH: expected %s\n", want_clean ? "CLEAN" : "DEADLOCK");
+      status = 2;
+    }
+  }
+  return status;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    return run(argc, argv);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "mcnet_verify: error: %s\n", e.what());
+    return 1;
+  }
+}

@@ -1,0 +1,28 @@
+#!/usr/bin/env bash
+# Run the static deadlock-freedom and routing-invariant matrix: every
+# (topology, algorithm, expectation) triple from tools/topology_matrix.sh is
+# checked with mcnet_verify.  Run from anywhere:
+#   tools/static_verify.sh <build-dir>
+# Exit status is non-zero when any verdict contradicts its expectation.
+set -euo pipefail
+
+build_dir=${1:?usage: static_verify.sh <build-dir>}
+# shellcheck source=tools/topology_matrix.sh
+source "$(dirname "${BASH_SOURCE[0]}")/topology_matrix.sh"
+
+fail=0
+for entry in "${MCNET_VERIFY_MATRIX[@]}"; do
+  read -r topology algorithm expectation <<< "${entry}"
+  echo "== mcnet_verify --topology ${topology} --algorithm ${algorithm} --expect ${expectation} =="
+  if ! "${build_dir}/tools/mcnet_verify" --topology "${topology}" \
+       --algorithm "${algorithm}" --expect "${expectation}"; then
+    echo "** FAILED: ${topology} ${algorithm} (expected ${expectation})"
+    fail=1
+  fi
+done
+
+if [[ ${fail} -ne 0 ]]; then
+  echo "static verify: FAILURES (see above)"
+  exit 1
+fi
+echo "static verify: all ${#MCNET_VERIFY_MATRIX[@]} checks match their expectations"
