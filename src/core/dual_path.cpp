@@ -4,37 +4,50 @@
 
 namespace mcnet::mcast {
 
+void dual_path_prepare(const ham::Labeling& labeling, const MulticastRequest& request,
+                       DualPathSplit& out) {
+  out.high.clear();
+  out.low.clear();
+  const std::uint32_t ls = labeling.label(request.source);
+  for (const topo::NodeId d : request.destinations) {
+    (labeling.label(d) > ls ? out.high : out.low).push_back(d);
+  }
+  std::sort(out.high.begin(), out.high.end(), [&](topo::NodeId a, topo::NodeId b) {
+    return labeling.label(a) < labeling.label(b);
+  });
+  std::sort(out.low.begin(), out.low.end(), [&](topo::NodeId a, topo::NodeId b) {
+    return labeling.label(a) > labeling.label(b);
+  });
+}
+
 DualPathSplit dual_path_prepare(const ham::Labeling& labeling,
                                 const MulticastRequest& request) {
   DualPathSplit split;
-  const std::uint32_t ls = labeling.label(request.source);
-  for (const topo::NodeId d : request.destinations) {
-    (labeling.label(d) > ls ? split.high : split.low).push_back(d);
-  }
-  std::sort(split.high.begin(), split.high.end(), [&](topo::NodeId a, topo::NodeId b) {
-    return labeling.label(a) < labeling.label(b);
-  });
-  std::sort(split.low.begin(), split.low.end(), [&](topo::NodeId a, topo::NodeId b) {
-    return labeling.label(a) > labeling.label(b);
-  });
+  dual_path_prepare(labeling, request, split);
   return split;
 }
 
 MulticastRoute dual_path_route(const topo::Topology& topology, const ham::Labeling& labeling,
-                               const MulticastRequest& request) {
+                               const MulticastRequest& request, DualPathSplit& scratch) {
   const LabelRouter router(topology, labeling);
-  const DualPathSplit split = dual_path_prepare(labeling, request);
+  dual_path_prepare(labeling, request, scratch);
   MulticastRoute route;
   route.source = request.source;
-  if (!split.high.empty()) {
+  if (!scratch.high.empty()) {
     route.paths.push_back(
-        router.route_path(request.source, split.high, std::nullopt, kHighChannelClass));
+        router.route_path(request.source, scratch.high, std::nullopt, kHighChannelClass));
   }
-  if (!split.low.empty()) {
+  if (!scratch.low.empty()) {
     route.paths.push_back(
-        router.route_path(request.source, split.low, std::nullopt, kLowChannelClass));
+        router.route_path(request.source, scratch.low, std::nullopt, kLowChannelClass));
   }
   return route;
+}
+
+MulticastRoute dual_path_route(const topo::Topology& topology, const ham::Labeling& labeling,
+                               const MulticastRequest& request) {
+  DualPathSplit split;
+  return dual_path_route(topology, labeling, request, split);
 }
 
 }  // namespace mcnet::mcast

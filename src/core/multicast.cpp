@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <stdexcept>
 #include <unordered_map>
+#include <utility>
 
 namespace mcnet::mcast {
 
@@ -20,17 +21,19 @@ void MulticastRequest::validate(std::uint32_t num_nodes) const {
   }
 }
 
-MulticastRequest MulticastRequest::normalized(std::uint32_t num_nodes) const {
+bool MulticastRequest::is_normalized(std::uint32_t num_nodes,
+                                     RequestScratch& scratch) const {
   if (source >= num_nodes) {
     throw std::invalid_argument("multicast source " + std::to_string(source) +
                                 " out of range (network has " + std::to_string(num_nodes) +
                                 " nodes)");
   }
   if (destinations.empty()) throw std::invalid_argument("multicast needs >= 1 destination");
-  MulticastRequest out;
-  out.source = source;
-  out.destinations.reserve(destinations.size());
-  std::vector<std::uint8_t> seen(num_nodes, 0);
+  scratch.begin(num_nodes);
+  bool clean = true;
+  // Keep scanning after the first duplicate: a later destination may be out
+  // of range or equal the source, and those must throw exactly as the old
+  // rebuild-always path did (error precedence is positional).
   for (const NodeId d : destinations) {
     if (d >= num_nodes) {
       throw std::invalid_argument("multicast destination " + std::to_string(d) +
@@ -41,11 +44,33 @@ MulticastRequest MulticastRequest::normalized(std::uint32_t num_nodes) const {
       throw std::invalid_argument("multicast destination set contains the source node " +
                                   std::to_string(source));
     }
-    if (seen[d] != 0) continue;  // dedupe, keeping first occurrence
-    seen[d] = 1;
-    out.destinations.push_back(d);
+    if (!scratch.mark(d)) clean = false;
   }
-  return out;
+  return clean;
+}
+
+const MulticastRequest& MulticastRequest::normalize_into(std::uint32_t num_nodes,
+                                                         RequestScratch& scratch,
+                                                         MulticastRequest& storage) const {
+  if (is_normalized(num_nodes, scratch)) return *this;
+  // Rebuild with dedup (first occurrence kept, order preserved); validity
+  // was established by the scan above, so no re-checking here.
+  storage.source = source;
+  storage.destinations.clear();
+  storage.destinations.reserve(destinations.size());
+  scratch.begin(num_nodes);
+  for (const NodeId d : destinations) {
+    if (scratch.mark(d)) storage.destinations.push_back(d);
+  }
+  return storage;
+}
+
+MulticastRequest MulticastRequest::normalized(std::uint32_t num_nodes) const {
+  thread_local RequestScratch scratch;
+  MulticastRequest storage;
+  const MulticastRequest& result = normalize_into(num_nodes, scratch, storage);
+  if (&result == this) return *this;  // clean fast path: plain copy, no rebuild
+  return storage;  // NRVO / implicit move
 }
 
 std::uint32_t TreeRoute::add_link(NodeId from, NodeId to, std::int32_t parent) {

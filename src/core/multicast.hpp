@@ -13,11 +13,40 @@ namespace mcnet::mcast {
 
 using topo::NodeId;
 
+/// Reusable duplicate-scan workspace for request normalization: an
+/// epoch-tagged mark per node id, grown on demand and never cleared, so a
+/// scan over an n-node id space costs O(destinations) with zero allocations
+/// once the buffer has reached n.  One instance per thread (or per batch
+/// loop); not thread-safe itself.
+class RequestScratch {
+ public:
+  /// Start a new scan over a `num_nodes`-node id space.
+  void begin(std::uint32_t num_nodes) {
+    if (mark_.size() < num_nodes) mark_.resize(num_nodes, 0);
+    ++epoch_;
+  }
+  /// Mark `id`; true when this is its first occurrence in the current scan.
+  [[nodiscard]] bool mark(NodeId id) {
+    if (mark_[id] == epoch_) return false;
+    mark_[id] = epoch_;
+    return true;
+  }
+
+ private:
+  std::vector<std::uint64_t> mark_;
+  std::uint64_t epoch_ = 0;
+};
+
 /// A multicast set K = {u0, u1..uk}: one source and k >= 1 distinct
 /// destinations, none equal to the source.
 struct MulticastRequest {
   NodeId source = 0;
   std::vector<NodeId> destinations;
+
+  /// Raw identity: same source and same destination list in the same
+  /// order (the batch-dedup notion of "the same request"; permutations of
+  /// one multicast set compare unequal).
+  friend bool operator==(const MulticastRequest&, const MulticastRequest&) = default;
 
   /// Throws std::invalid_argument on duplicate destinations, destination ==
   /// source, or empty destination list.
@@ -29,7 +58,26 @@ struct MulticastRequest {
   /// precise message when the source is in the destination set, a node id
   /// is out of range, or the destination list is empty.  Every Router
   /// normalises requests on entry; validate() stays as the strict check.
+  ///
+  /// Requests that are already clean (the overwhelmingly common case) take
+  /// an allocation-free scan and are returned as a plain copy; the dedup
+  /// rebuild only runs when a duplicate was actually found.
   [[nodiscard]] MulticastRequest normalized(std::uint32_t num_nodes) const;
+
+  /// Allocation-free normalization check: throws exactly the errors
+  /// normalized() throws (out-of-range source/destination, source in the
+  /// destination set, empty list -- same messages, same precedence), and
+  /// otherwise returns true iff the destination list carries no duplicates,
+  /// i.e. normalized() would return an identical request.
+  [[nodiscard]] bool is_normalized(std::uint32_t num_nodes, RequestScratch& scratch) const;
+
+  /// Zero-copy normalization for hot paths: returns `*this` unchanged when
+  /// already normalized (no allocation, no copy), otherwise writes the
+  /// deduped copy into `storage` (reusing its capacity) and returns a
+  /// reference to it.  Throws like normalized().
+  [[nodiscard]] const MulticastRequest& normalize_into(std::uint32_t num_nodes,
+                                                       RequestScratch& scratch,
+                                                       MulticastRequest& storage) const;
 };
 
 /// A single multicast path (the MP / star-branch shape): a walk from the

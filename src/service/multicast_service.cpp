@@ -42,7 +42,9 @@ MulticastService::MulticastService(const mcast::Router& router,
     : MulticastService(
           router.topology(), params, sched,
           [&router](const mcast::MulticastRequest& r) { return router.route(r); },
-          [&router](const mcast::MulticastRoute& r) { return router.specs(r); }) {}
+          [&router](const mcast::MulticastRoute& r) { return router.specs(r); }) {
+  router_ = &router;
+}
 
 MulticastService::MulticastService(const fault::FaultAwareRouter& router,
                                    const worm::WormholeParams& params,
@@ -119,6 +121,32 @@ MulticastService::Handle MulticastService::multicast(const mcast::MulticastReque
     pending_[h] = Pending{std::move(on_delivery), std::move(on_done)};
   }
   return h;
+}
+
+std::vector<MulticastService::Handle> MulticastService::multicast_many(
+    std::span<const mcast::MulticastRequest> requests, DeliveryFn on_delivery,
+    DoneFn on_done) {
+  std::vector<Handle> handles;
+  handles.reserve(requests.size());
+  if (metrics_.active() && !requests.empty()) metrics_.multicasts->inc(requests.size());
+  if (router_ == nullptr) {
+    // Custom RoutePolicy wiring has no batch router; the scalar loop keeps
+    // behaviour identical.
+    for (const mcast::MulticastRequest& request : requests) {
+      const mcast::MulticastRequest req = request.normalized(topology_->num_nodes());
+      const Handle h = network_->inject(specs_(route_(req)));
+      if (on_delivery || on_done) pending_[h] = Pending{on_delivery, on_done};
+      handles.push_back(h);
+    }
+    return handles;
+  }
+  const mcast::RouteBatch batch = router_->route_many(requests);
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    const Handle h = network_->inject(router_->batch_specs(batch, i));
+    if (on_delivery || on_done) pending_[h] = Pending{on_delivery, on_done};
+    handles.push_back(h);
+  }
+  return handles;
 }
 
 std::uint64_t MulticastService::multicast_reliable(const mcast::MulticastRequest& request,

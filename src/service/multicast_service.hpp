@@ -19,6 +19,7 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
+#include <span>
 #include <unordered_map>
 
 #include "core/multicast.hpp"
@@ -130,6 +131,16 @@ class MulticastService {
   Handle multicast(const mcast::MulticastRequest& request, DeliveryFn on_delivery = {},
                    DoneFn on_done = {});
 
+  /// Batch send: all requests are routed in one Router::route_many call
+  /// (shared normalization scratch, grouped cache lookups, arena-backed
+  /// batch) and then injected in request order.  Handle i corresponds to
+  /// requests[i]; the optional callbacks are attached to every message
+  /// (on_delivery already receives the destination, and handles let callers
+  /// correlate on_done).  Services built with a custom RoutePolicy fall
+  /// back to the scalar loop, so behaviour is identical either way.
+  std::vector<Handle> multicast_many(std::span<const mcast::MulticastRequest> requests,
+                                     DeliveryFn on_delivery = {}, DoneFn on_done = {});
+
   /// Fault-tolerant send: per-attempt timeout, bounded retry with
   /// exponential backoff for dropped destinations, unreachable reporting
   /// for partitioned ones.  `on_report` fires exactly once, when every
@@ -197,6 +208,8 @@ class MulticastService {
   std::unique_ptr<worm::Network> network_;
   RoutePolicy route_;
   SpecPolicy specs_;
+  /// Set by the Router constructors; enables the multicast_many batch path.
+  const mcast::Router* router_ = nullptr;
   const fault::FaultAwareRouter* fault_router_ = nullptr;
   std::uint64_t next_reliable_id_ = 0;
   Metrics metrics_;

@@ -30,6 +30,16 @@ struct TrafficConfig {
   /// paper's "uniformly random" interval), exponential when set.
   bool exponential_interarrival = false;
   std::uint64_t seed = 1;
+  /// Requests routed per Router::route_many call.  1 (the default) is the
+  /// exact legacy behaviour: one route per arrival, destination sets drawn
+  /// from the same per-node stream as the interarrival gaps.  Values > 1
+  /// prefetch that many destination draws per node from a dedicated
+  /// destination stream and route them in one batch (amortised cache
+  /// lookups and routing scratch); arrivals and injections are unchanged,
+  /// but the destination randomness moves to its own stream, so results
+  /// are deterministic yet not draw-for-draw identical to route_batch=1.
+  /// Ignored by the RouteBuilder constructor (no batch API to call).
+  std::uint32_t route_batch = 1;
 };
 
 /// Builds the worm specs for one multicast (source + destinations).
@@ -61,12 +71,27 @@ class TrafficDriver {
  private:
   void arrival(topo::NodeId node);
   [[nodiscard]] double next_gap(evsim::Rng& rng);
+  [[nodiscard]] bool batching() const {
+    return router_ != nullptr && config_.route_batch > 1;
+  }
+  /// Draw route_batch destination sets for `node`, route them in one
+  /// route_many call, and refill the node's prefetch queue of worm specs.
+  void refill(topo::NodeId node);
+
+  /// Per-node prefetch queue of routed specs (batch mode only).
+  struct SpecQueue {
+    std::vector<std::vector<WormSpec>> specs;
+    std::size_t next = 0;
+  };
 
   evsim::Scheduler* sched_;
   Network* network_;
   TrafficConfig config_;
   RouteBuilder builder_;
-  std::vector<evsim::Rng> rngs_;  // one stream per node
+  const mcast::Router* router_ = nullptr;  // set by the Router ctor
+  std::vector<evsim::Rng> rngs_;       // one stream per node
+  std::vector<evsim::Rng> dest_rngs_;  // batch-mode destination streams
+  std::vector<SpecQueue> queues_;
   bool stopped_ = false;
 };
 

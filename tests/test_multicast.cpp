@@ -37,6 +37,35 @@ TEST(MulticastRequest, Validation) {
   EXPECT_THROW(src_oob.validate(16), std::invalid_argument);
 }
 
+TEST(MulticastRequest, NormalizeFastPathIsZeroCopy) {
+  mcast::RequestScratch scratch;
+  MulticastRequest storage;
+
+  // Clean request: normalize_into must hand back the input object itself
+  // (the allocation-free fast path), and normalized() an equal copy.
+  const MulticastRequest clean{0, {3, 1, 2}};
+  EXPECT_TRUE(clean.is_normalized(16, scratch));
+  const MulticastRequest& same = clean.normalize_into(16, scratch, storage);
+  EXPECT_EQ(&same, &clean);
+  EXPECT_EQ(clean.normalized(16), clean);
+
+  // Duplicate destinations: the rebuild keeps first occurrences in order
+  // and lands in `storage`, not in a fresh allocation per call.
+  const MulticastRequest dup{0, {3, 1, 3, 2, 1}};
+  EXPECT_FALSE(dup.is_normalized(16, scratch));
+  const MulticastRequest& rebuilt = dup.normalize_into(16, scratch, storage);
+  EXPECT_EQ(&rebuilt, &storage);
+  EXPECT_EQ(rebuilt.destinations, (std::vector<NodeId>{3, 1, 2}));
+  EXPECT_EQ(dup.normalized(16), rebuilt);
+
+  // The error contract matches normalized(): same conditions, same type.
+  const MulticastRequest self{0, {0, 1}};
+  EXPECT_THROW((void)self.is_normalized(16, scratch), std::invalid_argument);
+  EXPECT_THROW((void)self.normalize_into(16, scratch, storage), std::invalid_argument);
+  const MulticastRequest oob{0, {99}};
+  EXPECT_THROW((void)oob.normalize_into(16, scratch, storage), std::invalid_argument);
+}
+
 TEST(MulticastRoute, TrafficAndDepthMetrics) {
   MulticastRoute route;
   route.source = 0;

@@ -1,6 +1,9 @@
 // The multicast service layer and the generic labeled routing suite.
 #include <gtest/gtest.h>
 
+#include <set>
+
+#include "core/route_cache.hpp"
 #include "core/route_factory.hpp"
 #include "evsim/random.hpp"
 #include "evsim/scheduler.hpp"
@@ -57,6 +60,46 @@ TEST(MulticastService, CallbackCanSendAgain) {
   service.multicast({0, {15}}, {}, chain);
   sched.run();
   EXPECT_EQ(rounds, 5);
+}
+
+TEST(MulticastService, MulticastManyMatchesScalarSends) {
+  // The batch entry point must be observationally identical to issuing the
+  // same requests through multicast() one by one before running.
+  const topo::Mesh2D mesh(4, 4);
+  const worm::WormholeParams params{.flit_time = 50e-9, .message_flits = 32,
+                                    .channel_copies = 1};
+  const auto router = mcast::make_caching_router(mesh, Algorithm::kDualPath);
+  const std::vector<mcast::MulticastRequest> requests = {
+      {0, {5, 10, 15}}, {3, {12, 7}}, {0, {5, 10, 15}}};
+
+  std::multiset<topo::NodeId> scalar_delivered;
+  std::size_t scalar_done = 0;
+  {
+    evsim::Scheduler sched;
+    svc::MulticastService service(*router, params, sched);
+    for (const auto& req : requests) {
+      service.multicast(
+          req, [&](topo::NodeId d, double) { scalar_delivered.insert(d); },
+          [&](double) { ++scalar_done; });
+    }
+    sched.run();
+  }
+
+  std::multiset<topo::NodeId> batch_delivered;
+  std::size_t batch_done = 0;
+  {
+    evsim::Scheduler sched;
+    svc::MulticastService service(*router, params, sched);
+    const std::vector<svc::MulticastService::Handle> handles = service.multicast_many(
+        requests, [&](topo::NodeId d, double) { batch_delivered.insert(d); },
+        [&](double) { ++batch_done; });
+    EXPECT_EQ(handles.size(), requests.size());
+    sched.run();
+  }
+
+  EXPECT_EQ(batch_done, scalar_done);
+  EXPECT_EQ(batch_delivered, scalar_delivered);
+  EXPECT_EQ(batch_done, requests.size());
 }
 
 TEST(MulticastService, BarrierReleasesEveryoneOnce) {

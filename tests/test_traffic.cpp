@@ -4,6 +4,7 @@
 #include <set>
 
 #include "core/dual_path.hpp"
+#include "core/route_cache.hpp"
 #include "evsim/scheduler.hpp"
 #include "topology/hamiltonian.hpp"
 #include "topology/mesh2d.hpp"
@@ -114,6 +115,54 @@ TEST(TrafficDriver, StopHaltsGeneration) {
   f.sched.run();
   EXPECT_EQ(log.size(), at_stop) << "no new messages after stop";
   EXPECT_TRUE(f.net.idle()) << "in-flight worms drain after stop";
+}
+
+TEST(TrafficDriver, RouteBatchPrefetchGeneratesEverywhereDeterministically) {
+  const topo::Mesh2D mesh(4, 4);
+  const auto router = mcast::make_caching_router(mesh, mcast::Algorithm::kDualPath);
+  const worm::TrafficConfig cfg{.mean_interarrival_s = 1e-3,
+                                .avg_destinations = 3,
+                                .fixed_destinations = false,
+                                .exponential_interarrival = false,
+                                .seed = 5,
+                                .route_batch = 4};
+
+  const auto run_once = [&] {
+    evsim::Scheduler sched;
+    worm::Network net(mesh, {.flit_time = 1e-7, .message_flits = 8, .channel_copies = 1},
+                      sched);
+    worm::TrafficDriver driver(sched, net, cfg, *router);
+    driver.start();
+    sched.run_until(20e-3);
+    driver.stop();
+    sched.run();
+    EXPECT_TRUE(net.idle());
+    return net.messages_completed();
+  };
+  const std::uint64_t first = run_once();
+  EXPECT_GT(first, 0u);
+  EXPECT_EQ(run_once(), first) << "prefetched batches must be seed-deterministic";
+
+  // Every node keeps generating under prefetch (the queue is per node).
+  {
+    evsim::Scheduler sched;
+    worm::Network net(mesh, {.flit_time = 1e-7, .message_flits = 8, .channel_copies = 1},
+                      sched);
+    worm::TrafficDriver driver(sched, net, cfg, *router);
+    driver.start();
+    sched.run_until(40e-3);
+    driver.stop();
+    sched.run();
+    EXPECT_GE(net.messages_injected(), mesh.num_nodes() * 4u);
+  }
+
+  // route_batch = 0 is a config error, not a silent fallback.
+  evsim::Scheduler sched;
+  worm::Network net(mesh, {.flit_time = 1e-7, .message_flits = 8, .channel_copies = 1},
+                    sched);
+  worm::TrafficConfig bad = cfg;
+  bad.route_batch = 0;
+  EXPECT_THROW(worm::TrafficDriver(sched, net, bad, *router), std::invalid_argument);
 }
 
 TEST(TrafficDriver, ExponentialModeRunsAndDiffersFromUniform) {
