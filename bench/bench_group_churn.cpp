@@ -1,0 +1,218 @@
+// Group multicast under churn: delivered-in-view rate and stability
+// latency of GroupService sends while members join, leave, and crash.
+// Three sweeps on an 8x8 mesh:
+//   size:   group size at fixed churn and window,
+//   churn:  membership event rate at fixed size (the x = 0 point is the
+//           healthy baseline -- its delivered-in-view rate anchors the
+//           regression gate in tools/churn_smoke.sh),
+//   window: sender window size at fixed size and churn (small windows
+//           trade throughput stalls for bounded instability).
+//
+// Output: CSV on stdout, mcnet-bench-v1 JSON via JsonReporter (scale the
+// send count with MCNET_BENCH_SCALE).
+#include <cstdio>
+#include <functional>
+#include <memory>
+
+#include "bench_common.hpp"
+#include "evsim/random.hpp"
+#include "evsim/scheduler.hpp"
+#include "fault/fault_router.hpp"
+#include "service/churn.hpp"
+#include "service/group_service.hpp"
+#include "topology/mesh2d.hpp"
+
+namespace {
+
+using namespace mcnet;
+
+struct PointResult {
+  std::uint64_t sends = 0;
+  std::uint64_t reports = 0;
+  std::uint64_t owed = 0;  // terminal per-destination outcomes
+  std::uint64_t delivered_in_view = 0;
+  std::uint64_t evicted = 0;
+  std::uint64_t dropped = 0;
+  std::uint64_t unreachable = 0;
+  double stability_p99_us = 0.0;
+  svc::GroupService::Stats stats;
+
+  [[nodiscard]] double rate() const {
+    return owed == 0 ? 0.0
+                     : static_cast<double>(delivered_in_view) / static_cast<double>(owed);
+  }
+};
+
+struct PointConfig {
+  std::uint32_t group_size = 16;
+  double churn_events_per_s = 0.0;
+  std::uint32_t window_size = 8;
+  std::uint32_t sends = 60;
+  std::uint64_t seed = 2026;
+};
+
+PointResult run_point(const PointConfig& pc) {
+  const topo::Mesh2D mesh(8, 8);
+  auto faults = std::make_shared<fault::FaultState>(mesh);
+  const auto router =
+      fault::make_fault_aware_router(mesh, mcast::Algorithm::kDualPath, faults);
+  evsim::Scheduler sched;
+  const worm::WormholeParams params{.flit_time = 50e-9, .message_flits = 128,
+                                    .channel_copies = 1};
+  svc::MulticastService service(*router, params, sched);
+
+  svc::GroupConfig cfg;
+  cfg.window_size = pc.window_size;
+  // Heartbeat slowly enough that liveness traffic does not saturate the
+  // mesh at group size 32; the detector still evicts in ~2ms.
+  cfg.heartbeat_period_s = 200e-6;
+  cfg.sweep_period_s = 100e-6;
+  cfg.suspicion_min_timeout_s = 1.6e-3;
+  svc::GroupService groups(service, cfg);
+  obs::MetricsRegistry registry;
+  groups.set_metrics(&registry);
+
+  // Members spread across the mesh; joins draw from the next group_size
+  // nodes of the same stride.
+  std::vector<topo::NodeId> init;
+  std::vector<topo::NodeId> cand;
+  const std::uint32_t stride = mesh.num_nodes() / pc.group_size;
+  for (std::uint32_t i = 0; i < pc.group_size; ++i) {
+    init.push_back(static_cast<topo::NodeId>(i * stride));
+    cand.push_back(static_cast<topo::NodeId>(i * stride));
+    cand.push_back(static_cast<topo::NodeId>(i * stride + stride / 2));
+  }
+  const auto gid = groups.create_group(init);
+
+  const double spacing = 40e-6;
+  const double t_end = spacing * pc.sends;
+  if (pc.churn_events_per_s > 0.0) {
+    svc::ChurnConfig cc;
+    cc.t_begin_s = 100e-6;
+    cc.t_end_s = t_end;
+    cc.events_per_s = pc.churn_events_per_s;
+    cc.seed = pc.seed;
+    schedule_churn(groups, gid, sched, svc::ChurnSchedule::random(init, cand, cc));
+  }
+
+  PointResult out;
+  evsim::Rng rng(evsim::derive_seed(pc.seed, 0x626e6368ULL));  // "bnch"
+  std::function<void(double)> pump = [&](double t) {
+    if (t >= t_end) return;
+    sched.schedule_at(t, [&groups, gid, &out, &rng, &pump, t] {
+      const auto& members = groups.view(gid).members;
+      if (!members.empty()) {
+        const topo::NodeId sender =
+            members[rng.uniform_int(0, static_cast<std::uint32_t>(members.size()) - 1)];
+        ++out.sends;
+        groups.send(gid, sender, [&out](const svc::GroupSendReport& r) {
+          ++out.reports;
+          for (const auto& d : r.destinations) {
+            ++out.owed;
+            switch (d.outcome) {
+              case svc::GroupOutcome::kDeliveredInView:
+                ++out.delivered_in_view;
+                break;
+              case svc::GroupOutcome::kEvicted:
+                ++out.evicted;
+                break;
+              case svc::GroupOutcome::kDropped:
+                ++out.dropped;
+                break;
+              case svc::GroupOutcome::kUnreachable:
+                ++out.unreachable;
+                break;
+            }
+          }
+        });
+      }
+      pump(t + 40e-6);
+    });
+  };
+  pump(0.0);
+
+  // Leave generous drain time so every send reaches a terminal report
+  // (the detector needs ~2ms to evict crash victims first).
+  sched.schedule_at(t_end + 10e-3, [&] { groups.stop(); });
+  sched.run();
+
+  out.stats = groups.stats();
+  out.stability_p99_us = registry.histogram("group.stability_latency_s").percentile(0.99) * 1e6;
+  return out;
+}
+
+void emit(mcnet::bench::JsonReporter& json, const std::string& series, double x,
+          const PointConfig& pc, const PointResult& r) {
+  std::printf("%s,%.0f,%u,%.0f,%u,%llu,%llu,%.4f,%.2f,%llu,%llu,%llu,%llu\n",
+              series.c_str(), x, pc.group_size, pc.churn_events_per_s, pc.window_size,
+              static_cast<unsigned long long>(r.sends),
+              static_cast<unsigned long long>(r.owed), r.rate(), r.stability_p99_us,
+              static_cast<unsigned long long>(r.stats.view_installs),
+              static_cast<unsigned long long>(r.stats.evictions),
+              static_cast<unsigned long long>(r.stats.false_positive_evictions),
+              static_cast<unsigned long long>(r.stats.window_stalls));
+  std::fflush(stdout);
+
+  obs::Json p = obs::Json::object();
+  p["x"] = obs::Json(x);
+  p["y"] = obs::Json(r.rate());
+  p["group_size"] = obs::Json(pc.group_size);
+  p["churn_events_per_s"] = obs::Json(pc.churn_events_per_s);
+  p["window_size"] = obs::Json(pc.window_size);
+  p["sends"] = obs::Json(r.sends);
+  p["owed"] = obs::Json(r.owed);
+  p["delivered_in_view"] = obs::Json(r.delivered_in_view);
+  p["evicted"] = obs::Json(r.evicted);
+  p["dropped"] = obs::Json(r.dropped);
+  p["unreachable"] = obs::Json(r.unreachable);
+  p["stability_p99_us"] = obs::Json(r.stability_p99_us);
+  p["view_installs"] = obs::Json(r.stats.view_installs);
+  p["evictions"] = obs::Json(r.stats.evictions);
+  p["false_positive_evictions"] = obs::Json(r.stats.false_positive_evictions);
+  p["window_stalls"] = obs::Json(r.stats.window_stalls);
+  p["app_deliveries"] = obs::Json(r.stats.app_deliveries);
+  json.add_point(series, std::move(p));
+}
+
+}  // namespace
+
+int main() {
+  mcnet::bench::JsonReporter json("bench_group_churn");
+  json.meta()["topology"] = mcnet::obs::Json(std::string("mesh2d_8x8"));
+  json.meta()["heartbeat_period_us"] = mcnet::obs::Json(200.0);
+  json.meta()["suspicion_min_timeout_us"] = mcnet::obs::Json(1600.0);
+
+  const std::uint32_t sends = mcnet::bench::scaled_runs(60);
+  std::printf(
+      "series,x,group_size,churn_events_per_s,window_size,sends,owed,"
+      "delivered_in_view_rate,stability_p99_us,view_installs,evictions,"
+      "false_positives,window_stalls\n");
+
+  // Delivered-in-view rate vs group size (fixed churn, window 8).
+  for (const std::uint32_t size : {4u, 8u, 16u, 32u}) {
+    PointConfig pc;
+    pc.group_size = size;
+    pc.churn_events_per_s = 2e3;
+    pc.sends = sends;
+    emit(json, "size", size, pc, run_point(pc));
+  }
+
+  // Delivered-in-view rate vs churn rate (fixed size 16, window 8).  The
+  // zero-churn point is the healthy baseline the smoke gate pins >= 0.99.
+  for (const double churn : {0.0, 1e3, 2e3, 4e3, 8e3}) {
+    PointConfig pc;
+    pc.churn_events_per_s = churn;
+    pc.sends = sends;
+    emit(json, "churn", churn, pc, run_point(pc));
+  }
+
+  // Delivered-in-view rate and stalls vs window size (fixed size, churn).
+  for (const std::uint32_t window : {1u, 2u, 4u, 8u, 16u}) {
+    PointConfig pc;
+    pc.window_size = window;
+    pc.churn_events_per_s = 2e3;
+    pc.sends = sends;
+    emit(json, "window", window, pc, run_point(pc));
+  }
+  return 0;
+}

@@ -1,0 +1,193 @@
+#include "service/churn.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+#include <stdexcept>
+#include <string>
+
+#include "evsim/random.hpp"
+#include "evsim/scheduler.hpp"
+#include "fault/fault_state.hpp"
+
+namespace mcnet::svc {
+
+void ChurnConfig::validate() const {
+  if (!(t_end_s >= t_begin_s) || !std::isfinite(t_begin_s) || !std::isfinite(t_end_s)) {
+    throw std::invalid_argument("ChurnConfig: t_end_s must be >= t_begin_s (got [" +
+                                std::to_string(t_begin_s) + ", " +
+                                std::to_string(t_end_s) + "))");
+  }
+  if (!(events_per_s > 0.0) || !std::isfinite(events_per_s)) {
+    throw std::invalid_argument("ChurnConfig.events_per_s must be positive and finite (got " +
+                                std::to_string(events_per_s) + ")");
+  }
+  const double weights[] = {join_weight, leave_weight, crash_weight, recover_weight};
+  double total = 0.0;
+  for (const double w : weights) {
+    if (w < 0.0 || !std::isfinite(w)) {
+      throw std::invalid_argument("ChurnConfig: event weights must be finite and >= 0");
+    }
+    total += w;
+  }
+  if (total <= 0.0) {
+    throw std::invalid_argument("ChurnConfig: at least one event weight must be positive");
+  }
+}
+
+ChurnSchedule ChurnSchedule::random(const std::vector<topo::NodeId>& initial_members,
+                                    const std::vector<topo::NodeId>& candidates,
+                                    const ChurnConfig& config) {
+  config.validate();
+  if (initial_members.empty()) {
+    throw std::invalid_argument("ChurnSchedule::random: empty initial member set");
+  }
+
+  // Simulated state the generator threads through the draw so every event
+  // is feasible when replayed in order.
+  std::set<topo::NodeId> members(initial_members.begin(), initial_members.end());
+  std::set<topo::NodeId> outside;
+  for (const topo::NodeId c : candidates) {
+    if (members.count(c) == 0) outside.insert(c);
+  }
+  std::set<topo::NodeId> crashed;
+
+  evsim::Rng rng(evsim::derive_seed(config.seed, 0x6368726eULL));  // "chrn"
+  ChurnSchedule out;
+  double t = config.t_begin_s;
+  for (;;) {
+    t += rng.exponential(1.0 / config.events_per_s);
+    if (t >= config.t_end_s) break;
+
+    // Weighted kind draw, then fall through the kinds in weight order
+    // until one is feasible; a draw with nothing feasible is skipped.
+    struct Option {
+      ChurnEvent::Kind kind;
+      double weight;
+    };
+    Option options[] = {
+        {ChurnEvent::Kind::kJoin, config.join_weight},
+        {ChurnEvent::Kind::kLeave, config.leave_weight},
+        {ChurnEvent::Kind::kCrash, config.crash_weight},
+        {ChurnEvent::Kind::kRecover, config.recover_weight},
+    };
+    double total = 0.0;
+    for (const Option& o : options) total += o.weight;
+    double pick = rng.uniform(0.0, total);
+    std::size_t first = 0;
+    for (; first + 1 < std::size(options); ++first) {
+      if (pick < options[first].weight) break;
+      pick -= options[first].weight;
+    }
+
+    const auto sample = [&rng](const std::set<topo::NodeId>& s) {
+      const std::uint32_t idx =
+          rng.uniform_int(0, static_cast<std::uint32_t>(s.size()) - 1);
+      return *std::next(s.begin(), idx);
+    };
+    const auto feasible = [&](ChurnEvent::Kind k) {
+      switch (k) {
+        case ChurnEvent::Kind::kJoin:
+          return !outside.empty();
+        case ChurnEvent::Kind::kLeave:
+          // Keep the group non-empty; only voluntary leaves of live
+          // members (a crashed member departs by eviction, not leave()).
+          for (const topo::NodeId m : members) {
+            if (crashed.count(m) == 0 && members.size() > 1) return true;
+          }
+          return false;
+        case ChurnEvent::Kind::kCrash:
+          for (const topo::NodeId m : members) {
+            if (crashed.count(m) == 0 && members.size() > 1) return true;
+          }
+          return false;
+        case ChurnEvent::Kind::kRecover:
+          return !crashed.empty();
+      }
+      return false;
+    };
+
+    ChurnEvent ev;
+    ev.time_s = t;
+    bool found = false;
+    for (std::size_t i = 0; i < std::size(options) && !found; ++i) {
+      const ChurnEvent::Kind k = options[(first + i) % std::size(options)].kind;
+      if (options[(first + i) % std::size(options)].weight <= 0.0) continue;
+      if (!feasible(k)) continue;
+      ev.kind = k;
+      found = true;
+    }
+    if (!found) continue;
+
+    switch (ev.kind) {
+      case ChurnEvent::Kind::kJoin:
+        ev.node = sample(outside);
+        outside.erase(ev.node);
+        members.insert(ev.node);
+        break;
+      case ChurnEvent::Kind::kLeave: {
+        std::set<topo::NodeId> live;
+        for (const topo::NodeId m : members) {
+          if (crashed.count(m) == 0) live.insert(m);
+        }
+        ev.node = sample(live);
+        members.erase(ev.node);
+        outside.insert(ev.node);
+        break;
+      }
+      case ChurnEvent::Kind::kCrash: {
+        std::set<topo::NodeId> live;
+        for (const topo::NodeId m : members) {
+          if (crashed.count(m) == 0) live.insert(m);
+        }
+        ev.node = sample(live);
+        crashed.insert(ev.node);
+        // The detector will evict it; model that departure so the
+        // generator's member set tracks the likely live view.
+        members.erase(ev.node);
+        outside.insert(ev.node);
+        break;
+      }
+      case ChurnEvent::Kind::kRecover:
+        ev.node = sample(crashed);
+        crashed.erase(ev.node);
+        break;
+    }
+    out.events.push_back(ev);
+  }
+  return out;
+}
+
+void schedule_churn(GroupService& groups, GroupId group, evsim::Scheduler& sched,
+                    const ChurnSchedule& schedule) {
+  for (const ChurnEvent& ev : schedule.events) {
+    sched.schedule_at(ev.time_s, [&groups, group, ev] {
+      worm::Network& net = groups.service().network();
+      switch (ev.kind) {
+        case ChurnEvent::Kind::kJoin:
+          // Skip if already a member (e.g. a crash the detector never
+          // evicted followed by recover+join).
+          if (!groups.view(group).contains(ev.node) &&
+              !net.fault_state()->node_failed(ev.node)) {
+            groups.join(group, ev.node);
+          }
+          break;
+        case ChurnEvent::Kind::kLeave:
+          // The detector may have (falsely) evicted the node already.
+          if (groups.view(group).contains(ev.node) &&
+              groups.view(group).members.size() > 1) {
+            groups.leave(group, ev.node);
+          }
+          break;
+        case ChurnEvent::Kind::kCrash:
+          net.fail_node(ev.node);
+          break;
+        case ChurnEvent::Kind::kRecover:
+          net.recover_node(ev.node);
+          break;
+      }
+    });
+  }
+}
+
+}  // namespace mcnet::svc

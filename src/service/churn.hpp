@@ -1,0 +1,75 @@
+// Seeded churn workloads for group-membership experiments: a
+// ChurnSchedule is a deterministic timeline of join / leave / crash /
+// recover events drawn from a base seed, and schedule_churn() replays it
+// against a GroupService -- joins and leaves through the membership API,
+// crashes and recoveries through the network's fault plumbing, so
+// detector-driven evictions and injected faults share one
+// fault::FaultState epoch timeline.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "service/group_service.hpp"
+
+namespace mcnet::evsim {
+class Scheduler;
+}
+
+namespace mcnet::svc {
+
+struct ChurnConfig {
+  /// Events are drawn in [t_begin_s, t_end_s) with exponential gaps of
+  /// mean 1 / events_per_s.
+  double t_begin_s = 0.0;
+  double t_end_s = 1e-3;
+  double events_per_s = 10e3;
+  /// Relative weights of the event kinds (all zero = no events).  Kinds
+  /// that are infeasible at draw time (nothing to crash, nobody outside
+  /// the group to join, ...) fall through to a feasible one.
+  double join_weight = 1.0;
+  double leave_weight = 1.0;
+  double crash_weight = 1.0;
+  double recover_weight = 1.0;
+  std::uint64_t seed = 1;
+
+  void validate() const;
+};
+
+struct ChurnEvent {
+  enum class Kind : std::uint8_t { kJoin, kLeave, kCrash, kRecover };
+  double time_s = 0.0;
+  Kind kind = Kind::kJoin;
+  topo::NodeId node = topo::kInvalidNode;
+};
+
+/// A fully materialised churn timeline (inspectable, replayable).
+struct ChurnSchedule {
+  std::vector<ChurnEvent> events;  // sorted by time
+
+  /// Draw a schedule over a group that starts as `initial_members`; joins
+  /// pull from `candidates` (nodes allowed to ever be members).  The
+  /// generator tracks the simulated member and crashed sets so every
+  /// event is feasible when replayed in order: it never leaves the group
+  /// empty, never crashes an already-crashed node, and never joins a
+  /// current member.
+  [[nodiscard]] static ChurnSchedule random(const std::vector<topo::NodeId>& initial_members,
+                                            const std::vector<topo::NodeId>& candidates,
+                                            const ChurnConfig& config);
+
+  [[nodiscard]] std::size_t count(ChurnEvent::Kind k) const {
+    std::size_t n = 0;
+    for (const ChurnEvent& e : events) n += e.kind == k ? 1 : 0;
+    return n;
+  }
+};
+
+/// Replay `schedule` against group `group` of `groups` on `sched`:
+/// kJoin/kLeave call the GroupService membership API (skipping events the
+/// live view has made redundant -- e.g. leaving a node the detector
+/// already evicted); kCrash/kRecover call Network::fail_node() /
+/// recover_node().
+void schedule_churn(GroupService& groups, GroupId group, evsim::Scheduler& sched,
+                    const ChurnSchedule& schedule);
+
+}  // namespace mcnet::svc

@@ -1,0 +1,704 @@
+#include "service/group_service.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+#include <string>
+
+#include "evsim/random.hpp"
+#include "fault/fault_state.hpp"
+#include "obs/metrics.hpp"
+
+namespace mcnet::svc {
+namespace {
+
+// Seed stream for heartbeat phase staggering: members of a group start
+// their heartbeat timers at distinct deterministic offsets inside one
+// period, so heartbeats do not all collide on the same injection instant.
+constexpr std::uint64_t kHeartbeatPhaseSeed = 0x67727068ULL;  // "grph"
+
+// EWMA weight for heartbeat interarrival smoothing.
+constexpr double kInterarrivalAlpha = 0.25;
+
+}  // namespace
+
+void GroupConfig::validate() const {
+  if (window_size == 0) {
+    throw std::invalid_argument("GroupConfig.window_size must be >= 1 (got 0)");
+  }
+  if (!(heartbeat_period_s > 0.0) || !std::isfinite(heartbeat_period_s)) {
+    throw std::invalid_argument(
+        "GroupConfig.heartbeat_period_s must be positive and finite (got " +
+        std::to_string(heartbeat_period_s) + ")");
+  }
+  if (!(sweep_period_s > 0.0) || !std::isfinite(sweep_period_s)) {
+    throw std::invalid_argument(
+        "GroupConfig.sweep_period_s must be positive and finite (got " +
+        std::to_string(sweep_period_s) + ")");
+  }
+  if (!(suspicion_min_timeout_s >= heartbeat_period_s) ||
+      !std::isfinite(suspicion_min_timeout_s)) {
+    throw std::invalid_argument(
+        "GroupConfig.suspicion_min_timeout_s must be finite and >= heartbeat_period_s "
+        "(got " +
+        std::to_string(suspicion_min_timeout_s) + " vs period " +
+        std::to_string(heartbeat_period_s) + ")");
+  }
+  if (!(phi_threshold >= 1.0) || !std::isfinite(phi_threshold)) {
+    throw std::invalid_argument("GroupConfig.phi_threshold must be finite and >= 1 (got " +
+                                std::to_string(phi_threshold) + ")");
+  }
+  retry.validate();
+}
+
+bool MembershipView::contains(topo::NodeId n) const {
+  return std::binary_search(members.begin(), members.end(), n);
+}
+
+GroupService::GroupService(MulticastService& service, GroupConfig config)
+    : service_(&service), sched_(&service.scheduler()), config_(config) {
+  if (!service.reliable_capable()) {
+    throw std::logic_error(
+        "GroupService requires a fault-aware MulticastService "
+        "(construct it from a FaultAwareRouter)");
+  }
+  config_.validate();
+}
+
+GroupService::Group& GroupService::group_at(GroupId group) {
+  const auto it = groups_.find(group);
+  if (it == groups_.end()) {
+    throw std::invalid_argument("GroupService: unknown group id " + std::to_string(group));
+  }
+  return it->second;
+}
+
+const GroupService::Group& GroupService::group_at(GroupId group) const {
+  const auto it = groups_.find(group);
+  if (it == groups_.end()) {
+    throw std::invalid_argument("GroupService: unknown group id " + std::to_string(group));
+  }
+  return it->second;
+}
+
+GroupId GroupService::create_group(std::vector<topo::NodeId> members) {
+  std::sort(members.begin(), members.end());
+  members.erase(std::unique(members.begin(), members.end()), members.end());
+  if (members.empty()) {
+    throw std::invalid_argument("GroupService::create_group: empty member set");
+  }
+  const std::size_t num_nodes = service_->topology().num_nodes();
+  for (const topo::NodeId m : members) {
+    if (m >= num_nodes) {
+      throw std::invalid_argument("GroupService::create_group: node " +
+                                  std::to_string(m) + " outside topology (num_nodes=" +
+                                  std::to_string(num_nodes) + ")");
+    }
+  }
+
+  const GroupId id = next_group_++;
+  Group& g = groups_[id];
+  g.id = id;
+  for (const topo::NodeId m : members) g.incarnation[m] = 1;
+  install_view(g, std::move(members));
+  for (const topo::NodeId m : g.view.members) start_heartbeat(id, m, 1);
+  schedule_sweep(id);
+  return id;
+}
+
+void GroupService::join(GroupId group, topo::NodeId node) {
+  Group& g = group_at(group);
+  if (node >= service_->topology().num_nodes()) {
+    throw std::invalid_argument("GroupService::join: node " + std::to_string(node) +
+                                " outside topology");
+  }
+  if (g.view.contains(node)) {
+    throw std::invalid_argument("GroupService::join: node " + std::to_string(node) +
+                                " is already a member of group " + std::to_string(group));
+  }
+  stats_.joins++;
+  if (metrics_.active()) metrics_.joins->inc();
+
+  const std::uint64_t inc = ++g.incarnation[node];
+  std::vector<topo::NodeId> members = g.view.members;
+  members.push_back(node);
+
+  // Reset the joiner's in-order streams at the current per-sender floors:
+  // the joiner owes/expects nothing from before it was a member, and its
+  // peers expect the joiner's next send, not its pre-leave backlog.
+  for (const topo::NodeId m : g.view.members) {
+    const auto sit = g.senders.find(m);
+    g.streams[{node, m}] = ReceiverStream{sit == g.senders.end() ? 0 : sit->second.next_seq, {}};
+    const auto nit = g.senders.find(node);
+    g.streams[{m, node}] = ReceiverStream{nit == g.senders.end() ? 0 : nit->second.next_seq, {}};
+  }
+
+  install_view(g, std::move(members));
+  start_heartbeat(group, node, inc);
+}
+
+void GroupService::leave(GroupId group, topo::NodeId node) {
+  Group& g = group_at(group);
+  if (!g.view.contains(node)) {
+    throw std::invalid_argument("GroupService::leave: node " + std::to_string(node) +
+                                " is not a member of group " + std::to_string(group));
+  }
+  stats_.leaves++;
+  if (metrics_.active()) metrics_.leaves->inc();
+
+  std::vector<topo::NodeId> members;
+  members.reserve(g.view.members.size() - 1);
+  for (const topo::NodeId m : g.view.members) {
+    if (m != node) members.push_back(m);
+  }
+  install_view(g, std::move(members));
+}
+
+void GroupService::install_view(Group& g, std::vector<topo::NodeId> members) {
+  std::sort(members.begin(), members.end());
+  members.erase(std::unique(members.begin(), members.end()), members.end());
+  const double now = sched_->now();
+  const auto& faults = *service_->network().fault_state();
+
+  MembershipView v;
+  v.id = g.view.id + 1;
+  v.members = std::move(members);
+  v.installed_at_s = now;
+  v.fault_epoch = faults.epoch();
+  g.view = v;
+  g.history.push_back(v);
+  stats_.view_installs++;
+  if (metrics_.active()) metrics_.view_installs->inc();
+
+  // Detector bookkeeping follows membership: departed members neither
+  // observe nor are observed; fresh pairs start with a full grace period.
+  for (auto it = g.detector.begin(); it != g.detector.end();) {
+    if (!v.contains(it->first)) {
+      it = g.detector.erase(it);
+      continue;
+    }
+    auto& row = it->second;
+    for (auto jt = row.begin(); jt != row.end();) {
+      if (!v.contains(jt->first)) {
+        jt = row.erase(jt);
+      } else {
+        ++jt;
+      }
+    }
+    ++it;
+  }
+  for (const topo::NodeId observer : v.members) {
+    auto& row = g.detector[observer];
+    for (const topo::NodeId subject : v.members) {
+      if (subject == observer) continue;
+      row.emplace(subject, HeartbeatTrack{now, 0.0, false});
+    }
+  }
+
+  // Announce the view as real traffic from the first live member (the
+  // coordinator when it is alive), so view changes contend for channels
+  // like any other control message.
+  topo::NodeId announcer = topo::kInvalidNode;
+  for (const topo::NodeId m : v.members) {
+    if (!faults.node_failed(m)) {
+      announcer = m;
+      break;
+    }
+  }
+  if (announcer != topo::kInvalidNode && v.members.size() >= 2) {
+    std::vector<topo::NodeId> peers;
+    peers.reserve(v.members.size() - 1);
+    for (const topo::NodeId m : v.members) {
+      if (m != announcer) peers.push_back(m);
+    }
+    stats_.view_messages++;
+    if (metrics_.active()) metrics_.view_messages->inc();
+    service_->multicast_reliable({announcer, std::move(peers)},
+                                 [](const DeliveryReport&) {}, config_.retry);
+  }
+
+  if (view_change_) view_change_(g.id, g.view);
+
+  // Re-evaluate in-flight messages: destinations no longer in the view
+  // (or re-joined under a new incarnation) stop being owed, so a window
+  // blocked on a dead receiver drains now instead of deadlocking.
+  std::vector<topo::NodeId> sender_ids;
+  sender_ids.reserve(g.senders.size());
+  for (const auto& [node, st] : g.senders) sender_ids.push_back(node);
+  for (const topo::NodeId s : sender_ids) {
+    SenderState& st = g.senders[s];
+    if (st.ring.empty()) continue;
+    for (SeqNum q = st.lowest_unstable; q < st.next_seq; ++q) {
+      const auto& slot = st.ring[q % config_.window_size];
+      if (!slot || slot->seq != q) continue;
+      const auto msg = slot;  // keep alive across finish calls
+      for (auto& [dest, ds] : msg->dests) {
+        if (ds.terminal) continue;
+        const auto iit = g.incarnation.find(dest);
+        const bool member = g.view.contains(dest) && iit != g.incarnation.end() &&
+                            iit->second == ds.incarnation;
+        if (!member) {
+          finish_destination(g, s, *msg, dest, GroupOutcome::kEvicted, -1.0);
+        }
+      }
+    }
+    advance_window(g, s, st);
+  }
+}
+
+void GroupService::start_heartbeat(GroupId group, topo::NodeId node,
+                                   std::uint64_t incarnation) {
+  evsim::Rng rng(evsim::derive_seed(kHeartbeatPhaseSeed + group,
+                                    (static_cast<std::uint64_t>(node) << 32) | incarnation));
+  const double phase = rng.uniform(0.0, config_.heartbeat_period_s);
+  sched_->schedule_in(phase, [this, group, node, incarnation] {
+    heartbeat_tick(group, node, incarnation);
+  });
+}
+
+void GroupService::heartbeat_tick(GroupId group, topo::NodeId node,
+                                  std::uint64_t incarnation) {
+  if (stopped_) return;
+  const auto it = groups_.find(group);
+  if (it == groups_.end()) return;
+  Group& g = it->second;
+  // The timer dies with the membership incarnation; a rejoin starts a
+  // fresh one.
+  const auto iit = g.incarnation.find(node);
+  if (!g.view.contains(node) || iit == g.incarnation.end() || iit->second != incarnation) {
+    return;
+  }
+
+  const auto& faults = *service_->network().fault_state();
+  // A failed node sends nothing (that silence is what the detector reads),
+  // but the timer keeps ticking so a recovered member resumes.
+  if (!faults.node_failed(node) && g.view.members.size() >= 2) {
+    std::vector<topo::NodeId> peers;
+    peers.reserve(g.view.members.size() - 1);
+    for (const topo::NodeId m : g.view.members) {
+      if (m != node) peers.push_back(m);
+    }
+    RetryPolicy hb;
+    hb.max_attempts = 1;  // a lost heartbeat is information, not an error
+    // A congestion-delayed heartbeat still proves liveness, so give the
+    // attempt several periods -- but abort well before the suspicion
+    // floor: fault-degraded routes may wedge the network (fault_router.hpp
+    // gives no deadlock-freedom guarantee under failures), and the abort
+    // is what releases the wedged channels so later heartbeats get
+    // through before the silence threshold trips.
+    hb.timeout_s = std::min(config_.suspicion_min_timeout_s,
+                            2.0 * config_.heartbeat_period_s);
+    hb.backoff_initial_s = config_.heartbeat_period_s;
+    hb.backoff_factor = 1.0;
+    stats_.heartbeats++;
+    if (metrics_.active()) metrics_.heartbeats->inc();
+    service_->multicast_reliable(
+        {node, std::move(peers)}, [](const DeliveryReport&) {}, hb,
+        [this, group, node](topo::NodeId dest, double /*latency_s*/) {
+          const auto git = groups_.find(group);
+          if (git != groups_.end()) {
+            record_heartbeat(git->second, dest, node, sched_->now());
+          }
+        });
+  }
+
+  sched_->schedule_in(config_.heartbeat_period_s, [this, group, node, incarnation] {
+    heartbeat_tick(group, node, incarnation);
+  });
+}
+
+void GroupService::record_heartbeat(Group& g, topo::NodeId observer, topo::NodeId subject,
+                                    double at) {
+  const auto rit = g.detector.find(observer);
+  if (rit == g.detector.end()) return;  // observer no longer a member
+  const auto tit = rit->second.find(subject);
+  if (tit == rit->second.end()) return;  // subject no longer a member
+  HeartbeatTrack& t = tit->second;
+  const double interval = at - t.last_heard;
+  if (interval > 0.0) {
+    t.smoothed_interval = t.smoothed_interval == 0.0
+                              ? interval
+                              : (1.0 - kInterarrivalAlpha) * t.smoothed_interval +
+                                    kInterarrivalAlpha * interval;
+  }
+  t.last_heard = at;
+  t.suspected = false;  // hearing from the subject clears the suspicion
+}
+
+void GroupService::schedule_sweep(GroupId group) {
+  sched_->schedule_in(config_.sweep_period_s, [this, group] { sweep_tick(group); });
+}
+
+void GroupService::sweep_tick(GroupId group) {
+  if (stopped_) return;
+  const auto it = groups_.find(group);
+  if (it == groups_.end()) return;
+  if (!it->second.view.members.empty()) detector_sweep(it->second);
+  schedule_sweep(group);
+}
+
+void GroupService::detector_sweep(Group& g) {
+  const double now = sched_->now();
+  const auto& faults = *service_->network().fault_state();
+
+  // Failed members neither gossip suspicions nor vote: their tracks have
+  // frozen, so counting them would eventually indict everyone.
+  std::map<topo::NodeId, std::size_t> votes;
+  std::size_t live = 0;
+  for (const topo::NodeId observer : g.view.members) {
+    if (faults.node_failed(observer)) continue;
+    ++live;
+    auto& row = g.detector[observer];
+    for (const topo::NodeId subject : g.view.members) {
+      if (subject == observer) continue;
+      const auto tit = row.find(subject);
+      if (tit == row.end()) continue;
+      HeartbeatTrack& t = tit->second;
+      const double silence = now - t.last_heard;
+      const double threshold =
+          std::max(config_.phi_threshold * t.smoothed_interval,
+                   config_.suspicion_min_timeout_s);
+      if (silence > threshold) {
+        if (!t.suspected) {
+          t.suspected = true;
+          stats_.suspicions++;
+          if (metrics_.active()) metrics_.suspicions->inc();
+        }
+        votes[subject]++;
+      }
+    }
+  }
+
+  // Evict subjects suspected by a strict majority of the live co-members.
+  std::vector<topo::NodeId> evicted;
+  for (const auto& [subject, n] : votes) {
+    const std::size_t voters = live - (faults.node_failed(subject) ? 0 : 1);
+    if (voters == 0) continue;
+    if (n * 2 > voters) evicted.push_back(subject);
+  }
+  if (evicted.empty()) return;
+
+  for (const topo::NodeId subject : evicted) {
+    stats_.evictions++;
+    if (metrics_.active()) metrics_.evictions->inc();
+    if (!faults.node_failed(subject)) {
+      stats_.false_positive_evictions++;
+      if (metrics_.active()) metrics_.false_positives->inc();
+    }
+  }
+  std::vector<topo::NodeId> members;
+  members.reserve(g.view.members.size());
+  for (const topo::NodeId m : g.view.members) {
+    if (!std::binary_search(evicted.begin(), evicted.end(), m)) members.push_back(m);
+  }
+  install_view(g, std::move(members));
+}
+
+SeqNum GroupService::send(GroupId group, topo::NodeId sender, ReportFn on_report) {
+  Group& g = group_at(group);
+  if (!g.view.contains(sender)) {
+    throw std::invalid_argument("GroupService::send: node " + std::to_string(sender) +
+                                " is not a member of group " + std::to_string(group));
+  }
+  SenderState& st = g.senders[sender];
+  if (st.ring.empty()) st.ring.resize(config_.window_size);
+
+  const SeqNum seq = st.next_seq++;
+  stats_.sends++;
+  if (metrics_.active()) metrics_.sends->inc();
+
+  if (st.queue.empty() && seq < st.lowest_unstable + config_.window_size) {
+    launch(g, sender, st, seq, std::move(on_report));
+    advance_window(g, sender, st);  // a destination-less send is stable at once
+  } else {
+    stats_.window_stalls++;
+    if (metrics_.active()) metrics_.window_stalls->inc();
+    st.queue.push_back(QueuedSend{seq, std::move(on_report)});
+    update_stalled(st);
+  }
+  return seq;
+}
+
+void GroupService::launch(Group& g, topo::NodeId sender, SenderState& st, SeqNum seq,
+                          ReportFn on_report) {
+  auto msg = std::make_shared<PendingMsg>();
+  msg->seq = seq;
+  msg->view = g.view.id;
+  msg->sent_at = sched_->now();
+  msg->on_report = std::move(on_report);
+
+  // The view may have emptied (or lost the sender) while this send sat in
+  // the queue; it then launches with whatever membership is left.
+  std::vector<topo::NodeId> dests;
+  dests.reserve(g.view.members.size());
+  for (const topo::NodeId m : g.view.members) {
+    if (m == sender) continue;
+    msg->dests.emplace(m, PendingMsg::Dest{g.incarnation[m], false,
+                                           GroupOutcome::kDropped, -1.0});
+    dests.push_back(m);
+  }
+  msg->open = msg->dests.size();
+  st.ring[seq % config_.window_size] = msg;
+  if (dests.empty()) return;  // singleton group: trivially stable
+
+  const GroupId gid = g.id;
+  service_->multicast_reliable(
+      {sender, std::move(dests)},
+      [this, gid, sender, seq](const DeliveryReport& r) {
+        reliable_report(gid, sender, seq, r);
+      },
+      config_.retry,
+      [this, gid, sender, seq](topo::NodeId dest, double latency_s) {
+        classify_delivery(gid, seq, sender, dest, latency_s);
+      });
+}
+
+void GroupService::classify_delivery(GroupId group, SeqNum seq, topo::NodeId sender,
+                                     topo::NodeId dest, double latency) {
+  const auto git = groups_.find(group);
+  if (git == groups_.end()) return;
+  Group& g = git->second;
+  const auto sit = g.senders.find(sender);
+  if (sit == g.senders.end()) return;
+  SenderState& st = sit->second;
+
+  const auto& slot = st.ring[seq % config_.window_size];
+  if (!slot || slot->seq != seq) {
+    // The message already stabilised (its owed set shrank under a view
+    // change); a delivery landing now is to an evicted member -- discard.
+    stats_.delivered_filtered++;
+    if (metrics_.active()) metrics_.delivered_filtered->inc();
+    return;
+  }
+  const auto msg = slot;
+  const auto dit = msg->dests.find(dest);
+  if (dit == msg->dests.end() || dit->second.terminal) {
+    stats_.delivered_filtered++;
+    if (metrics_.active()) metrics_.delivered_filtered->inc();
+    return;
+  }
+
+  const auto iit = g.incarnation.find(dest);
+  const bool member = g.view.contains(dest) && iit != g.incarnation.end() &&
+                      iit->second == dit->second.incarnation;
+  if (member) {
+    finish_destination(g, sender, *msg, dest, GroupOutcome::kDeliveredInView, latency);
+  } else {
+    stats_.delivered_filtered++;
+    if (metrics_.active()) metrics_.delivered_filtered->inc();
+    finish_destination(g, sender, *msg, dest, GroupOutcome::kEvicted, -1.0);
+  }
+  advance_window(g, sender, st);
+}
+
+void GroupService::reliable_report(GroupId group, topo::NodeId sender, SeqNum seq,
+                                   const DeliveryReport& report) {
+  const auto git = groups_.find(group);
+  if (git == groups_.end()) return;
+  Group& g = git->second;
+  const auto sit = g.senders.find(sender);
+  if (sit == g.senders.end()) return;
+  SenderState& st = sit->second;
+
+  const auto& slot = st.ring[seq % config_.window_size];
+  if (!slot || slot->seq != seq) return;  // already stable via evictions
+  const auto msg = slot;
+
+  for (const auto& d : report.destinations) {
+    const auto dit = msg->dests.find(d.node);
+    if (dit == msg->dests.end() || dit->second.terminal) continue;
+    switch (d.status) {
+      case DeliveryReport::Status::kDelivered: {
+        // Normally classified by the per-delivery callback; fall back to
+        // the same membership check here.
+        const auto iit = g.incarnation.find(d.node);
+        const bool member = g.view.contains(d.node) && iit != g.incarnation.end() &&
+                            iit->second == dit->second.incarnation;
+        finish_destination(g, sender, *msg, d.node,
+                           member ? GroupOutcome::kDeliveredInView
+                                  : GroupOutcome::kEvicted,
+                           member ? d.latency_s : -1.0);
+        break;
+      }
+      case DeliveryReport::Status::kDropped:
+        finish_destination(g, sender, *msg, d.node, GroupOutcome::kDropped, -1.0);
+        break;
+      case DeliveryReport::Status::kUnreachable:
+        finish_destination(g, sender, *msg, d.node, GroupOutcome::kUnreachable, -1.0);
+        break;
+    }
+  }
+  advance_window(g, sender, st);
+}
+
+void GroupService::finish_destination(Group& g, topo::NodeId sender, PendingMsg& msg,
+                                      topo::NodeId dest, GroupOutcome outcome,
+                                      double latency) {
+  const auto dit = msg.dests.find(dest);
+  if (dit == msg.dests.end() || dit->second.terminal) return;
+  dit->second.terminal = true;
+  dit->second.outcome = outcome;
+  dit->second.latency_s = latency;
+  --msg.open;
+
+  switch (outcome) {
+    case GroupOutcome::kDeliveredInView:
+      stats_.delivered_in_view++;
+      if (metrics_.active()) {
+        metrics_.delivered_in_view->inc();
+        metrics_.delivery_latency_s->record(latency);
+      }
+      stream_update(g, dest, sender, msg.seq, true);
+      break;
+    case GroupOutcome::kDropped:
+      stats_.dropped++;
+      if (metrics_.active()) metrics_.dropped->inc();
+      stream_update(g, dest, sender, msg.seq, false);
+      break;
+    case GroupOutcome::kUnreachable:
+      stats_.unreachable++;
+      if (metrics_.active()) metrics_.unreachable->inc();
+      stream_update(g, dest, sender, msg.seq, false);
+      break;
+    case GroupOutcome::kEvicted:
+      stream_update(g, dest, sender, msg.seq, false);
+      break;
+  }
+}
+
+void GroupService::advance_window(Group& g, topo::NodeId sender, SenderState& st) {
+  if (st.ring.empty()) {
+    update_stalled(st);
+    return;
+  }
+  const std::uint32_t w = config_.window_size;
+  for (;;) {
+    bool progressed = false;
+    if (st.lowest_unstable < st.next_seq) {
+      auto& slot = st.ring[st.lowest_unstable % w];
+      if (slot && slot->seq == st.lowest_unstable && slot->open == 0) {
+        const auto msg = slot;
+        slot.reset();
+        ++st.lowest_unstable;
+        fire_report(g, sender, *msg);
+        progressed = true;
+      }
+    }
+    if (!st.queue.empty() && st.queue.front().seq < st.lowest_unstable + w) {
+      QueuedSend q = std::move(st.queue.front());
+      st.queue.pop_front();
+      launch(g, sender, st, q.seq, std::move(q.on_report));
+      progressed = true;
+    }
+    if (!progressed) break;
+  }
+  update_stalled(st);
+}
+
+void GroupService::fire_report(Group& g, topo::NodeId sender, const PendingMsg& msg) {
+  GroupSendReport r;
+  r.group = g.id;
+  r.sender = sender;
+  r.seq = msg.seq;
+  r.view = msg.view;
+  r.sent_at_s = msg.sent_at;
+  r.stable_at_s = sched_->now();
+  r.destinations.reserve(msg.dests.size());
+  r.stable_in_view = true;
+  for (const auto& [node, ds] : msg.dests) {
+    r.destinations.push_back(GroupSendReport::Destination{node, ds.outcome, ds.latency_s});
+    // A destination still in the group that did not get the message in
+    // view breaks virtual-synchrony stability; one that departed does not.
+    const auto iit = g.incarnation.find(node);
+    const bool still_member = g.view.contains(node) && iit != g.incarnation.end() &&
+                              iit->second == ds.incarnation;
+    if (still_member && ds.outcome != GroupOutcome::kDeliveredInView) {
+      r.stable_in_view = false;
+    }
+  }
+  if (r.stable_in_view && metrics_.active()) {
+    metrics_.stability_latency_s->record(r.stable_at_s - r.sent_at_s);
+  }
+  if (msg.on_report) msg.on_report(r);
+}
+
+void GroupService::stream_update(Group& g, topo::NodeId receiver, topo::NodeId sender,
+                                 SeqNum seq, bool deliverable) {
+  auto& stream = g.streams[{receiver, sender}];
+  if (seq < stream.next) return;  // before this receiver's join floor
+  stream.pending[seq] = deliverable;
+  while (!stream.pending.empty() && stream.pending.begin()->first == stream.next) {
+    const bool ok = stream.pending.begin()->second;
+    stream.pending.erase(stream.pending.begin());
+    ++stream.next;
+    if (ok && g.view.contains(receiver)) {
+      stats_.app_deliveries++;
+      if (metrics_.active()) metrics_.app_deliveries->inc();
+      if (app_delivery_) app_delivery_(g.id, receiver, sender, stream.next - 1, g.view.id);
+    }
+  }
+}
+
+void GroupService::update_stalled(SenderState& st) {
+  const bool stalled = !st.queue.empty();
+  if (stalled == st.counted_stalled) return;
+  st.counted_stalled = stalled;
+  if (stalled) {
+    ++stalled_senders_;
+  } else {
+    --stalled_senders_;
+  }
+  if (metrics_.active()) {
+    metrics_.window_stalled->set(static_cast<double>(stalled_senders_));
+  }
+}
+
+const MembershipView& GroupService::view(GroupId group) const {
+  return group_at(group).view;
+}
+
+const std::vector<MembershipView>& GroupService::view_history(GroupId group) const {
+  return group_at(group).history;
+}
+
+std::size_t GroupService::in_flight(GroupId group, topo::NodeId sender) const {
+  const Group& g = group_at(group);
+  const auto sit = g.senders.find(sender);
+  if (sit == g.senders.end()) return 0;
+  std::size_t n = 0;
+  for (const auto& slot : sit->second.ring) n += slot ? 1 : 0;
+  return n;
+}
+
+std::size_t GroupService::queued(GroupId group, topo::NodeId sender) const {
+  const Group& g = group_at(group);
+  const auto sit = g.senders.find(sender);
+  return sit == g.senders.end() ? 0 : sit->second.queue.size();
+}
+
+void GroupService::set_metrics(obs::MetricsRegistry* registry) {
+  if (registry == nullptr) {
+    metrics_ = Metrics{};
+    return;
+  }
+  metrics_.view_installs = &registry->counter("group.view_installs");
+  metrics_.joins = &registry->counter("group.joins");
+  metrics_.leaves = &registry->counter("group.leaves");
+  metrics_.suspicions = &registry->counter("group.suspicions");
+  metrics_.evictions = &registry->counter("group.evictions");
+  metrics_.false_positives = &registry->counter("group.false_positive_evictions");
+  metrics_.sends = &registry->counter("group.sends");
+  metrics_.window_stalls = &registry->counter("group.window_stalls");
+  metrics_.heartbeats = &registry->counter("group.heartbeats");
+  metrics_.view_messages = &registry->counter("group.view_messages");
+  metrics_.delivered_in_view = &registry->counter("group.delivered_in_view");
+  metrics_.delivered_filtered = &registry->counter("group.delivered_filtered");
+  metrics_.dropped = &registry->counter("group.dropped");
+  metrics_.unreachable = &registry->counter("group.unreachable");
+  metrics_.app_deliveries = &registry->counter("group.app_deliveries");
+  metrics_.window_stalled = &registry->gauge("group.window_stalled");
+  metrics_.stability_latency_s = &registry->histogram("group.stability_latency_s");
+  metrics_.delivery_latency_s = &registry->histogram("group.delivery_latency_s");
+}
+
+}  // namespace mcnet::svc

@@ -3,14 +3,39 @@
 #include <algorithm>
 #include <cmath>
 #include <stdexcept>
+#include <string>
 #include <unordered_set>
 
 #include "core/router.hpp"
+#include "evsim/random.hpp"
 #include "fault/fault_router.hpp"
 #include "obs/metrics.hpp"
 #include "wormhole/worm.hpp"
 
 namespace mcnet::svc {
+
+void RetryPolicy::validate() const {
+  if (max_attempts == 0) {
+    throw std::invalid_argument("RetryPolicy.max_attempts must be >= 1 (got 0)");
+  }
+  if (!(timeout_s > 0.0) || !std::isfinite(timeout_s)) {
+    throw std::invalid_argument("RetryPolicy.timeout_s must be positive and finite (got " +
+                                std::to_string(timeout_s) + ")");
+  }
+  if (!(backoff_initial_s > 0.0) || !std::isfinite(backoff_initial_s)) {
+    throw std::invalid_argument(
+        "RetryPolicy.backoff_initial_s must be positive and finite (got " +
+        std::to_string(backoff_initial_s) + ")");
+  }
+  if (!(backoff_factor >= 1.0) || !std::isfinite(backoff_factor)) {
+    throw std::invalid_argument("RetryPolicy.backoff_factor must be >= 1 (got " +
+                                std::to_string(backoff_factor) + ")");
+  }
+  if (!(jitter >= 0.0 && jitter < 1.0)) {
+    throw std::invalid_argument("RetryPolicy.jitter must be in [0, 1) (got " +
+                                std::to_string(jitter) + ")");
+  }
+}
 
 /// One reliable multicast from first attempt to final report.
 struct MulticastService::ReliableOp {
@@ -18,10 +43,13 @@ struct MulticastService::ReliableOp {
   topo::NodeId source = 0;
   RetryPolicy policy;
   ReportFn on_report;
+  DeliveryFn on_delivery;
   std::size_t total = 0;  // destinations awaiting a terminal status
   std::unordered_map<topo::NodeId, DeliveryReport::Destination> final_;
   std::uint32_t attempts_used = 0;
   bool reported = false;
+  /// Per-operation jitter stream (used only when policy.jitter > 0).
+  evsim::Rng jitter_rng{0};
 };
 
 /// Live state of one attempt: which destinations it still owes.
@@ -33,7 +61,10 @@ struct MulticastService::AttemptTrack {
 void MulticastService::reliable_finalize(ReliableOp& op, topo::NodeId node,
                                          DeliveryReport::Status status,
                                          std::uint32_t attempt, double latency_s) {
-  op.final_[node] = DeliveryReport::Destination{node, status, attempt, latency_s};
+  // First terminal status wins: a destination delivered on attempt n keeps
+  // that attempt count and status even if a later code path re-finalizes it
+  // (emplace never overwrites an existing entry).
+  op.final_.emplace(node, DeliveryReport::Destination{node, status, attempt, latency_s});
 }
 
 MulticastService::MulticastService(const mcast::Router& router,
@@ -116,10 +147,16 @@ MulticastService::Handle MulticastService::multicast(const mcast::MulticastReque
   if (metrics_.active()) metrics_.multicasts->inc();
   const mcast::MulticastRequest req = request.normalized(topology_->num_nodes());
   const mcast::MulticastRoute route = route_(req);
-  const Handle h = network_->inject(specs_(route));
+  // Register the callbacks under the id inject() is about to assign BEFORE
+  // injecting: when every worm dies at injection time (route crossing
+  // already-failed hardware), on_message_done fires synchronously inside
+  // inject() and a late registration would silently drop the callback.
+  const Handle h = network_->messages_injected();
   if (on_delivery || on_done) {
     pending_[h] = Pending{std::move(on_delivery), std::move(on_done)};
   }
+  const Handle injected = network_->inject(specs_(route));
+  (void)injected;  // == h: message ids are assigned sequentially
   return h;
 }
 
@@ -134,29 +171,31 @@ std::vector<MulticastService::Handle> MulticastService::multicast_many(
     // behaviour identical.
     for (const mcast::MulticastRequest& request : requests) {
       const mcast::MulticastRequest req = request.normalized(topology_->num_nodes());
-      const Handle h = network_->inject(specs_(route_(req)));
+      const Handle h = network_->messages_injected();
       if (on_delivery || on_done) pending_[h] = Pending{on_delivery, on_done};
+      (void)network_->inject(specs_(route_(req)));
       handles.push_back(h);
     }
     return handles;
   }
   const mcast::RouteBatch batch = router_->route_many(requests);
   for (std::size_t i = 0; i < batch.size(); ++i) {
-    const Handle h = network_->inject(router_->batch_specs(batch, i));
+    const Handle h = network_->messages_injected();
     if (on_delivery || on_done) pending_[h] = Pending{on_delivery, on_done};
+    (void)network_->inject(router_->batch_specs(batch, i));
     handles.push_back(h);
   }
   return handles;
 }
 
 std::uint64_t MulticastService::multicast_reliable(const mcast::MulticastRequest& request,
-                                                   ReportFn on_report, RetryPolicy policy) {
+                                                   ReportFn on_report, RetryPolicy policy,
+                                                   DeliveryFn on_delivery) {
   if (fault_router_ == nullptr) {
     throw std::logic_error(
         "multicast_reliable needs the FaultAwareRouter constructor (no fault state bound)");
   }
-  if (policy.max_attempts == 0) throw std::invalid_argument("retry policy needs >= 1 attempt");
-  if (policy.timeout_s <= 0.0) throw std::invalid_argument("retry timeout must be positive");
+  policy.validate();
 
   const mcast::MulticastRequest req = request.normalized(topology_->num_nodes());
   auto op = std::make_shared<ReliableOp>();
@@ -164,7 +203,9 @@ std::uint64_t MulticastService::multicast_reliable(const mcast::MulticastRequest
   op->source = req.source;
   op->policy = policy;
   op->on_report = std::move(on_report);
+  op->on_delivery = std::move(on_delivery);
   op->total = req.destinations.size();
+  op->jitter_rng = evsim::Rng(evsim::derive_seed(policy.jitter_seed, op->id));
   reliable_attempt(op, req.destinations, 1);
   return op->id;
 }
@@ -234,14 +275,18 @@ void MulticastService::reliable_attempt(const std::shared_ptr<ReliableOp>& op,
     reliable_attempt_done(op, att, attempt);
     return;
   }
-  const Handle h = network_->inject(std::move(specs));
+  // Register before injecting: a fully-killed-at-injection message fires
+  // on_message_done synchronously inside inject().
+  const Handle h = network_->messages_injected();
   pending_[h] = Pending{
       [op, att, attempt](topo::NodeId dest, double latency) {
         if (att->settled || att->remaining.erase(dest) == 0) return;
         reliable_finalize(*op, dest, DeliveryReport::Status::kDelivered, attempt,
                              latency);
+        if (op->on_delivery) op->on_delivery(dest, latency);
       },
       [this, op, att, attempt](double) { reliable_attempt_done(op, att, attempt); }};
+  (void)network_->inject(std::move(specs));
 
   // Timeout backstop: whatever is still in flight when it expires is
   // aborted, which drops the undelivered destinations and fires the done
@@ -272,8 +317,13 @@ void MulticastService::reliable_attempt_done(const std::shared_ptr<ReliableOp>& 
     reliable_maybe_report(op);
     return;
   }
-  const double delay = op->policy.backoff_initial_s *
-                       std::pow(op->policy.backoff_factor, static_cast<double>(attempt - 1));
+  double delay = op->policy.backoff_initial_s *
+                 std::pow(op->policy.backoff_factor, static_cast<double>(attempt - 1));
+  if (op->policy.jitter > 0.0) {
+    // Deterministic desynchronisation: scale by [1 - j, 1 + j) from the
+    // per-operation stream, so ops that dropped together retry spread out.
+    delay *= op->jitter_rng.uniform(1.0 - op->policy.jitter, 1.0 + op->policy.jitter);
+  }
   sched_->schedule_in(delay, [this, op, failed, attempt] {
     reliable_attempt(op, failed, attempt + 1);
   });

@@ -47,8 +47,8 @@ using RoutePolicy = std::function<mcast::MulticastRoute(const mcast::MulticastRe
 using SpecPolicy = std::function<std::vector<worm::WormSpec>(const mcast::MulticastRoute&)>;
 
 /// Retry/backoff policy for multicast_reliable().  All times are simulated
-/// seconds; the backoff sequence is deterministic (no jitter), so runs
-/// replay exactly.
+/// seconds; the backoff sequence (jitter included) is fully determined by
+/// the policy and the operation id, so runs replay exactly.
 struct RetryPolicy {
   /// Total attempts per destination (1 = no retry).
   std::uint32_t max_attempts = 4;
@@ -59,6 +59,19 @@ struct RetryPolicy {
   /// backoff_initial_s * backoff_factor^(n-1).
   double backoff_initial_s = 50e-6;
   double backoff_factor = 2.0;
+  /// Retry jitter fraction in [0, 1): each backoff delay is scaled by a
+  /// factor drawn uniformly from [1 - jitter, 1 + jitter) on a stream
+  /// seeded by (jitter_seed, operation id).  Senders whose messages drop
+  /// at the same instant then retry desynchronised instead of re-colliding
+  /// in lock-step (self-incast), while every run still replays exactly.
+  double jitter = 0.0;
+  std::uint64_t jitter_seed = 0x6d636e6574ULL;  // "mcnet"
+
+  /// Throws std::invalid_argument naming the offending field when the
+  /// policy cannot drive a terminating retry loop: max_attempts == 0,
+  /// non-positive (or non-finite) timeout_s / backoff_initial_s,
+  /// backoff_factor < 1, or jitter outside [0, 1).
+  void validate() const;
 };
 
 /// Per-destination outcome of a reliable multicast.
@@ -145,10 +158,20 @@ class MulticastService {
   /// exponential backoff for dropped destinations, unreachable reporting
   /// for partitioned ones.  `on_report` fires exactly once, when every
   /// destination reached a terminal status; the simulation never hangs on
-  /// a reliable message.  Requires the FaultAwareRouter constructor
-  /// (throws std::logic_error otherwise).  Returns an operation id.
+  /// a reliable message.  `on_delivery` (optional) fires once per
+  /// destination at the moment its first counted delivery lands, before
+  /// the final report.  Requires the FaultAwareRouter constructor (throws
+  /// std::logic_error otherwise).  Returns an operation id.
   std::uint64_t multicast_reliable(const mcast::MulticastRequest& request,
-                                   ReportFn on_report, RetryPolicy policy = {});
+                                   ReportFn on_report, RetryPolicy policy = {},
+                                   DeliveryFn on_delivery = {});
+
+  /// True when this service was wired through a FaultAwareRouter, i.e.
+  /// multicast_reliable() is available.
+  [[nodiscard]] bool reliable_capable() const { return fault_router_ != nullptr; }
+
+  [[nodiscard]] evsim::Scheduler& scheduler() { return *sched_; }
+  [[nodiscard]] const topo::Topology& topology() const { return *topology_; }
 
   /// One-destination convenience.
   Handle unicast(topo::NodeId source, topo::NodeId destination, DoneFn on_done = {});

@@ -3,6 +3,8 @@
 // (timeout, retry/backoff, delivery reports).
 #include <gtest/gtest.h>
 
+#include <string>
+#include <utility>
 #include <vector>
 
 #include "evsim/random.hpp"
@@ -197,6 +199,171 @@ TEST(FaultService, TimeoutAbortsBlockedAttemptAndReportsDropped) {
   EXPECT_NEAR(report.finished_at_s, 20e-6, 1e-9);  // settled by the timeout
   EXPECT_TRUE(fx.service.network().idle());
   EXPECT_EQ(fx.service.network().worms_killed(), 1u);
+}
+
+TEST(FaultService, RetryPolicyValidationNamesTheField) {
+  const auto message_of = [](svc::RetryPolicy p) {
+    try {
+      p.validate();
+    } catch (const std::invalid_argument& e) {
+      return std::string(e.what());
+    }
+    return std::string();
+  };
+
+  svc::RetryPolicy p;
+  EXPECT_EQ(message_of(p), "");  // defaults are valid
+
+  p = svc::RetryPolicy{};
+  p.max_attempts = 0;
+  EXPECT_NE(message_of(p).find("max_attempts"), std::string::npos);
+
+  p = svc::RetryPolicy{};
+  p.timeout_s = 0.0;
+  EXPECT_NE(message_of(p).find("timeout_s"), std::string::npos);
+  p.timeout_s = -1.0;
+  EXPECT_NE(message_of(p).find("timeout_s"), std::string::npos);
+
+  p = svc::RetryPolicy{};
+  p.backoff_initial_s = 0.0;
+  EXPECT_NE(message_of(p).find("backoff_initial_s"), std::string::npos);
+
+  p = svc::RetryPolicy{};
+  p.backoff_factor = 0.5;
+  EXPECT_NE(message_of(p).find("backoff_factor"), std::string::npos);
+
+  p = svc::RetryPolicy{};
+  p.jitter = 1.0;
+  EXPECT_NE(message_of(p).find("jitter"), std::string::npos);
+  p.jitter = -0.1;
+  EXPECT_NE(message_of(p).find("jitter"), std::string::npos);
+}
+
+// Attempt accounting: a destination delivered on attempt n after earlier
+// timeouts must report attempts == n, not 1.
+TEST(FaultService, AttemptCountSurvivesEarlierTimeouts) {
+  // Two nodes, one link.  Three bulk messages occupy the only channel for
+  // ~300us; the reliable message times out twice and lands on attempt 3.
+  worm::WormholeParams params;
+  params.message_flits = 2000;
+  Fixture fx(2, 1, params);
+
+  fx.service.multicast({0, {1}});
+  fx.service.multicast({0, {1}});
+  fx.service.multicast({0, {1}});
+
+  svc::RetryPolicy policy;
+  policy.max_attempts = 5;
+  policy.timeout_s = 150e-6;
+  policy.backoff_initial_s = 50e-6;
+  svc::DeliveryReport report;
+  std::vector<std::pair<topo::NodeId, double>> deliveries;
+  fx.service.multicast_reliable(
+      {0, {1}}, [&](const svc::DeliveryReport& r) { report = r; }, policy,
+      [&](topo::NodeId dest, double latency) { deliveries.emplace_back(dest, latency); });
+  fx.sched.run();
+
+  ASSERT_EQ(report.destinations.size(), 1u);
+  EXPECT_EQ(report.destinations[0].status, Status::kDelivered);
+  EXPECT_EQ(report.destinations[0].attempts, 3u);
+  EXPECT_EQ(report.attempts_used, 3u);
+  // The per-delivery callback fired exactly once, before the report.
+  ASSERT_EQ(deliveries.size(), 1u);
+  EXPECT_EQ(deliveries[0].first, 1u);
+  EXPECT_GT(deliveries[0].second, 0.0);
+}
+
+TEST(FaultService, PerDestinationAttemptsAreIndependent) {
+  // Path 0-1-2, source 1.  Bulk traffic blocks 1->2, so destination 2
+  // needs a retry while destination 0 delivers on attempt 1; the report
+  // must keep the two attempt counts apart.
+  worm::WormholeParams params;
+  params.message_flits = 2000;
+  Fixture fx(3, 1, params);
+
+  fx.service.multicast({1, {2}});
+  fx.service.multicast({1, {2}});
+
+  svc::RetryPolicy policy;
+  policy.max_attempts = 5;
+  policy.timeout_s = 150e-6;
+  policy.backoff_initial_s = 50e-6;
+  svc::DeliveryReport report;
+  fx.service.multicast_reliable({1, {0, 2}},
+                                [&](const svc::DeliveryReport& r) { report = r; }, policy);
+  fx.sched.run();
+
+  ASSERT_EQ(report.destinations.size(), 2u);
+  EXPECT_EQ(report.destinations[0].node, 0u);
+  EXPECT_EQ(report.destinations[0].status, Status::kDelivered);
+  EXPECT_EQ(report.destinations[0].attempts, 1u);
+  EXPECT_EQ(report.destinations[1].node, 2u);
+  EXPECT_EQ(report.destinations[1].status, Status::kDelivered);
+  EXPECT_EQ(report.destinations[1].attempts, 2u);
+  EXPECT_EQ(report.attempts_used, 2u);
+}
+
+// Regression: Network::inject() completes a message synchronously when
+// every worm dies at injection (route through already-failed hardware via
+// a non-fault-aware router).  The service must pre-register its callbacks
+// or the completion is silently lost and the done callback never fires.
+TEST(FaultService, SynchronousInjectDeathStillFiresCallbacks) {
+  const topo::Mesh2D mesh(3, 1);
+  const auto plain = mcast::make_router(mesh, Algorithm::kDualPath);
+  evsim::Scheduler sched;
+  svc::MulticastService service(*plain, worm::WormholeParams{}, sched);
+
+  // The plain router does not see faults, so the route 0->1->2 crosses the
+  // failed middle node and every worm is killed inside inject().
+  service.network().fail_node(1);
+
+  bool done = false;
+  int delivered = 0;
+  service.multicast({0, {2}}, [&](topo::NodeId, double) { ++delivered; },
+                    [&](double) { done = true; });
+  sched.run();
+
+  EXPECT_TRUE(done);  // previously lost: the completion fired mid-inject
+  EXPECT_EQ(delivered, 0);
+  EXPECT_TRUE(service.network().idle());
+}
+
+// Backoff jitter: deterministic per (jitter_seed, operation), and it must
+// actually move the retry instants.
+TEST(FaultService, RetryJitterIsDeterministicAndSpreadsBackoff) {
+  const auto finish_time = [](double jitter, std::uint64_t seed) {
+    worm::WormholeParams params;
+    params.message_flits = 4000;  // blocks the only link past every retry
+    Fixture fx(2, 1, params);
+    fx.service.multicast({0, {1}});
+
+    svc::RetryPolicy policy;
+    policy.max_attempts = 3;
+    policy.timeout_s = 20e-6;
+    policy.backoff_initial_s = 40e-6;
+    policy.backoff_factor = 2.0;
+    policy.jitter = jitter;
+    policy.jitter_seed = seed;
+    double finished = -1.0;
+    fx.service.multicast_reliable(
+        {0, {1}}, [&](const svc::DeliveryReport& r) { finished = r.finished_at_s; },
+        policy);
+    fx.sched.run_until(1e-3);
+    return finished;
+  };
+
+  // No jitter: timeouts at 20us + backoffs of 40us and 80us => 180us.
+  EXPECT_NEAR(finish_time(0.0, 1), 180e-6, 1e-9);
+
+  const double a = finish_time(0.4, 1);
+  const double b = finish_time(0.4, 1);
+  const double c = finish_time(0.4, 2);
+  EXPECT_EQ(a, b);        // same seed: exact replay
+  EXPECT_NE(a, c);        // different seed: different backoff draws
+  EXPECT_NE(a, 180e-6);   // jitter actually moved the schedule
+  // Total delay stays within the +-40% envelope of the 120us of backoff.
+  EXPECT_GT(a, 60e-6 + 0.6 * 120e-6 - 1e-9);
+  EXPECT_LT(a, 60e-6 + 1.4 * 120e-6 + 1e-9);
 }
 
 TEST(FaultService, ReliableRequiresFaultRouter) {

@@ -1,0 +1,244 @@
+// Property test: group multicast under seeded churn.  Across seeds and
+// topologies, every send resolves to exactly one report with a terminal
+// outcome per destination, no application delivery ever lands on a node
+// that is not a member at delivery time, view ids advance by one with a
+// nondecreasing fault epoch, and sender windows always drain (the stall
+// gauge returns to zero once the final views install).
+#include <gtest/gtest.h>
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <set>
+#include <tuple>
+#include <vector>
+
+#include "evsim/scheduler.hpp"
+#include "fault/fault_router.hpp"
+#include "service/churn.hpp"
+#include "service/group_service.hpp"
+#include "topology/hypercube.hpp"
+#include "topology/mesh2d.hpp"
+
+namespace {
+
+using namespace mcnet;
+
+struct ChurnRun {
+  std::uint64_t sends = 0;
+  std::uint64_t reports = 0;
+  std::uint64_t app_deliveries = 0;
+  svc::GroupService::Stats stats;
+  std::vector<std::tuple<svc::ViewId, std::size_t, std::uint64_t>> history;
+};
+
+ChurnRun run_churn(const topo::Topology& topology, std::uint64_t seed) {
+  auto faults = std::make_shared<fault::FaultState>(topology);
+  auto router =
+      fault::make_fault_aware_router(topology, mcast::Algorithm::kDualPath, faults);
+  evsim::Scheduler sched;
+  svc::MulticastService service(*router, worm::WormholeParams{}, sched);
+  svc::GroupConfig cfg;
+  cfg.window_size = 4;
+  svc::GroupService groups(service, cfg);
+
+  const auto n = static_cast<topo::NodeId>(topology.num_nodes());
+  std::vector<topo::NodeId> init;
+  for (topo::NodeId i = 0; i < n / 2; ++i) init.push_back(i);
+  std::vector<topo::NodeId> cand;
+  for (topo::NodeId i = 0; i < n; ++i) cand.push_back(i);
+  const auto gid = groups.create_group(init);
+
+  svc::ChurnConfig cc;
+  cc.t_begin_s = 100e-6;
+  cc.t_end_s = 2.5e-3;
+  cc.events_per_s = 4e3;
+  cc.seed = seed;
+  const auto schedule = svc::ChurnSchedule::random(init, cand, cc);
+  schedule_churn(groups, gid, sched, schedule);
+
+  ChurnRun out;
+
+  // Every application delivery must land on a current member, in
+  // per-(receiver, sender) sequence order.
+  std::map<std::pair<topo::NodeId, topo::NodeId>, svc::SeqNum> stream_floor;
+  groups.on_app_delivery([&](svc::GroupId g, topo::NodeId recv, topo::NodeId snd,
+                             svc::SeqNum seq, svc::ViewId) {
+    ++out.app_deliveries;
+    EXPECT_TRUE(groups.view(g).contains(recv))
+        << "delivery to evicted node " << recv << " (seed " << seed << ")";
+    auto& floor = stream_floor[{recv, snd}];
+    EXPECT_GE(seq, floor) << "stream went backwards at node " << recv;
+    floor = seq + 1;
+  });
+
+  // Steady sends from a rotating live member while churn runs.
+  evsim::Rng rng(evsim::derive_seed(seed, 0x73656e64ULL));  // "send"
+  std::function<void(double)> pump = [&](double t) {
+    if (t >= cc.t_end_s) return;
+    sched.schedule_at(t, [&groups, gid, &out, &rng, &pump, t, seed] {
+      const auto& members = groups.view(gid).members;
+      if (!members.empty()) {
+        const topo::NodeId sender =
+            members[rng.uniform_int(0, static_cast<std::uint32_t>(members.size()) - 1)];
+        const svc::ViewId sent_view = groups.view(gid).id;
+        ++out.sends;
+        groups.send(gid, sender, [&out, sent_view, seed](const svc::GroupSendReport& r) {
+          ++out.reports;
+          // A queued send launches under the then-current view, which is
+          // never older than the view at send() time.
+          EXPECT_GE(r.view, sent_view) << "seed " << seed;
+          for (const auto& d : r.destinations) {
+            // Terminal outcome for every destination: delivered while a
+            // member, or explicitly evicted / dropped / unreachable.
+            const bool terminal = d.outcome == svc::GroupOutcome::kDeliveredInView ||
+                                  d.outcome == svc::GroupOutcome::kEvicted ||
+                                  d.outcome == svc::GroupOutcome::kDropped ||
+                                  d.outcome == svc::GroupOutcome::kUnreachable;
+            EXPECT_TRUE(terminal);
+            if (d.outcome == svc::GroupOutcome::kDeliveredInView) {
+              EXPECT_GT(d.latency_s, 0.0);
+            }
+          }
+        });
+      }
+      pump(t + 25e-6);
+    });
+  };
+  pump(120e-6);
+
+  sched.schedule_at(cc.t_end_s + 5e-3, [&] { groups.stop(); });
+  sched.run();  // must terminate: no group send may hang
+
+  // Windows fully drained: nothing in flight, nothing queued, no sender
+  // left stalled after the final view installs.
+  for (const topo::NodeId m : cand) {
+    EXPECT_EQ(groups.in_flight(gid, m), 0u);
+    EXPECT_EQ(groups.queued(gid, m), 0u);
+  }
+  EXPECT_EQ(groups.stalled_senders(), 0u);
+
+  out.stats = groups.stats();
+  for (const auto& v : groups.view_history(gid)) {
+    out.history.emplace_back(v.id, v.members.size(), v.fault_epoch);
+  }
+  return out;
+}
+
+void check_run(const ChurnRun& r, std::uint64_t seed) {
+  // Exactly one report per send -- sends never vanish and never double-
+  // report, whatever the churn did.
+  EXPECT_EQ(r.reports, r.sends) << "seed " << seed;
+  EXPECT_GT(r.sends, 0u);
+  EXPECT_GT(r.app_deliveries, 0u);
+  EXPECT_EQ(r.stats.sends, r.sends);
+
+  // Views advance by exactly one with a nondecreasing fault epoch.
+  ASSERT_FALSE(r.history.empty());
+  EXPECT_EQ(std::get<0>(r.history.front()), 1u);
+  for (std::size_t i = 1; i < r.history.size(); ++i) {
+    EXPECT_EQ(std::get<0>(r.history[i]), std::get<0>(r.history[i - 1]) + 1);
+    EXPECT_GE(std::get<2>(r.history[i]), std::get<2>(r.history[i - 1]));
+  }
+
+  // Terminal outcomes account for every owed destination.
+  const auto& s = r.stats;
+  EXPECT_GT(s.delivered_in_view, 0u);
+  EXPECT_GE(s.view_installs, 1u);
+}
+
+TEST(GroupChurn, PropertyHoldsAcrossSeedsOnMesh) {
+  const topo::Mesh2D mesh(4, 4);
+  for (const std::uint64_t seed : {7u, 21u, 1234u}) {
+    check_run(run_churn(mesh, seed), seed);
+  }
+}
+
+TEST(GroupChurn, PropertyHoldsAcrossSeedsOnHypercube) {
+  const topo::Hypercube cube(4);
+  for (const std::uint64_t seed : {3u, 77u, 4096u}) {
+    check_run(run_churn(cube, seed), seed);
+  }
+}
+
+TEST(GroupChurn, RunsReplayDeterministically) {
+  const topo::Mesh2D mesh(4, 4);
+  const ChurnRun a = run_churn(mesh, 99);
+  const ChurnRun b = run_churn(mesh, 99);
+  EXPECT_EQ(a.history, b.history);
+  EXPECT_EQ(a.sends, b.sends);
+  EXPECT_EQ(a.app_deliveries, b.app_deliveries);
+  EXPECT_EQ(a.stats.delivered_in_view, b.stats.delivered_in_view);
+  EXPECT_EQ(a.stats.evictions, b.stats.evictions);
+}
+
+TEST(GroupChurn, ScheduleGeneratorKeepsGroupFeasible) {
+  const svc::ChurnConfig base;
+  svc::ChurnConfig cc = base;
+  cc.t_end_s = 10e-3;
+  cc.events_per_s = 2e3;
+  cc.seed = 5;
+  std::vector<topo::NodeId> init = {0, 1, 2, 3};
+  std::vector<topo::NodeId> cand = {0, 1, 2, 3, 4, 5, 6, 7};
+  const auto s = svc::ChurnSchedule::random(init, cand, cc);
+  EXPECT_FALSE(s.events.empty());
+
+  // Replay the generator's bookkeeping: events must stay feasible and the
+  // member set non-empty throughout.
+  std::set<topo::NodeId> members(init.begin(), init.end());
+  std::set<topo::NodeId> crashed;
+  double last_t = cc.t_begin_s;
+  for (const auto& e : s.events) {
+    EXPECT_GE(e.time_s, last_t);
+    EXPECT_LT(e.time_s, cc.t_end_s);
+    last_t = e.time_s;
+    switch (e.kind) {
+      case svc::ChurnEvent::Kind::kJoin:
+        EXPECT_EQ(members.count(e.node), 0u);
+        members.insert(e.node);
+        break;
+      case svc::ChurnEvent::Kind::kLeave:
+        EXPECT_EQ(members.count(e.node), 1u);
+        EXPECT_GT(members.size(), 1u);
+        members.erase(e.node);
+        break;
+      case svc::ChurnEvent::Kind::kCrash:
+        EXPECT_EQ(crashed.count(e.node), 0u);
+        EXPECT_GT(members.size(), 1u);
+        crashed.insert(e.node);
+        members.erase(e.node);
+        break;
+      case svc::ChurnEvent::Kind::kRecover:
+        EXPECT_EQ(crashed.count(e.node), 1u);
+        crashed.erase(e.node);
+        break;
+    }
+    EXPECT_FALSE(members.empty());
+  }
+
+  // Same seed, same schedule; different seed, different schedule.
+  const auto again = svc::ChurnSchedule::random(init, cand, cc);
+  ASSERT_EQ(again.events.size(), s.events.size());
+  for (std::size_t i = 0; i < s.events.size(); ++i) {
+    EXPECT_EQ(again.events[i].time_s, s.events[i].time_s);
+    EXPECT_EQ(again.events[i].kind, s.events[i].kind);
+    EXPECT_EQ(again.events[i].node, s.events[i].node);
+  }
+  svc::ChurnConfig cc2 = cc;
+  cc2.seed = 6;
+  const auto other = svc::ChurnSchedule::random(init, cand, cc2);
+  EXPECT_NE(other.events.size(), 0u);
+
+  svc::ChurnConfig bad = base;
+  bad.events_per_s = 0.0;
+  EXPECT_THROW(svc::ChurnSchedule::random(init, cand, bad), std::invalid_argument);
+  bad = base;
+  bad.t_end_s = bad.t_begin_s - 1.0;
+  EXPECT_THROW(svc::ChurnSchedule::random(init, cand, bad), std::invalid_argument);
+  bad = base;
+  bad.join_weight = bad.leave_weight = bad.crash_weight = bad.recover_weight = 0.0;
+  EXPECT_THROW(svc::ChurnSchedule::random(init, cand, bad), std::invalid_argument);
+  EXPECT_THROW(svc::ChurnSchedule::random({}, cand, base), std::invalid_argument);
+}
+
+}  // namespace

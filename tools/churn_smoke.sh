@@ -1,0 +1,43 @@
+#!/usr/bin/env bash
+# Smoke-run the group-churn bench at a small scale, validate its JSON
+# against the mcnet-bench-v1 schema, and gate on the healthy baseline:
+# the zero-churn point of the "churn" series must keep a delivered-in-view
+# rate >= 0.99 (a quiet group with a working detector loses nothing).
+# Run from anywhere:
+#   tools/churn_smoke.sh <build-dir> [out-dir]
+set -euo pipefail
+
+build_dir=${1:?usage: churn_smoke.sh <build-dir> [out-dir]}
+out_dir=${2:-"${build_dir}/churn-smoke"}
+mkdir -p "${out_dir}"
+
+export MCNET_BENCH_SCALE=${MCNET_BENCH_SCALE:-0.5}
+export MCNET_BENCH_JSON_DIR="${out_dir}"
+
+echo "== bench_group_churn (scale ${MCNET_BENCH_SCALE}) =="
+"${build_dir}/bench/bench_group_churn"
+
+"${build_dir}/tools/mcnet_bench_validate" "${out_dir}/bench_group_churn.json"
+
+python3 - "${out_dir}/bench_group_churn.json" <<'EOF'
+import json, sys
+
+doc = json.load(open(sys.argv[1]))
+series = {s["name"]: s["points"] for s in doc["series"]}
+for name in ("size", "churn", "window"):
+    assert series.get(name), f"missing series {name!r}"
+
+zero = [p for p in series["churn"] if p["x"] == 0.0]
+assert zero, "churn series has no zero-churn baseline point"
+rate = zero[0]["y"]
+assert rate >= 0.99, f"zero-churn delivered-in-view rate regressed: {rate}"
+
+# Safety invariant surfaced by the bench: every point accounts for every
+# owed destination outcome.
+for name, points in series.items():
+    for p in points:
+        owed = p["delivered_in_view"] + p["evicted"] + p["dropped"] + p["unreachable"]
+        assert owed == p["owed"], f"{name} x={p['x']}: outcome counts {owed} != owed {p['owed']}"
+
+print(f"churn smoke: zero-churn delivered-in-view rate {rate:.4f} (>= 0.99)")
+EOF
