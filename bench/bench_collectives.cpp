@@ -1,0 +1,270 @@
+// Collective phases over the group layer: allreduce completion latency
+// on an 8x8 mesh under three sweeps --
+//   size:  group size at fixed chunking, zero churn,
+//   chunk: chunks per root at fixed size (concurrent-multicast fan-out),
+//   churn: membership event rate at fixed size/chunking (the x = 0 point
+//          is the healthy baseline -- its zero re-issued chunks anchor
+//          the gate in tools/coll_smoke.sh) --
+// plus an atab series running all-to-all broadcast on k-ary 2-cube tori,
+// carrying the Jung & Sakho step bound and the synchronous step-model
+// schedule length next to the wormhole completion time.
+//
+// Output: CSV on stdout, mcnet-bench-v1 JSON via JsonReporter (scale the
+// phase count with MCNET_BENCH_SCALE).
+#include <cstdio>
+#include <functional>
+#include <memory>
+#include <string>
+
+#include "bench_common.hpp"
+#include "coll/atab.hpp"
+#include "coll/collective.hpp"
+#include "evsim/scheduler.hpp"
+#include "fault/fault_router.hpp"
+#include "service/churn.hpp"
+#include "service/group_service.hpp"
+#include "topology/kary_ncube.hpp"
+#include "topology/mesh2d.hpp"
+
+namespace {
+
+using namespace mcnet;
+
+struct PointConfig {
+  std::uint32_t group_size = 16;
+  std::uint32_t chunks = 4;
+  double churn_events_per_s = 0.0;
+  std::uint32_t phases = 6;
+  std::uint64_t seed = 2026;
+};
+
+struct PointResult {
+  std::uint64_t phases_started = 0;
+  std::uint64_t phases_completed = 0;
+  double mean_phase_us = 0.0;
+  double max_phase_us = 0.0;
+  double channel_busy_s = 0.0;
+  coll::Collective::Stats stats;
+};
+
+PointResult summarize(const std::vector<coll::PhaseResult>& results,
+                      const coll::Collective& coll, double busy_s) {
+  PointResult out;
+  out.stats = coll.stats();
+  out.phases_started = out.stats.phases_started;
+  out.phases_completed = out.stats.phases_completed;
+  out.channel_busy_s = busy_s;
+  for (const auto& r : results) {
+    const double us = (r.completed_at_s - r.started_at_s) * 1e6;
+    out.mean_phase_us += us;
+    out.max_phase_us = std::max(out.max_phase_us, us);
+  }
+  if (!results.empty()) out.mean_phase_us /= static_cast<double>(results.size());
+  return out;
+}
+
+PointResult run_point(const PointConfig& pc) {
+  const topo::Mesh2D mesh(8, 8);
+  auto faults = std::make_shared<fault::FaultState>(mesh);
+  const auto router =
+      fault::make_fault_aware_router(mesh, mcast::Algorithm::kDualPath, faults);
+  evsim::Scheduler sched;
+  const worm::WormholeParams params{.flit_time = 50e-9, .message_flits = 128,
+                                    .channel_copies = 1};
+  svc::MulticastService service(*router, params, sched);
+
+  svc::GroupConfig cfg;
+  cfg.heartbeat_period_s = 200e-6;
+  cfg.sweep_period_s = 100e-6;
+  cfg.suspicion_min_timeout_s = 1.6e-3;
+  svc::GroupService groups(service, cfg);
+
+  std::vector<topo::NodeId> init;
+  std::vector<topo::NodeId> cand;
+  const std::uint32_t stride = mesh.num_nodes() / pc.group_size;
+  for (std::uint32_t i = 0; i < pc.group_size; ++i) {
+    init.push_back(static_cast<topo::NodeId>(i * stride));
+    cand.push_back(static_cast<topo::NodeId>(i * stride));
+    cand.push_back(static_cast<topo::NodeId>(i * stride + stride / 2));
+  }
+  const auto gid = groups.create_group(init);
+
+  if (pc.churn_events_per_s > 0.0) {
+    svc::ChurnConfig cc;
+    cc.t_begin_s = 100e-6;
+    cc.t_end_s = 4e-3;
+    cc.events_per_s = pc.churn_events_per_s;
+    cc.seed = pc.seed;
+    schedule_churn(groups, gid, sched, svc::ChurnSchedule::random(init, cand, cc));
+  }
+
+  coll::CollConfig ccfg;
+  ccfg.chunks = pc.chunks;
+  coll::Collective coll(groups, gid, ccfg);
+
+  std::vector<coll::PhaseResult> results;
+  std::function<void(const coll::PhaseResult&)> next =
+      [&](const coll::PhaseResult& r) {
+        results.push_back(r);
+        if (results.size() < pc.phases && groups.view(gid).members.size() >= 2) {
+          coll.allreduce(next);
+        }
+      };
+  coll.allreduce(next);
+
+  sched.schedule_at(30e-3, [&] { groups.stop(); });
+  sched.run();
+
+  return summarize(results, coll, service.network().channel_busy_time());
+}
+
+struct AtabResultPoint {
+  PointResult phase;
+  coll::AtabResult model;
+};
+
+AtabResultPoint run_atab_point(std::uint32_t k, std::uint32_t phases) {
+  const topo::KAryNCube torus(k, 2, /*wrap=*/true);
+  auto faults = std::make_shared<fault::FaultState>(torus);
+  const auto router =
+      fault::make_fault_aware_router(torus, mcast::Algorithm::kDualPath, faults);
+  evsim::Scheduler sched;
+  const worm::WormholeParams params{.flit_time = 50e-9, .message_flits = 128,
+                                    .channel_copies = 1};
+  svc::MulticastService service(*router, params, sched);
+
+  svc::GroupConfig cfg;
+  cfg.heartbeat_period_s = 200e-6;
+  cfg.sweep_period_s = 100e-6;
+  cfg.suspicion_min_timeout_s = 1.6e-3;
+  svc::GroupService groups(service, cfg);
+
+  std::vector<topo::NodeId> members;
+  for (topo::NodeId v = 0; v < torus.num_nodes(); ++v) members.push_back(v);
+  const auto gid = groups.create_group(members);
+
+  coll::CollConfig ccfg;
+  ccfg.chunks = 1;
+  coll::Collective coll(groups, gid, ccfg);
+
+  std::vector<coll::PhaseResult> results;
+  std::function<void(const coll::PhaseResult&)> next =
+      [&](const coll::PhaseResult& r) {
+        results.push_back(r);
+        if (results.size() < phases) coll.all_to_all_broadcast(next);
+      };
+  coll.all_to_all_broadcast(next);
+
+  sched.schedule_at(30e-3, [&] { groups.stop(); });
+  sched.run();
+
+  AtabResultPoint out;
+  out.phase = summarize(results, coll, service.network().channel_busy_time());
+  out.model = coll::simulate_atab_on_torus(k, 2);
+  return out;
+}
+
+void emit(mcnet::bench::JsonReporter& json, const std::string& series, double x,
+          const PointConfig& pc, const PointResult& r) {
+  std::printf("%s,%.0f,%u,%u,%.0f,%llu,%llu,%.2f,%.2f,%llu,%llu,%llu,%llu,%llu,%.6f\n",
+              series.c_str(), x, pc.group_size, pc.chunks, pc.churn_events_per_s,
+              static_cast<unsigned long long>(r.phases_started),
+              static_cast<unsigned long long>(r.phases_completed), r.mean_phase_us,
+              r.max_phase_us, static_cast<unsigned long long>(r.stats.chunks_sent),
+              static_cast<unsigned long long>(r.stats.chunks_reissued),
+              static_cast<unsigned long long>(r.stats.restarts),
+              static_cast<unsigned long long>(r.stats.chunks_voided),
+              static_cast<unsigned long long>(r.stats.double_applies),
+              r.channel_busy_s);
+  std::fflush(stdout);
+
+  obs::Json p = obs::Json::object();
+  p["x"] = obs::Json(x);
+  p["y"] = obs::Json(r.mean_phase_us);
+  p["group_size"] = obs::Json(pc.group_size);
+  p["chunks"] = obs::Json(pc.chunks);
+  p["churn_events_per_s"] = obs::Json(pc.churn_events_per_s);
+  p["phases_started"] = obs::Json(r.phases_started);
+  p["phases_completed"] = obs::Json(r.phases_completed);
+  p["mean_phase_us"] = obs::Json(r.mean_phase_us);
+  p["max_phase_us"] = obs::Json(r.max_phase_us);
+  p["chunks_sent"] = obs::Json(r.stats.chunks_sent);
+  p["chunks_reissued"] = obs::Json(r.stats.chunks_reissued);
+  p["chunks_delivered"] = obs::Json(r.stats.chunks_delivered);
+  p["restarts"] = obs::Json(r.stats.restarts);
+  p["chunks_voided"] = obs::Json(r.stats.chunks_voided);
+  p["sends_suppressed"] = obs::Json(r.stats.sends_suppressed);
+  p["double_applies"] = obs::Json(r.stats.double_applies);
+  p["channel_busy_s"] = obs::Json(r.channel_busy_s);
+  json.add_point(series, std::move(p));
+}
+
+}  // namespace
+
+int main() {
+  mcnet::bench::JsonReporter json("bench_collectives");
+  json.meta()["topology"] = mcnet::obs::Json(std::string("mesh2d_8x8"));
+  json.meta()["op"] = mcnet::obs::Json(std::string("allreduce"));
+  json.meta()["atab_topology"] = mcnet::obs::Json(std::string("kary_k_2_wrap"));
+  json.meta()["heartbeat_period_us"] = mcnet::obs::Json(200.0);
+
+  const std::uint32_t phases = mcnet::bench::scaled_runs(6);
+  std::printf(
+      "series,x,group_size,chunks,churn_events_per_s,phases_started,"
+      "phases_completed,mean_phase_us,max_phase_us,chunks_sent,chunks_reissued,"
+      "restarts,chunks_voided,double_applies,channel_busy_s\n");
+
+  // Allreduce completion latency vs group size (zero churn).
+  for (const std::uint32_t size : {4u, 8u, 16u, 32u}) {
+    PointConfig pc;
+    pc.group_size = size;
+    pc.phases = phases;
+    emit(json, "size", size, pc, run_point(pc));
+  }
+
+  // Completion latency vs chunks per root: more concurrent multicasts per
+  // member against the same wormhole fabric.
+  for (const std::uint32_t chunks : {1u, 2u, 4u, 8u}) {
+    PointConfig pc;
+    pc.chunks = chunks;
+    pc.phases = phases;
+    emit(json, "chunk", chunks, pc, run_point(pc));
+  }
+
+  // Completion latency vs churn rate.  The zero-churn point must show
+  // zero re-issued chunks (tools/coll_smoke.sh pins this).
+  for (const double churn : {0.0, 1e3, 2e3, 4e3}) {
+    PointConfig pc;
+    pc.churn_events_per_s = churn;
+    pc.phases = phases;
+    emit(json, "churn", churn, pc, run_point(pc));
+  }
+
+  // All-to-all broadcast on k-ary 2-cubes: wormhole completion time next
+  // to the Jung & Sakho lower bound and the synchronous step-model
+  // schedule (steps/LB ratio is the bound-check the smoke gate verifies).
+  for (const std::uint32_t k : {2u, 3u, 4u}) {
+    const auto r = run_atab_point(k, phases);
+    PointConfig pc;
+    pc.group_size = k * k;
+    pc.chunks = 1;
+    emit(json, "atab", k, pc, r.phase);
+    // Extend the just-emitted CSV line context with the model numbers.
+    std::printf("atab_model,%u,%llu,%llu,%.4f,%d\n", k,
+                static_cast<unsigned long long>(r.model.steps),
+                static_cast<unsigned long long>(r.model.lower_bound),
+                static_cast<double>(r.model.steps) /
+                    static_cast<double>(r.model.lower_bound),
+                r.model.complete ? 1 : 0);
+    obs::Json p = mcnet::obs::Json::object();
+    p["x"] = mcnet::obs::Json(k);
+    p["y"] = mcnet::obs::Json(static_cast<double>(r.model.steps) /
+                              static_cast<double>(r.model.lower_bound));
+    p["atab_steps"] = mcnet::obs::Json(r.model.steps);
+    p["atab_lower_bound"] = mcnet::obs::Json(r.model.lower_bound);
+    p["atab_complete"] = mcnet::obs::Json(r.model.complete);
+    p["nodes"] = mcnet::obs::Json(r.model.nodes);
+    json.add_point("atab_model", std::move(p));
+  }
+  return 0;
+}

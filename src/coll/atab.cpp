@@ -1,0 +1,172 @@
+#include "coll/atab.hpp"
+
+#include <cstddef>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace mcnet::coll {
+namespace {
+
+constexpr std::uint64_t kMaxNodes = 1u << 20;
+
+std::uint64_t pow_u64(std::uint32_t base, std::uint32_t exp) {
+  std::uint64_t r = 1;
+  for (std::uint32_t i = 0; i < exp; ++i) {
+    if (r > kMaxNodes) return r;  // caller rejects; avoid overflow
+    r *= base;
+  }
+  return r;
+}
+
+void validate(std::uint32_t k, std::uint32_t n) {
+  if (k < 2) {
+    throw std::invalid_argument("atab: radix k must be >= 2 (got " + std::to_string(k) +
+                                ")");
+  }
+  if (n < 1) {
+    throw std::invalid_argument("atab: dimensions n must be >= 1");
+  }
+}
+
+/// Dense per-node message sets: N bits per node.
+class HoldMatrix {
+ public:
+  HoldMatrix(std::size_t nodes)
+      : words_per_row_((nodes + 63) / 64), bits_(nodes * words_per_row_, 0), nodes_(nodes) {}
+
+  void set(std::size_t node, std::size_t msg) {
+    bits_[node * words_per_row_ + (msg >> 6)] |= std::uint64_t{1} << (msg & 63);
+  }
+  [[nodiscard]] bool test(std::size_t node, std::size_t msg) const {
+    return (bits_[node * words_per_row_ + (msg >> 6)] >> (msg & 63)) & 1;
+  }
+  /// Lowest msg id that `teacher` holds and `learner` does not (and that is
+  /// not already excluded via `claimed`), or nodes_ when there is none.
+  [[nodiscard]] std::size_t lowest_teachable(std::size_t teacher, std::size_t learner,
+                                             const HoldMatrix& claimed) const {
+    const std::uint64_t* t = &bits_[teacher * words_per_row_];
+    const std::uint64_t* l = &bits_[learner * words_per_row_];
+    const std::uint64_t* c = &claimed.bits_[learner * claimed.words_per_row_];
+    for (std::size_t w = 0; w < words_per_row_; ++w) {
+      const std::uint64_t gap = t[w] & ~l[w] & ~c[w];
+      if (gap != 0) {
+        const std::size_t msg = w * 64 + static_cast<std::size_t>(__builtin_ctzll(gap));
+        return msg < nodes_ ? msg : nodes_;
+      }
+    }
+    return nodes_;
+  }
+  [[nodiscard]] bool row_full(std::size_t node) const {
+    std::size_t have = 0;
+    const std::uint64_t* r = &bits_[node * words_per_row_];
+    for (std::size_t w = 0; w < words_per_row_; ++w) {
+      have += static_cast<std::size_t>(__builtin_popcountll(r[w]));
+    }
+    return have == nodes_;
+  }
+  void clear() { std::fill(bits_.begin(), bits_.end(), 0); }
+
+ private:
+  std::size_t words_per_row_;
+  std::vector<std::uint64_t> bits_;
+  std::size_t nodes_;
+};
+
+}  // namespace
+
+std::uint64_t atab_lower_bound(std::uint32_t k, std::uint32_t n) {
+  validate(k, n);
+  const std::uint64_t nodes = pow_u64(k, n);
+  const std::uint64_t ports = 2ull * n;  // all-port: both directions per dimension
+  return (nodes - 1 + ports - 1) / ports;
+}
+
+AtabResult simulate_atab_on_torus(std::uint32_t k, std::uint32_t n) {
+  validate(k, n);
+  const std::uint64_t nodes64 = pow_u64(k, n);
+  if (nodes64 > kMaxNodes) {
+    throw std::invalid_argument("atab: k^n exceeds " + std::to_string(kMaxNodes) +
+                                " nodes");
+  }
+  const std::size_t nodes = static_cast<std::size_t>(nodes64);
+
+  // In-neighbours per node, fixed order (dimension ascending, -1 before
+  // +1), deduped for k == 2 where both wrap to the same neighbour.  Each
+  // entry is one directed in-link; a link teaches at most one message per
+  // step.
+  std::vector<std::size_t> stride(n, 1);
+  for (std::uint32_t d = 1; d < n; ++d) stride[d] = stride[d - 1] * k;
+  std::vector<std::vector<std::size_t>> in_nbrs(nodes);
+  for (std::size_t v = 0; v < nodes; ++v) {
+    auto& nb = in_nbrs[v];
+    nb.reserve(2 * n);
+    for (std::uint32_t d = 0; d < n; ++d) {
+      const std::size_t digit = (v / stride[d]) % k;
+      const std::size_t down = v - digit * stride[d] + ((digit + k - 1) % k) * stride[d];
+      const std::size_t up = v - digit * stride[d] + ((digit + 1) % k) * stride[d];
+      nb.push_back(down);
+      if (up != down) nb.push_back(up);
+    }
+  }
+
+  HoldMatrix holds(nodes);
+  for (std::size_t v = 0; v < nodes; ++v) holds.set(v, v);
+
+  AtabResult r;
+  r.radix = k;
+  r.dimensions = n;
+  r.nodes = nodes64;
+  r.lower_bound = atab_lower_bound(k, n);
+
+  // Coordinated greedy: per step, each node reads from all its in-links;
+  // a link carries the lowest-id message its tail held at the END of the
+  // previous step that the head lacks and no earlier-processed link is
+  // already teaching it this step.  `claimed` holds this step's incoming
+  // messages so the end-of-step merge keeps the model synchronous.
+  HoldMatrix claimed(nodes);
+  std::vector<std::pair<std::size_t, std::size_t>> deliveries;  // (node, msg)
+  const std::uint64_t step_cap = 4 * r.lower_bound + 16;
+  while (r.steps < step_cap) {
+    bool all_full = true;
+    for (std::size_t v = 0; v < nodes; ++v) {
+      if (!holds.row_full(v)) {
+        all_full = false;
+        break;
+      }
+    }
+    if (all_full) {
+      r.complete = true;
+      break;
+    }
+
+    deliveries.clear();
+    for (std::size_t v = 0; v < nodes; ++v) {
+      for (const std::size_t u : in_nbrs[v]) {
+        const std::size_t msg = holds.lowest_teachable(u, v, claimed);
+        if (msg < nodes) {
+          claimed.set(v, msg);
+          deliveries.emplace_back(v, msg);
+        }
+      }
+    }
+    if (deliveries.empty()) break;  // wedged (cannot happen on a connected torus)
+    for (const auto& [v, msg] : deliveries) holds.set(v, msg);
+    claimed.clear();
+    ++r.steps;
+  }
+  if (!r.complete) {
+    // Re-check after the last merge (the loop tests completeness first).
+    bool all_full = true;
+    for (std::size_t v = 0; v < nodes; ++v) {
+      if (!holds.row_full(v)) {
+        all_full = false;
+        break;
+      }
+    }
+    r.complete = all_full;
+  }
+  return r;
+}
+
+}  // namespace mcnet::coll

@@ -1,0 +1,47 @@
+// All-to-all broadcast (ATAB) step model on k-ary n-dimensional tori,
+// with the Jung & Sakho optimality lower bound (PAPERS.md: "On The
+// Optimality Of All-To-All Broadcast In k-ary n-dimensional Tori").
+//
+// This is deliberately NOT the wormhole simulator: it is the synchronous
+// all-port store-and-forward model the bound is stated in.  Each node
+// starts holding one distinct message; in one step every directed torus
+// link carries at most one (whole) message that its tail held at the end
+// of the previous step; the broadcast completes when every node holds all
+// k^n messages.  A node has 2n in-links (n dimensions, both directions;
+// fewer when k <= 2 collapses +1/-1 neighbours), so it can learn at most
+// 2n new messages per step -- which is exactly where the bound
+//
+//     steps >= ceil((k^n - 1) / (2n))
+//
+// comes from.  simulate_atab_on_torus runs a deterministic coordinated
+// greedy schedule in this model; tests and tools/coll_smoke.sh gate that
+// its step count is >= the bound (any valid schedule must be) and within
+// a pinned constant factor of it (the schedule is near-optimal, so a
+// regression that wedges or serialises the broadcast trips the gate).
+#pragma once
+
+#include <cstdint>
+
+namespace mcnet::coll {
+
+struct AtabResult {
+  std::uint32_t radix = 0;       // k
+  std::uint32_t dimensions = 0;  // n
+  std::uint64_t nodes = 0;       // k^n
+  std::uint64_t steps = 0;       // steps the greedy schedule took
+  std::uint64_t lower_bound = 0; // ceil((k^n - 1) / (2n))
+  bool complete = false;         // every node holds every message
+};
+
+/// ceil((k^n - 1) / (2n)); throws std::invalid_argument for k < 2 or
+/// n < 1 (no torus / no links).
+[[nodiscard]] std::uint64_t atab_lower_bound(std::uint32_t k, std::uint32_t n);
+
+/// Run the coordinated greedy ATAB schedule on the k-ary n-cube torus
+/// (wraparound links in every dimension).  Deterministic: nodes are
+/// processed in id order and each in-link claims the lowest-id message
+/// its tail can still teach the head.  Throws std::invalid_argument for
+/// k < 2, n < 1, or k^n > 1M nodes (the dense holds matrix is O(N^2) bits).
+[[nodiscard]] AtabResult simulate_atab_on_torus(std::uint32_t k, std::uint32_t n);
+
+}  // namespace mcnet::coll

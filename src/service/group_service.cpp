@@ -9,6 +9,18 @@
 #include "fault/fault_state.hpp"
 #include "obs/metrics.hpp"
 
+// FlatMap discipline (see core/flat_map.hpp): inserts invalidate
+// references, and every user callback (app delivery, send reports, view
+// hooks) can re-enter send()/join() and insert.  The rules this file
+// follows throughout:
+//  * per-member entries (senders, incarnation, detector rows) are
+//    pre-populated at view installs, so the send path never inserts;
+//  * any reference into a FlatMap is dropped before a callback fires and
+//    re-found afterwards (advance_window / stream_update loop one step
+//    per call-out);
+//  * PendingMsg::dests is fixed at launch and only mutated in place, so
+//    references into it stay valid across callbacks.
+
 namespace mcnet::svc {
 namespace {
 
@@ -66,19 +78,17 @@ GroupService::GroupService(MulticastService& service, GroupConfig config)
 }
 
 GroupService::Group& GroupService::group_at(GroupId group) {
-  const auto it = groups_.find(group);
-  if (it == groups_.end()) {
+  if (group == 0 || group > groups_.size()) {
     throw std::invalid_argument("GroupService: unknown group id " + std::to_string(group));
   }
-  return it->second;
+  return *groups_[group - 1];
 }
 
 const GroupService::Group& GroupService::group_at(GroupId group) const {
-  const auto it = groups_.find(group);
-  if (it == groups_.end()) {
+  if (group == 0 || group > groups_.size()) {
     throw std::invalid_argument("GroupService: unknown group id " + std::to_string(group));
   }
-  return it->second;
+  return *groups_[group - 1];
 }
 
 GroupId GroupService::create_group(std::vector<topo::NodeId> members) {
@@ -97,8 +107,10 @@ GroupId GroupService::create_group(std::vector<topo::NodeId> members) {
   }
 
   const GroupId id = next_group_++;
-  Group& g = groups_[id];
+  groups_.push_back(std::make_unique<Group>());
+  Group& g = *groups_.back();
   g.id = id;
+  g.incarnation.reserve(members.size());
   for (const topo::NodeId m : members) g.incarnation[m] = 1;
   install_view(g, std::move(members));
   for (const topo::NodeId m : g.view.members) start_heartbeat(id, m, 1);
@@ -123,18 +135,66 @@ void GroupService::join(GroupId group, topo::NodeId node) {
   std::vector<topo::NodeId> members = g.view.members;
   members.push_back(node);
 
-  // Reset the joiner's in-order streams at the current per-sender floors:
-  // the joiner owes/expects nothing from before it was a member, and its
-  // peers expect the joiner's next send, not its pre-leave backlog.
-  for (const topo::NodeId m : g.view.members) {
-    const auto sit = g.senders.find(m);
-    g.streams[{node, m}] = ReceiverStream{sit == g.senders.end() ? 0 : sit->second.next_seq, {}};
-    const auto nit = g.senders.find(node);
-    g.streams[{m, node}] = ReceiverStream{nit == g.senders.end() ? 0 : nit->second.next_seq, {}};
-  }
+  reset_joiner_streams(g, node);
 
   install_view(g, std::move(members));
   start_heartbeat(group, node, inc);
+}
+
+void GroupService::reset_joiner_streams(Group& g, topo::NodeId joiner) {
+  // Inbound floor at the joiner: it owes/expects nothing from before this
+  // join, so each {joiner, m} stream floors at m's next_seq -- but only
+  // ever forward.  A joiner appearing in two consecutive view installs
+  // before hearing any sequence (evict + instant rejoin) must converge to
+  // the same state as one join, not rewind past what the first reset
+  // already established.
+  const auto joiner_floor = [this, &g, joiner](topo::NodeId peer) -> SeqNum {
+    // Outbound floor at peer m for a NEW {m, joiner} stream.  m was a
+    // member continuously (its stream is only absent when the joiner
+    // never reached it), so the joiner's unstable ring messages owed to m
+    // are still coming: floor at the lowest such seq, or at the first
+    // queued seq (queued sends launch against the post-join view, which
+    // contains m).  Flooring at next_seq -- what the pre-fix code did for
+    // every peer, existing stream or not -- silently discards all of
+    // those when they arrive.
+    const auto sit = g.senders.find(joiner);
+    if (sit == g.senders.end()) return 0;
+    const SenderState& st = sit->second;
+    if (!st.ring.empty()) {
+      for (SeqNum q = st.lowest_unstable; q < st.next_seq; ++q) {
+        const auto& slot = st.ring[q % config_.window_size];
+        if (slot && slot->seq == q && slot->dests.contains(peer)) return q;
+      }
+    }
+    if (!st.queue.empty()) return st.queue.front().seq;
+    return st.next_seq;
+  };
+
+  for (const topo::NodeId m : g.view.members) {
+    if (m == joiner) continue;
+
+    const auto sit = g.senders.find(m);
+    const SeqNum m_floor = sit == g.senders.end() ? 0 : sit->second.next_seq;
+    const auto in_key = std::make_pair(joiner, m);
+    auto in_it = g.streams.find(in_key);
+    if (in_it == g.streams.end()) {
+      g.streams.try_emplace(in_key, ReceiverStream{m_floor, {}});
+    } else {
+      ReceiverStream& s = in_it->second;
+      if (m_floor > s.next) s.next = m_floor;
+      // Entries below the floor belong to the joiner's previous
+      // incarnation; they can never surface and would only pin memory.
+      const SeqNum floor = s.next;
+      s.pending.retain([floor](const SeqNum& q, bool) { return q >= floor; });
+    }
+
+    // A continuous member's progress through the joiner's in-flight sends
+    // is never reset -- only streams that do not exist yet are created.
+    const auto out_key = std::make_pair(m, joiner);
+    if (g.streams.find(out_key) == g.streams.end()) {
+      g.streams.try_emplace(out_key, ReceiverStream{joiner_floor(m), {}});
+    }
+  }
 }
 
 void GroupService::leave(GroupId group, topo::NodeId node) {
@@ -172,27 +232,30 @@ void GroupService::install_view(Group& g, std::vector<topo::NodeId> members) {
 
   // Detector bookkeeping follows membership: departed members neither
   // observe nor are observed; fresh pairs start with a full grace period.
-  for (auto it = g.detector.begin(); it != g.detector.end();) {
-    if (!v.contains(it->first)) {
-      it = g.detector.erase(it);
-      continue;
-    }
-    auto& row = it->second;
-    for (auto jt = row.begin(); jt != row.end();) {
-      if (!v.contains(jt->first)) {
-        jt = row.erase(jt);
-      } else {
-        ++jt;
-      }
-    }
-    ++it;
+  g.detector.retain([&v](const topo::NodeId& observer, const auto&) {
+    return v.contains(observer);
+  });
+  for (auto& [observer, row] : g.detector) {
+    row.retain([&v](const topo::NodeId& subject, const HeartbeatTrack&) {
+      return v.contains(subject);
+    });
   }
   for (const topo::NodeId observer : v.members) {
     auto& row = g.detector[observer];
+    row.reserve(v.members.size() - 1);
     for (const topo::NodeId subject : v.members) {
       if (subject == observer) continue;
-      row.emplace(subject, HeartbeatTrack{now, 0.0, false});
+      row.try_emplace(subject, HeartbeatTrack{now, 0.0, false});
     }
+  }
+
+  // Pre-populate sender-window state for every member, so the send path
+  // (and everything re-entering it from callbacks) only ever *finds*
+  // entries -- the FlatMap insert that would invalidate live references
+  // happens here, at the view boundary, instead.
+  for (const topo::NodeId m : v.members) {
+    auto [sit, inserted] = g.senders.try_emplace(m);
+    if (inserted) sit->second.ring.resize(config_.window_size);
   }
 
   // Announce the view as real traffic from the first live member (the
@@ -222,16 +285,23 @@ void GroupService::install_view(Group& g, std::vector<topo::NodeId> members) {
   // Re-evaluate in-flight messages: destinations no longer in the view
   // (or re-joined under a new incarnation) stop being owed, so a window
   // blocked on a dead receiver drains now instead of deadlocking.
+  // Snapshot the unstable messages per sender first: finish_destination
+  // fires callbacks that can re-enter send() and invalidate sender state.
   std::vector<topo::NodeId> sender_ids;
   sender_ids.reserve(g.senders.size());
   for (const auto& [node, st] : g.senders) sender_ids.push_back(node);
   for (const topo::NodeId s : sender_ids) {
-    SenderState& st = g.senders[s];
-    if (st.ring.empty()) continue;
-    for (SeqNum q = st.lowest_unstable; q < st.next_seq; ++q) {
-      const auto& slot = st.ring[q % config_.window_size];
-      if (!slot || slot->seq != q) continue;
-      const auto msg = slot;  // keep alive across finish calls
+    std::vector<std::shared_ptr<PendingMsg>> inflight;
+    {
+      const auto sit = g.senders.find(s);
+      if (sit == g.senders.end() || sit->second.ring.empty()) continue;
+      const SenderState& st = sit->second;
+      for (SeqNum q = st.lowest_unstable; q < st.next_seq; ++q) {
+        const auto& slot = st.ring[q % config_.window_size];
+        if (slot && slot->seq == q) inflight.push_back(slot);
+      }
+    }
+    for (const auto& msg : inflight) {
       for (auto& [dest, ds] : msg->dests) {
         if (ds.terminal) continue;
         const auto iit = g.incarnation.find(dest);
@@ -242,7 +312,22 @@ void GroupService::install_view(Group& g, std::vector<topo::NodeId> members) {
         }
       }
     }
-    advance_window(g, s, st);
+    advance_window(g, s);
+  }
+
+  // The install has fully settled: evicted destinations hold terminal
+  // outcomes, their reports fired, windows advanced.  Collective layers
+  // restart from here.
+  if (!view_settled_hooks_.empty()) {
+    std::vector<std::uint64_t> handles;
+    handles.reserve(view_settled_hooks_.size());
+    for (const auto& [h, fn] : view_settled_hooks_) handles.push_back(h);
+    for (const std::uint64_t h : handles) {
+      const auto it = view_settled_hooks_.find(h);
+      if (it == view_settled_hooks_.end()) continue;  // removed by an earlier hook
+      ViewFn fn = it->second;  // copy: the hook may remove itself
+      fn(g.id, g.view);
+    }
   }
 }
 
@@ -259,9 +344,8 @@ void GroupService::start_heartbeat(GroupId group, topo::NodeId node,
 void GroupService::heartbeat_tick(GroupId group, topo::NodeId node,
                                   std::uint64_t incarnation) {
   if (stopped_) return;
-  const auto it = groups_.find(group);
-  if (it == groups_.end()) return;
-  Group& g = it->second;
+  if (group == 0 || group > groups_.size()) return;
+  Group& g = *groups_[group - 1];
   // The timer dies with the membership incarnation; a rejoin starts a
   // fresh one.
   const auto iit = g.incarnation.find(node);
@@ -295,10 +379,8 @@ void GroupService::heartbeat_tick(GroupId group, topo::NodeId node,
     service_->multicast_reliable(
         {node, std::move(peers)}, [](const DeliveryReport&) {}, hb,
         [this, group, node](topo::NodeId dest, double /*latency_s*/) {
-          const auto git = groups_.find(group);
-          if (git != groups_.end()) {
-            record_heartbeat(git->second, dest, node, sched_->now());
-          }
+          if (group == 0 || group > groups_.size()) return;
+          record_heartbeat(*groups_[group - 1], dest, node, sched_->now());
         });
   }
 
@@ -331,9 +413,9 @@ void GroupService::schedule_sweep(GroupId group) {
 
 void GroupService::sweep_tick(GroupId group) {
   if (stopped_) return;
-  const auto it = groups_.find(group);
-  if (it == groups_.end()) return;
-  if (!it->second.view.members.empty()) detector_sweep(it->second);
+  if (group == 0 || group > groups_.size()) return;
+  Group& g = *groups_[group - 1];
+  if (!g.view.members.empty()) detector_sweep(g);
   schedule_sweep(group);
 }
 
@@ -343,12 +425,14 @@ void GroupService::detector_sweep(Group& g) {
 
   // Failed members neither gossip suspicions nor vote: their tracks have
   // frozen, so counting them would eventually indict everyone.
-  std::map<topo::NodeId, std::size_t> votes;
+  util::FlatMap<topo::NodeId, std::size_t> votes;
   std::size_t live = 0;
   for (const topo::NodeId observer : g.view.members) {
     if (faults.node_failed(observer)) continue;
     ++live;
-    auto& row = g.detector[observer];
+    const auto rit = g.detector.find(observer);
+    if (rit == g.detector.end()) continue;
+    auto& row = rit->second;
     for (const topo::NodeId subject : g.view.members) {
       if (subject == observer) continue;
       const auto tit = row.find(subject);
@@ -400,6 +484,37 @@ SeqNum GroupService::send(GroupId group, topo::NodeId sender, ReportFn on_report
     throw std::invalid_argument("GroupService::send: node " + std::to_string(sender) +
                                 " is not a member of group " + std::to_string(group));
   }
+  return enqueue_or_launch(g, sender, std::move(on_report), {}, false);
+}
+
+SeqNum GroupService::send_to(GroupId group, topo::NodeId sender,
+                             std::vector<topo::NodeId> dests, ReportFn on_report) {
+  Group& g = group_at(group);
+  if (!g.view.contains(sender)) {
+    throw std::invalid_argument("GroupService::send_to: node " + std::to_string(sender) +
+                                " is not a member of group " + std::to_string(group));
+  }
+  std::sort(dests.begin(), dests.end());
+  dests.erase(std::unique(dests.begin(), dests.end()), dests.end());
+  if (dests.empty()) {
+    throw std::invalid_argument("GroupService::send_to: empty destination set");
+  }
+  for (const topo::NodeId d : dests) {
+    if (d == sender) {
+      throw std::invalid_argument("GroupService::send_to: destination " +
+                                  std::to_string(d) + " is the sender");
+    }
+    if (!g.view.contains(d)) {
+      throw std::invalid_argument("GroupService::send_to: destination " +
+                                  std::to_string(d) + " is not a member of group " +
+                                  std::to_string(group));
+    }
+  }
+  return enqueue_or_launch(g, sender, std::move(on_report), std::move(dests), true);
+}
+
+SeqNum GroupService::enqueue_or_launch(Group& g, topo::NodeId sender, ReportFn on_report,
+                                       std::vector<topo::NodeId> dests, bool subset) {
   SenderState& st = g.senders[sender];
   if (st.ring.empty()) st.ring.resize(config_.window_size);
 
@@ -408,38 +523,53 @@ SeqNum GroupService::send(GroupId group, topo::NodeId sender, ReportFn on_report
   if (metrics_.active()) metrics_.sends->inc();
 
   if (st.queue.empty() && seq < st.lowest_unstable + config_.window_size) {
-    launch(g, sender, st, seq, std::move(on_report));
-    advance_window(g, sender, st);  // a destination-less send is stable at once
+    launch(g, sender, seq, std::move(on_report), dests, subset);
+    advance_window(g, sender);  // a destination-less send is stable at once
   } else {
     stats_.window_stalls++;
     if (metrics_.active()) metrics_.window_stalls->inc();
-    st.queue.push_back(QueuedSend{seq, std::move(on_report)});
+    st.queue.push_back(QueuedSend{seq, std::move(on_report), std::move(dests), subset});
     update_stalled(st);
   }
   return seq;
 }
 
-void GroupService::launch(Group& g, topo::NodeId sender, SenderState& st, SeqNum seq,
-                          ReportFn on_report) {
+void GroupService::launch(Group& g, topo::NodeId sender, SeqNum seq, ReportFn on_report,
+                          const std::vector<topo::NodeId>& subset_dests, bool subset) {
   auto msg = std::make_shared<PendingMsg>();
   msg->seq = seq;
   msg->view = g.view.id;
   msg->sent_at = sched_->now();
   msg->on_report = std::move(on_report);
 
-  // The view may have emptied (or lost the sender) while this send sat in
-  // the queue; it then launches with whatever membership is left.
+  // The view may have changed while this send sat in the queue; it then
+  // launches with whatever membership is left -- subset destinations
+  // evicted meanwhile are dropped from the owed set here, and members
+  // outside a subset observe the sequence as a pre-plugged hole so their
+  // in-order streams never wedge on it.
   std::vector<topo::NodeId> dests;
+  std::vector<topo::NodeId> holes;
   dests.reserve(g.view.members.size());
   for (const topo::NodeId m : g.view.members) {
     if (m == sender) continue;
-    msg->dests.emplace(m, PendingMsg::Dest{g.incarnation[m], false,
-                                           GroupOutcome::kDropped, -1.0});
+    if (subset &&
+        !std::binary_search(subset_dests.begin(), subset_dests.end(), m)) {
+      holes.push_back(m);
+      continue;
+    }
+    msg->dests.try_emplace(m, PendingMsg::Dest{g.incarnation[m], false,
+                                               GroupOutcome::kDropped, -1.0});
     dests.push_back(m);
   }
   msg->open = msg->dests.size();
-  st.ring[seq % config_.window_size] = msg;
-  if (dests.empty()) return;  // singleton group: trivially stable
+  {
+    const auto sit = g.senders.find(sender);
+    sit->second.ring[seq % config_.window_size] = msg;
+  }
+  // Hole-plugging surfaces in-order deliveries, i.e. fires callbacks --
+  // nothing below may rely on sender-state references.
+  for (const topo::NodeId m : holes) stream_update(g, m, sender, seq, false);
+  if (dests.empty()) return;  // singleton group / fully-evicted subset
 
   const GroupId gid = g.id;
   service_->multicast_reliable(
@@ -455,22 +585,22 @@ void GroupService::launch(Group& g, topo::NodeId sender, SenderState& st, SeqNum
 
 void GroupService::classify_delivery(GroupId group, SeqNum seq, topo::NodeId sender,
                                      topo::NodeId dest, double latency) {
-  const auto git = groups_.find(group);
-  if (git == groups_.end()) return;
-  Group& g = git->second;
-  const auto sit = g.senders.find(sender);
-  if (sit == g.senders.end()) return;
-  SenderState& st = sit->second;
-
-  const auto& slot = st.ring[seq % config_.window_size];
-  if (!slot || slot->seq != seq) {
-    // The message already stabilised (its owed set shrank under a view
-    // change); a delivery landing now is to an evicted member -- discard.
-    stats_.delivered_filtered++;
-    if (metrics_.active()) metrics_.delivered_filtered->inc();
-    return;
+  if (group == 0 || group > groups_.size()) return;
+  Group& g = *groups_[group - 1];
+  std::shared_ptr<PendingMsg> msg;
+  {
+    const auto sit = g.senders.find(sender);
+    if (sit == g.senders.end() || sit->second.ring.empty()) return;
+    const auto& slot = sit->second.ring[seq % config_.window_size];
+    if (!slot || slot->seq != seq) {
+      // The message already stabilised (its owed set shrank under a view
+      // change); a delivery landing now is to an evicted member -- discard.
+      stats_.delivered_filtered++;
+      if (metrics_.active()) metrics_.delivered_filtered->inc();
+      return;
+    }
+    msg = slot;
   }
-  const auto msg = slot;
   const auto dit = msg->dests.find(dest);
   if (dit == msg->dests.end() || dit->second.terminal) {
     stats_.delivered_filtered++;
@@ -488,21 +618,21 @@ void GroupService::classify_delivery(GroupId group, SeqNum seq, topo::NodeId sen
     if (metrics_.active()) metrics_.delivered_filtered->inc();
     finish_destination(g, sender, *msg, dest, GroupOutcome::kEvicted, -1.0);
   }
-  advance_window(g, sender, st);
+  advance_window(g, sender);
 }
 
 void GroupService::reliable_report(GroupId group, topo::NodeId sender, SeqNum seq,
                                    const DeliveryReport& report) {
-  const auto git = groups_.find(group);
-  if (git == groups_.end()) return;
-  Group& g = git->second;
-  const auto sit = g.senders.find(sender);
-  if (sit == g.senders.end()) return;
-  SenderState& st = sit->second;
-
-  const auto& slot = st.ring[seq % config_.window_size];
-  if (!slot || slot->seq != seq) return;  // already stable via evictions
-  const auto msg = slot;
+  if (group == 0 || group > groups_.size()) return;
+  Group& g = *groups_[group - 1];
+  std::shared_ptr<PendingMsg> msg;
+  {
+    const auto sit = g.senders.find(sender);
+    if (sit == g.senders.end() || sit->second.ring.empty()) return;
+    const auto& slot = sit->second.ring[seq % config_.window_size];
+    if (!slot || slot->seq != seq) return;  // already stable via evictions
+    msg = slot;
+  }
 
   for (const auto& d : report.destinations) {
     const auto dit = msg->dests.find(d.node);
@@ -528,7 +658,7 @@ void GroupService::reliable_report(GroupId group, topo::NodeId sender, SeqNum se
         break;
     }
   }
-  advance_window(g, sender, st);
+  advance_window(g, sender);
 }
 
 void GroupService::finish_destination(Group& g, topo::NodeId sender, PendingMsg& msg,
@@ -566,14 +696,18 @@ void GroupService::finish_destination(Group& g, topo::NodeId sender, PendingMsg&
   }
 }
 
-void GroupService::advance_window(Group& g, topo::NodeId sender, SenderState& st) {
-  if (st.ring.empty()) {
-    update_stalled(st);
-    return;
-  }
+void GroupService::advance_window(Group& g, topo::NodeId sender) {
   const std::uint32_t w = config_.window_size;
+  // One stabilisation or one queued launch per iteration, re-finding the
+  // sender state each time: fire_report and launch both run user code.
   for (;;) {
-    bool progressed = false;
+    const auto sit = g.senders.find(sender);
+    if (sit == g.senders.end()) return;
+    SenderState& st = sit->second;
+    if (st.ring.empty()) {
+      update_stalled(st);
+      return;
+    }
     if (st.lowest_unstable < st.next_seq) {
       auto& slot = st.ring[st.lowest_unstable % w];
       if (slot && slot->seq == st.lowest_unstable && slot->open == 0) {
@@ -581,18 +715,18 @@ void GroupService::advance_window(Group& g, topo::NodeId sender, SenderState& st
         slot.reset();
         ++st.lowest_unstable;
         fire_report(g, sender, *msg);
-        progressed = true;
+        continue;
       }
     }
     if (!st.queue.empty() && st.queue.front().seq < st.lowest_unstable + w) {
       QueuedSend q = std::move(st.queue.front());
       st.queue.pop_front();
-      launch(g, sender, st, q.seq, std::move(q.on_report));
-      progressed = true;
+      launch(g, sender, q.seq, std::move(q.on_report), q.dests, q.subset);
+      continue;
     }
-    if (!progressed) break;
+    update_stalled(st);
+    return;
   }
-  update_stalled(st);
 }
 
 void GroupService::fire_report(Group& g, topo::NodeId sender, const PendingMsg& msg) {
@@ -624,18 +758,43 @@ void GroupService::fire_report(Group& g, topo::NodeId sender, const PendingMsg& 
 
 void GroupService::stream_update(Group& g, topo::NodeId receiver, topo::NodeId sender,
                                  SeqNum seq, bool deliverable) {
-  auto& stream = g.streams[{receiver, sender}];
-  if (seq < stream.next) return;  // before this receiver's join floor
-  stream.pending[seq] = deliverable;
-  while (!stream.pending.empty() && stream.pending.begin()->first == stream.next) {
+  const auto key = std::make_pair(receiver, sender);
+  {
+    ReceiverStream& stream = g.streams[key];
+    if (seq < stream.next) return;  // before this receiver's join floor
+    stream.pending.insert_or_assign(seq, deliverable);
+  }
+  // Surface in-order deliveries one at a time, re-finding the stream after
+  // each: notify_delivery runs user code that can insert new streams.
+  for (;;) {
+    const auto it = g.streams.find(key);
+    if (it == g.streams.end()) return;
+    ReceiverStream& stream = it->second;
+    if (stream.pending.empty() || stream.pending.begin()->first != stream.next) return;
     const bool ok = stream.pending.begin()->second;
     stream.pending.erase(stream.pending.begin());
     ++stream.next;
+    const SeqNum surfaced = stream.next - 1;
     if (ok && g.view.contains(receiver)) {
       stats_.app_deliveries++;
       if (metrics_.active()) metrics_.app_deliveries->inc();
-      if (app_delivery_) app_delivery_(g.id, receiver, sender, stream.next - 1, g.view.id);
+      notify_delivery(g.id, receiver, sender, surfaced, g.view.id);
     }
+  }
+}
+
+void GroupService::notify_delivery(GroupId group, topo::NodeId receiver,
+                                   topo::NodeId sender, SeqNum seq, ViewId view) {
+  if (app_delivery_) app_delivery_(group, receiver, sender, seq, view);
+  if (delivery_hooks_.empty()) return;
+  std::vector<std::uint64_t> handles;
+  handles.reserve(delivery_hooks_.size());
+  for (const auto& [h, fn] : delivery_hooks_) handles.push_back(h);
+  for (const std::uint64_t h : handles) {
+    const auto it = delivery_hooks_.find(h);
+    if (it == delivery_hooks_.end()) continue;  // removed by an earlier hook
+    AppDeliveryFn fn = it->second;  // copy: the hook may remove itself
+    fn(group, receiver, sender, seq, view);
   }
 }
 
@@ -651,6 +810,26 @@ void GroupService::update_stalled(SenderState& st) {
   if (metrics_.active()) {
     metrics_.window_stalled->set(static_cast<double>(stalled_senders_));
   }
+}
+
+std::uint64_t GroupService::add_delivery_hook(AppDeliveryFn fn) {
+  const std::uint64_t h = next_hook_++;
+  delivery_hooks_.try_emplace(h, std::move(fn));
+  return h;
+}
+
+void GroupService::remove_delivery_hook(std::uint64_t handle) {
+  delivery_hooks_.erase(handle);
+}
+
+std::uint64_t GroupService::add_view_settled_hook(ViewFn fn) {
+  const std::uint64_t h = next_hook_++;
+  view_settled_hooks_.try_emplace(h, std::move(fn));
+  return h;
+}
+
+void GroupService::remove_view_settled_hook(std::uint64_t handle) {
+  view_settled_hooks_.erase(handle);
 }
 
 const MembershipView& GroupService::view(GroupId group) const {

@@ -44,11 +44,11 @@
 #include <cstdint>
 #include <deque>
 #include <functional>
-#include <map>
 #include <memory>
 #include <utility>
 #include <vector>
 
+#include "core/flat_map.hpp"
 #include "service/multicast_service.hpp"
 
 namespace mcnet::obs {
@@ -171,8 +171,34 @@ class GroupService {
   /// window advances.
   SeqNum send(GroupId group, topo::NodeId sender, ReportFn on_report = {});
 
+  /// Subset multicast (the collective-phase hook): like send(), but
+  /// targeted at an explicit destination set, which must be current
+  /// members distinct from the sender (throws std::invalid_argument
+  /// otherwise; duplicates are deduped).  The send consumes a normal
+  /// window slot and per-sender sequence number; members outside the
+  /// destination set observe the sequence as a hole in the sender's
+  /// in-order stream (plugged at launch, so ordering never wedges on a
+  /// message they were never owed).  Destinations evicted while the send
+  /// is queued are dropped at launch time.
+  SeqNum send_to(GroupId group, topo::NodeId sender, std::vector<topo::NodeId> dests,
+                 ReportFn on_report = {});
+
   void on_app_delivery(AppDeliveryFn fn) { app_delivery_ = std::move(fn); }
   void on_view_change(ViewFn fn) { view_change_ = std::move(fn); }
+
+  /// Phase hooks (multi-subscriber, for layers like coll::Collective that
+  /// ride on the group machinery without stealing the application's
+  /// on_app_delivery/on_view_change slots).  Handles are stable; remove
+  /// with the matching remove_*.  Delivery hooks fire after app_delivery_
+  /// for every in-order delivery.  View-settled hooks fire after a view
+  /// install has fully settled: evicted destinations of in-flight
+  /// messages hold terminal outcomes, their reports have fired, and
+  /// sender windows have advanced -- the safe point to decide a
+  /// view-change restart.
+  std::uint64_t add_delivery_hook(AppDeliveryFn fn);
+  void remove_delivery_hook(std::uint64_t handle);
+  std::uint64_t add_view_settled_hook(ViewFn fn);
+  void remove_view_settled_hook(std::uint64_t handle);
 
   /// Stop heartbeat and detector loops (so a bounded simulation drains);
   /// in-flight sends still run to their terminal reports.
@@ -232,20 +258,26 @@ class GroupService {
     double sent_at = 0.0;
     ReportFn on_report;
     /// Destination -> (member incarnation at launch, outcome).  An owed
-    /// destination is one whose outcome is still pending.
+    /// destination is one whose outcome is still pending.  The set is
+    /// fixed at launch, so references into it stay valid across callbacks
+    /// (FlatMap only invalidates on insert/erase).
     struct Dest {
       std::uint64_t incarnation = 0;
       bool terminal = false;
       GroupOutcome outcome = GroupOutcome::kDropped;
       double latency_s = -1.0;
     };
-    std::map<topo::NodeId, Dest> dests;
+    util::FlatMap<topo::NodeId, Dest> dests;
     std::size_t open = 0;  // dests not yet terminal
   };
 
   struct QueuedSend {
     SeqNum seq = 0;
     ReportFn on_report;
+    /// Subset sends queue their target set; empty + subset=false means
+    /// "whole view at launch time".
+    std::vector<topo::NodeId> dests;
+    bool subset = false;
   };
 
   struct SenderState {
@@ -260,22 +292,27 @@ class GroupService {
 
   /// Per-sender in-order delivery state at one receiver.
   struct ReceiverStream {
-    SeqNum next = 0;                    // next seq to surface
-    std::map<SeqNum, bool> pending;     // seq -> deliverable (false = hole)
+    SeqNum next = 0;                            // next seq to surface
+    util::FlatMap<SeqNum, bool> pending;        // seq -> deliverable (false = hole)
   };
 
+  /// Per-group state.  All associative members are FlatMaps (sorted
+  /// vectors) so thousands of concurrent groups stay cache-dense; the
+  /// price is that inserts invalidate references, which the .cpp handles
+  /// by pre-populating per-member entries at view installs and re-finding
+  /// entries after any callback boundary.
   struct Group {
     GroupId id = 0;
     MembershipView view;
     std::vector<MembershipView> history;
     /// Join incarnation per member (bumped on every join), so a delivery
     /// racing an evict+rejoin cannot count for the old incarnation.
-    std::map<topo::NodeId, std::uint64_t> incarnation;
-    std::map<topo::NodeId, SenderState> senders;
+    util::FlatMap<topo::NodeId, std::uint64_t> incarnation;
+    util::FlatMap<topo::NodeId, SenderState> senders;
     /// observer -> subject -> heartbeat bookkeeping.
-    std::map<topo::NodeId, std::map<topo::NodeId, HeartbeatTrack>> detector;
+    util::FlatMap<topo::NodeId, util::FlatMap<topo::NodeId, HeartbeatTrack>> detector;
     /// (receiver, sender) -> in-order stream state.
-    std::map<std::pair<topo::NodeId, topo::NodeId>, ReceiverStream> streams;
+    util::FlatMap<std::pair<topo::NodeId, topo::NodeId>, ReceiverStream> streams;
   };
 
   Group& group_at(GroupId group);
@@ -286,6 +323,15 @@ class GroupService {
   /// re-evaluates in-flight messages against the new membership.
   void install_view(Group& g, std::vector<topo::NodeId> members);
 
+  /// Reset the in-order streams around `joiner` after it (re)joined.
+  /// Re-entrant: the same node joining in two consecutive view installs
+  /// (evict + rejoin before it heard any sequence) yields the same state
+  /// as a single join, and a continuous member's progress through the
+  /// joiner's still-in-flight sends is never discarded (the pre-fix code
+  /// clobbered peers' streams to the joiner's next_seq, silently dropping
+  /// messages launched while both were members).
+  void reset_joiner_streams(Group& g, topo::NodeId joiner);
+
   void start_heartbeat(GroupId group, topo::NodeId node, std::uint64_t incarnation);
   void heartbeat_tick(GroupId group, topo::NodeId node, std::uint64_t incarnation);
   void schedule_sweep(GroupId group);
@@ -293,8 +339,10 @@ class GroupService {
   void detector_sweep(Group& g);
   void record_heartbeat(Group& g, topo::NodeId observer, topo::NodeId subject, double at);
 
-  void launch(Group& g, topo::NodeId sender, SenderState& st, SeqNum seq,
-              ReportFn on_report);
+  SeqNum enqueue_or_launch(Group& g, topo::NodeId sender, ReportFn on_report,
+                           std::vector<topo::NodeId> dests, bool subset);
+  void launch(Group& g, topo::NodeId sender, SeqNum seq, ReportFn on_report,
+              const std::vector<topo::NodeId>& subset_dests, bool subset);
   void classify_delivery(GroupId group, SeqNum seq, topo::NodeId sender,
                          topo::NodeId dest, double latency);
   void reliable_report(GroupId group, topo::NodeId sender, SeqNum seq,
@@ -302,12 +350,16 @@ class GroupService {
   void finish_destination(Group& g, topo::NodeId sender, PendingMsg& msg,
                           topo::NodeId dest, GroupOutcome outcome, double latency);
   /// Advance the window past stable slots; launch queued sends; fire the
-  /// report of every message that just became stable.
-  void advance_window(Group& g, topo::NodeId sender, SenderState& st);
+  /// report of every message that just became stable.  Looks the sender
+  /// state up fresh after every callback boundary (FlatMap references do
+  /// not survive re-entrant sends from callbacks).
+  void advance_window(Group& g, topo::NodeId sender);
   void fire_report(Group& g, topo::NodeId sender, const PendingMsg& msg);
   /// Feed (sender, seq, deliverable) into the receiver's in-order stream.
   void stream_update(Group& g, topo::NodeId receiver, topo::NodeId sender, SeqNum seq,
                      bool deliverable);
+  void notify_delivery(GroupId group, topo::NodeId receiver, topo::NodeId sender,
+                       SeqNum seq, ViewId view);
   void update_stalled(SenderState& st);
 
   struct Metrics {
@@ -336,12 +388,18 @@ class GroupService {
   MulticastService* service_;
   evsim::Scheduler* sched_;
   GroupConfig config_;
-  std::map<GroupId, Group> groups_;
+  /// Group ids are dense (1, 2, ...) and never recycled, so per-group
+  /// state lives in a flat vector indexed id - 1; unique_ptr keeps Group
+  /// addresses stable across create_group while the vector grows.
+  std::vector<std::unique_ptr<Group>> groups_;
   GroupId next_group_ = 1;
   bool stopped_ = false;
   std::uint64_t stalled_senders_ = 0;
   AppDeliveryFn app_delivery_;
   ViewFn view_change_;
+  util::FlatMap<std::uint64_t, AppDeliveryFn> delivery_hooks_;
+  util::FlatMap<std::uint64_t, ViewFn> view_settled_hooks_;
+  std::uint64_t next_hook_ = 1;
   Stats stats_;
   Metrics metrics_;
 };

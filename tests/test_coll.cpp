@@ -1,0 +1,548 @@
+// Collective phases over the group layer: the Jung & Sakho all-to-all
+// broadcast bound, quiet-group completion for every op, view-change-aware
+// restart (evicted members excluded, stable chunks never re-sent, no
+// double-applied reduction contributions), and seeded churn replay where
+// every surviving member ends up holding the complete result.
+#include <gtest/gtest.h>
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "coll/atab.hpp"
+#include "coll/collective.hpp"
+#include "evsim/scheduler.hpp"
+#include "fault/fault_router.hpp"
+#include "obs/metrics.hpp"
+#include "service/churn.hpp"
+#include "service/group_service.hpp"
+#include "topology/mesh2d.hpp"
+
+namespace {
+
+using namespace mcnet;
+using mcast::Algorithm;
+
+struct Fixture {
+  topo::Mesh2D mesh;
+  std::shared_ptr<fault::FaultState> faults;
+  std::unique_ptr<fault::FaultAwareRouter> router;
+  evsim::Scheduler sched;
+  svc::MulticastService service;
+
+  explicit Fixture(std::uint32_t w, std::uint32_t h, worm::WormholeParams params = {})
+      : mesh(w, h),
+        faults(std::make_shared<fault::FaultState>(mesh)),
+        router(fault::make_fault_aware_router(mesh, Algorithm::kDualPath, faults)),
+        service(*router, params, sched) {}
+
+  void run_until(svc::GroupService& groups, double stop_at_s) {
+    sched.schedule_at(stop_at_s, [&groups] { groups.stop(); });
+    sched.run();
+  }
+};
+
+TEST(CollConfig, ValidationRejectsBadFields) {
+  coll::CollConfig c;
+  c.chunks = 0;
+  try {
+    c.validate();
+    FAIL() << "chunks=0 accepted";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("chunks"), std::string::npos);
+  }
+
+  c = coll::CollConfig{};
+  c.max_reissues_per_chunk = 0;
+  EXPECT_THROW(c.validate(), std::invalid_argument);
+
+  EXPECT_NO_THROW(coll::CollConfig{}.validate());
+}
+
+TEST(CollConfig, ConstructorValidatesGroupAndConfig) {
+  Fixture fx(4, 4);
+  svc::GroupService groups(fx.service);
+  const auto gid = groups.create_group({0, 5, 10});
+
+  EXPECT_THROW(coll::Collective(groups, 999), std::invalid_argument);
+  coll::CollConfig bad;
+  bad.chunks = 0;
+  EXPECT_THROW(coll::Collective(groups, gid, bad), std::invalid_argument);
+
+  coll::Collective coll(groups, gid);
+  EXPECT_FALSE(coll.busy());
+  EXPECT_EQ(coll.group(), gid);
+}
+
+// ---------------------------------------------------------------------------
+// Jung & Sakho bound for all-to-all broadcast on k-ary n-dimensional tori:
+// with 2n in-links per node and one message per link per step, no schedule
+// finishes in fewer than ceil((k^n - 1) / (2n)) steps.
+
+TEST(CollAtab, LowerBoundMatchesFormula) {
+  // ceil((k^n - 1) / (2n)) spot checks.
+  EXPECT_EQ(coll::atab_lower_bound(2, 2), 1u);   // (4-1)/4
+  EXPECT_EQ(coll::atab_lower_bound(2, 3), 2u);   // (8-1)/6
+  EXPECT_EQ(coll::atab_lower_bound(3, 2), 2u);   // (9-1)/4
+  EXPECT_EQ(coll::atab_lower_bound(4, 2), 4u);   // (16-1)/4
+  EXPECT_EQ(coll::atab_lower_bound(5, 2), 6u);   // (25-1)/4
+  EXPECT_EQ(coll::atab_lower_bound(3, 3), 5u);   // (27-1)/6
+  EXPECT_EQ(coll::atab_lower_bound(4, 3), 11u);  // (64-1)/6
+  EXPECT_EQ(coll::atab_lower_bound(8, 2), 16u);  // (64-1)/4
+
+  EXPECT_THROW((void)coll::atab_lower_bound(1, 2), std::invalid_argument);
+  EXPECT_THROW((void)coll::atab_lower_bound(4, 0), std::invalid_argument);
+}
+
+TEST(CollAtab, GreedyScheduleCompletesWithinTwiceTheBound) {
+  // The coordinated greedy schedule is not optimal, but it must complete
+  // and stay within 2x the information-theoretic bound on every config.
+  const std::vector<std::pair<std::uint32_t, std::uint32_t>> configs = {
+      {2, 2}, {3, 2}, {4, 2}, {5, 2}, {3, 3}, {4, 3}};
+  for (const auto& [k, n] : configs) {
+    const auto r = coll::simulate_atab_on_torus(k, n);
+    EXPECT_TRUE(r.complete) << "k=" << k << " n=" << n;
+    EXPECT_EQ(r.lower_bound, coll::atab_lower_bound(k, n));
+    EXPECT_GE(r.steps, r.lower_bound) << "k=" << k << " n=" << n;
+    EXPECT_LE(r.steps, 2 * r.lower_bound) << "k=" << k << " n=" << n;
+  }
+
+  // The schedule is deterministic: same config, same step count.
+  const auto a = coll::simulate_atab_on_torus(4, 2);
+  const auto b = coll::simulate_atab_on_torus(4, 2);
+  EXPECT_EQ(a.steps, b.steps);
+  EXPECT_EQ(a.steps, 5u);  // measured; the 4-ary 2-cube bound is 4
+}
+
+// ---------------------------------------------------------------------------
+// Quiet-group phases: every op completes, every member observes every
+// chunk, and nothing is ever re-issued.
+
+TEST(CollPhase, BarrierCompletesOnQuietGroup) {
+  Fixture fx(4, 4);
+  svc::GroupService groups(fx.service);
+  const auto gid = groups.create_group({0, 5, 10, 15});
+  coll::Collective coll(groups, gid);
+
+  coll::PhaseResult result;
+  bool done = false;
+  coll.barrier([&](const coll::PhaseResult& r) {
+    result = r;
+    done = true;
+  });
+  EXPECT_TRUE(coll.busy());
+  fx.run_until(groups, 5e-3);
+
+  ASSERT_TRUE(done);
+  EXPECT_FALSE(coll.busy());
+  EXPECT_EQ(result.op, coll::OpKind::kBarrier);
+  EXPECT_TRUE(result.completed);
+  EXPECT_FALSE(result.degraded);
+  EXPECT_EQ(result.survivors, (std::vector<topo::NodeId>{0, 5, 10, 15}));
+  EXPECT_EQ(result.chunks_reissued, 0u);
+  EXPECT_EQ(result.restarts, 0u);
+  for (const topo::NodeId m : result.roster) {
+    EXPECT_TRUE(coll.observed_all(m)) << "member " << m;
+  }
+}
+
+TEST(CollPhase, BroadcastReachesEveryMember) {
+  Fixture fx(4, 4);
+  svc::GroupService groups(fx.service);
+  const auto gid = groups.create_group({0, 5, 10, 15});
+  coll::CollConfig cfg;
+  cfg.chunks = 3;
+  coll::Collective coll(groups, gid, cfg);
+
+  EXPECT_THROW(coll.broadcast(7), std::invalid_argument);  // not a member
+
+  coll::PhaseResult result;
+  bool done = false;
+  coll.broadcast(5, [&](const coll::PhaseResult& r) {
+    result = r;
+    done = true;
+  });
+  fx.run_until(groups, 5e-3);
+
+  ASSERT_TRUE(done);
+  EXPECT_TRUE(result.completed);
+  EXPECT_EQ(result.op, coll::OpKind::kBroadcast);
+  EXPECT_EQ(result.chunks_sent, 3u);  // one multicast per chunk
+  EXPECT_EQ(result.chunks_reissued, 0u);
+  for (const topo::NodeId m : {0, 5, 10, 15}) {
+    EXPECT_TRUE(coll.observed_all(m)) << "member " << m;
+    EXPECT_EQ(coll.observed_chunks(m), 3u) << "member " << m;
+  }
+}
+
+TEST(CollPhase, AllgatherEveryMemberHoldsEveryChunk) {
+  Fixture fx(4, 4);
+  svc::GroupService groups(fx.service);
+  const auto gid = groups.create_group({0, 5, 10, 15});
+  coll::CollConfig cfg;
+  cfg.chunks = 2;
+  coll::Collective coll(groups, gid, cfg);
+
+  coll::PhaseResult result;
+  bool done = false;
+  coll.allgather([&](const coll::PhaseResult& r) {
+    result = r;
+    done = true;
+  });
+  fx.run_until(groups, 5e-3);
+
+  ASSERT_TRUE(done);
+  EXPECT_TRUE(result.completed);
+  EXPECT_FALSE(result.degraded);
+  // 4 roots x 2 chunks, each exactly one multicast, never re-issued.
+  EXPECT_EQ(result.chunks_sent, 8u);
+  EXPECT_EQ(result.chunks_reissued, 0u);
+  // Every (task, non-root member) pair delivered exactly once.
+  EXPECT_EQ(coll.stats().chunks_delivered, 8u * 3u);
+  for (const topo::NodeId m : {0, 5, 10, 15}) {
+    EXPECT_TRUE(coll.observed_all(m)) << "member " << m;
+    EXPECT_EQ(coll.observed_chunks(m), 8u) << "member " << m;
+  }
+}
+
+TEST(CollPhase, AllreduceAppliesEachContributionExactlyOnce) {
+  Fixture fx(4, 4);
+  svc::GroupService groups(fx.service);
+  const auto gid = groups.create_group({0, 5, 10, 15});
+  coll::CollConfig cfg;
+  cfg.chunks = 4;
+  coll::Collective coll(groups, gid, cfg);
+
+  coll::PhaseResult result;
+  bool done = false;
+  coll.allreduce([&](const coll::PhaseResult& r) {
+    result = r;
+    done = true;
+  });
+  fx.run_until(groups, 5e-3);
+
+  ASSERT_TRUE(done);
+  EXPECT_TRUE(result.completed);
+  EXPECT_FALSE(result.degraded);
+  EXPECT_EQ(result.chunks_reissued, 0u);
+  // Each of the 4 chunks collects one contribution per non-owner member.
+  EXPECT_EQ(coll.stats().contributions_applied, 4u * 3u);
+  EXPECT_EQ(coll.stats().double_applies, 0u);
+  for (const topo::NodeId m : {0, 5, 10, 15}) {
+    EXPECT_TRUE(coll.observed_all(m)) << "member " << m;
+    EXPECT_EQ(coll.observed_chunks(m), 4u) << "member " << m;
+  }
+}
+
+TEST(CollPhase, AllToAllBroadcastCompletes) {
+  Fixture fx(4, 4);
+  svc::GroupService groups(fx.service);
+  const auto gid = groups.create_group({0, 5, 10, 15});
+  coll::CollConfig cfg;
+  cfg.chunks = 1;
+  coll::Collective coll(groups, gid, cfg);
+
+  coll::PhaseResult result;
+  bool done = false;
+  coll.all_to_all_broadcast([&](const coll::PhaseResult& r) {
+    result = r;
+    done = true;
+  });
+  EXPECT_THROW(coll.barrier(), std::logic_error);  // one phase at a time
+  fx.run_until(groups, 5e-3);
+
+  ASSERT_TRUE(done);
+  EXPECT_TRUE(result.completed);
+  EXPECT_EQ(result.op, coll::OpKind::kAllToAllBroadcast);
+  EXPECT_EQ(result.chunks_sent, 4u);  // every member one concurrent multicast
+  for (const topo::NodeId m : {0, 5, 10, 15}) {
+    EXPECT_TRUE(coll.observed_all(m)) << "member " << m;
+  }
+}
+
+TEST(CollPhase, PhasesChainBackToBack) {
+  Fixture fx(4, 4);
+  svc::GroupService groups(fx.service);
+  const auto gid = groups.create_group({0, 5, 10, 15});
+  coll::Collective coll(groups, gid);
+
+  std::vector<coll::PhaseResult> results;
+  coll.allgather([&](const coll::PhaseResult& r1) {
+    results.push_back(r1);
+    coll.allreduce([&](const coll::PhaseResult& r2) {
+      results.push_back(r2);
+      coll.barrier([&](const coll::PhaseResult& r3) { results.push_back(r3); });
+    });
+  });
+  fx.run_until(groups, 20e-3);
+
+  ASSERT_EQ(results.size(), 3u);
+  EXPECT_EQ(results[0].op, coll::OpKind::kAllgather);
+  EXPECT_EQ(results[1].op, coll::OpKind::kAllreduce);
+  EXPECT_EQ(results[2].op, coll::OpKind::kBarrier);
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    EXPECT_TRUE(results[i].completed) << "phase " << i;
+    EXPECT_EQ(results[i].phase_id, i + 1);
+    // Later phases start at or after the previous completion.
+    if (i > 0) {
+      EXPECT_GE(results[i].started_at_s, results[i - 1].completed_at_s);
+    }
+  }
+  EXPECT_EQ(coll.stats().phases_completed, 3u);
+}
+
+TEST(CollPhase, MetricsMirrorStats) {
+  Fixture fx(4, 4);
+  svc::GroupService groups(fx.service);
+  const auto gid = groups.create_group({0, 5, 10, 15});
+  coll::Collective coll(groups, gid);
+  obs::MetricsRegistry reg;
+  coll.set_metrics(&reg);
+
+  coll.allgather([&](const coll::PhaseResult&) { coll.barrier(); });
+  fx.run_until(groups, 10e-3);
+
+  const auto& s = coll.stats();
+  EXPECT_EQ(s.phases_completed, 2u);
+  EXPECT_EQ(reg.counter("coll.phases_started").value(), s.phases_started);
+  EXPECT_EQ(reg.counter("coll.phases_completed").value(), s.phases_completed);
+  EXPECT_EQ(reg.counter("coll.chunks_sent").value(), s.chunks_sent);
+  EXPECT_EQ(reg.counter("coll.chunks_delivered").value(), s.chunks_delivered);
+  EXPECT_EQ(reg.counter("coll.double_applies").value(), 0u);
+  EXPECT_EQ(reg.histogram("coll.phase_latency_s").snapshot().count, 2u);
+}
+
+// ---------------------------------------------------------------------------
+// View-change-aware restart.
+
+TEST(CollRestart, LeaveMidPhaseExcludesMemberAndCompletes) {
+  Fixture fx(4, 4);
+  svc::GroupService groups(fx.service);
+  const auto gid = groups.create_group({0, 5, 10, 15});
+  coll::CollConfig cfg;
+  cfg.chunks = 2;
+  coll::Collective coll(groups, gid, cfg);
+
+  coll::PhaseResult result;
+  bool done = false;
+  coll.allgather([&](const coll::PhaseResult& r) {
+    result = r;
+    done = true;
+  });
+  // Before any delivery lands: the leaver's in-flight destinations resolve
+  // as kEvicted during the install, and the view-settled restart runs with
+  // every chunk still outstanding.
+  fx.sched.schedule_at(1e-9, [&] { groups.leave(gid, 15); });
+  fx.run_until(groups, 5e-3);
+
+  ASSERT_TRUE(done);
+  EXPECT_TRUE(result.completed);
+  EXPECT_EQ(result.survivors, (std::vector<topo::NodeId>{0, 5, 10}));
+  EXPECT_EQ(result.roster, (std::vector<topo::NodeId>{0, 5, 10, 15}));
+  EXPECT_GE(result.restarts, 1u);
+  // All live targets were already covered by the launch-time sends, so the
+  // restart re-issued nothing.
+  EXPECT_EQ(result.chunks_reissued, 0u);
+  for (const topo::NodeId m : {0, 5, 10}) {
+    EXPECT_TRUE(coll.observed_all(m)) << "survivor " << m;
+  }
+  EXPECT_FALSE(coll.observed_all(15));
+  // No (task, member) pair ever delivered twice: 8 tasks, at most 3
+  // non-root receivers each.
+  EXPECT_LE(coll.stats().chunks_delivered, 8u * 3u);
+  EXPECT_EQ(coll.stats().double_applies, 0u);
+}
+
+TEST(CollRestart, AllreduceOwnerLossNeverDoubleAppliesContributions) {
+  Fixture fx(4, 4);
+  svc::GroupService groups(fx.service);
+  const auto gid = groups.create_group({0, 5, 10, 15});
+  coll::CollConfig cfg;
+  cfg.chunks = 4;  // owners are ranks 0..3, so node 15 owns chunk 3
+  coll::Collective coll(groups, gid, cfg);
+
+  coll::PhaseResult result;
+  bool done = false;
+  coll.allreduce([&](const coll::PhaseResult& r) {
+    result = r;
+    done = true;
+  });
+  // The owner of chunk 3 leaves before its reduction completes: the chunk
+  // demotes to a new owner with a bumped generation, and every stale
+  // generation-0 contribution outcome is discarded wholesale.
+  fx.sched.schedule_at(1e-9, [&] { groups.leave(gid, 15); });
+  fx.run_until(groups, 10e-3);
+
+  ASSERT_TRUE(done);
+  EXPECT_TRUE(result.completed);
+  EXPECT_EQ(result.survivors, (std::vector<topo::NodeId>{0, 5, 10}));
+  EXPECT_GE(result.restarts, 1u);
+  EXPECT_EQ(coll.stats().double_applies, 0u);
+  for (const topo::NodeId m : {0, 5, 10}) {
+    EXPECT_TRUE(coll.observed_all(m)) << "survivor " << m;
+  }
+}
+
+TEST(CollRestart, ChunksStableInOldViewAreNeverResent) {
+  // Measure the quiet completion time, then re-run with a leave injected
+  // at fractions of it: whatever the cut point, no (task, member) pair is
+  // ever delivered twice, and mid-to-late cuts find already-stable chunks
+  // that the restart suppresses instead of re-sending.
+  double quiet_s = 0.0;
+  {
+    Fixture fx(4, 4);
+    svc::GroupService groups(fx.service);
+    const auto gid = groups.create_group({0, 5, 10, 15});
+    coll::CollConfig cfg;
+    cfg.chunks = 2;
+    coll::Collective coll(groups, gid, cfg);
+    coll::PhaseResult result;
+    bool done = false;
+    coll.allgather([&](const coll::PhaseResult& r) {
+      result = r;
+      done = true;
+    });
+    fx.run_until(groups, 5e-3);
+    ASSERT_TRUE(done);
+    quiet_s = result.completed_at_s - result.started_at_s;
+    ASSERT_GT(quiet_s, 0.0);
+  }
+
+  std::uint64_t suppressed_total = 0;
+  for (const double frac : {0.25, 0.5, 0.75}) {
+    Fixture fx(4, 4);
+    svc::GroupService groups(fx.service);
+    const auto gid = groups.create_group({0, 5, 10, 15});
+    coll::CollConfig cfg;
+    cfg.chunks = 2;
+    coll::Collective coll(groups, gid, cfg);
+    coll::PhaseResult result;
+    bool done = false;
+    coll.allgather([&](const coll::PhaseResult& r) {
+      result = r;
+      done = true;
+    });
+    fx.sched.schedule_at(frac * quiet_s, [&] { groups.leave(gid, 15); });
+    fx.run_until(groups, 10e-3);
+
+    ASSERT_TRUE(done) << "frac " << frac;
+    EXPECT_TRUE(result.completed) << "frac " << frac;
+    EXPECT_GE(result.restarts, 1u) << "frac " << frac;
+    // 8 tasks x at most 3 non-root receivers: a re-send of a chunk some
+    // member already held would push this past the bound.
+    EXPECT_LE(coll.stats().chunks_delivered, 8u * 3u) << "frac " << frac;
+    EXPECT_EQ(coll.stats().double_applies, 0u);
+    for (const topo::NodeId m : result.survivors) {
+      EXPECT_TRUE(coll.observed_all(m)) << "frac " << frac << " member " << m;
+    }
+    suppressed_total += coll.stats().sends_suppressed;
+  }
+  // At least one cut point caught chunks already stable in the old view.
+  EXPECT_GT(suppressed_total, 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Seeded churn replay: phases keep completing across evictions, leaves,
+// and joins, and every surviving roster member holds the full result.
+
+struct CollChurnRun {
+  std::vector<coll::PhaseResult> results;
+  coll::Collective::Stats stats;
+  std::vector<topo::NodeId> last_survivors;
+  std::size_t last_observed_all = 0;  // survivors of the last phase holding it all
+};
+
+CollChurnRun run_coll_churn(coll::OpKind op, std::uint64_t seed) {
+  Fixture fx(8, 8);
+  svc::GroupService groups(fx.service);
+  std::vector<topo::NodeId> init = {0, 1, 2, 3, 4, 5, 6, 7};
+  std::vector<topo::NodeId> cand;
+  for (topo::NodeId i = 0; i < 16; ++i) cand.push_back(i);
+  const auto gid = groups.create_group(init);
+
+  svc::ChurnConfig cc;
+  cc.t_begin_s = 50e-6;
+  cc.t_end_s = 3e-3;
+  cc.events_per_s = 1.5e3;
+  cc.seed = seed;
+  const auto schedule = svc::ChurnSchedule::random(init, cand, cc);
+  schedule_churn(groups, gid, fx.sched, schedule);
+
+  coll::CollConfig cfg;
+  cfg.chunks = 2;
+  coll::Collective coll(groups, gid, cfg);
+
+  CollChurnRun out;
+  std::function<void(const coll::PhaseResult&)> next =
+      [&](const coll::PhaseResult& r) {
+        out.results.push_back(r);
+        if (fx.sched.now() < cc.t_end_s && groups.view(gid).members.size() >= 2) {
+          if (op == coll::OpKind::kAllreduce) {
+            coll.allreduce(next);
+          } else {
+            coll.allgather(next);
+          }
+        }
+      };
+  if (op == coll::OpKind::kAllreduce) {
+    coll.allreduce(next);
+  } else {
+    coll.allgather(next);
+  }
+
+  fx.sched.schedule_at(cc.t_end_s + 20e-3, [&] { groups.stop(); });
+  fx.sched.run();  // must terminate: no phase may wedge
+
+  out.stats = coll.stats();
+  if (!out.results.empty()) {
+    out.last_survivors = out.results.back().survivors;
+    for (const topo::NodeId m : out.last_survivors) {
+      out.last_observed_all += coll.observed_all(m) ? 1 : 0;
+    }
+  }
+  return out;
+}
+
+void check_coll_churn(const CollChurnRun& r, std::uint64_t seed) {
+  ASSERT_FALSE(r.results.empty()) << "seed " << seed;
+  // Every phase that started also completed (voiding bounds the worst
+  // case, so nothing wedges), and phases never overlap.
+  EXPECT_EQ(r.stats.phases_completed, r.stats.phases_started) << "seed " << seed;
+  for (std::size_t i = 0; i < r.results.size(); ++i) {
+    EXPECT_TRUE(r.results[i].completed) << "seed " << seed << " phase " << i;
+  }
+  // The exactly-once reduction guarantee holds across every restart.
+  EXPECT_EQ(r.stats.double_applies, 0u) << "seed " << seed;
+  // Every survivor of the final phase holds the complete (recoverable)
+  // result -- the churn-replay acceptance check.
+  EXPECT_EQ(r.last_observed_all, r.last_survivors.size()) << "seed " << seed;
+}
+
+TEST(CollChurn, AllgatherSurvivorsHoldFullResultAcrossSeeds) {
+  for (const std::uint64_t seed : {11u, 42u, 77u}) {
+    check_coll_churn(run_coll_churn(coll::OpKind::kAllgather, seed), seed);
+  }
+}
+
+TEST(CollChurn, AllreduceNeverDoubleAppliesAcrossSeeds) {
+  for (const std::uint64_t seed : {5u, 29u, 301u}) {
+    check_coll_churn(run_coll_churn(coll::OpKind::kAllreduce, seed), seed);
+  }
+}
+
+TEST(CollChurn, ReplaysDeterministically) {
+  const CollChurnRun a = run_coll_churn(coll::OpKind::kAllgather, 99);
+  const CollChurnRun b = run_coll_churn(coll::OpKind::kAllgather, 99);
+  ASSERT_EQ(a.results.size(), b.results.size());
+  EXPECT_EQ(a.stats.chunks_sent, b.stats.chunks_sent);
+  EXPECT_EQ(a.stats.chunks_reissued, b.stats.chunks_reissued);
+  EXPECT_EQ(a.stats.restarts, b.stats.restarts);
+  EXPECT_EQ(a.last_survivors, b.last_survivors);
+  for (std::size_t i = 0; i < a.results.size(); ++i) {
+    EXPECT_EQ(a.results[i].completed_at_s, b.results[i].completed_at_s);
+    EXPECT_EQ(a.results[i].survivors, b.results[i].survivors);
+  }
+}
+
+}  // namespace

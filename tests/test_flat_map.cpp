@@ -1,0 +1,112 @@
+// util::FlatMap: the sorted-vector map backing per-group control-plane
+// state (ordering, std::map-compatible semantics, mutation helpers).
+#include <gtest/gtest.h>
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/flat_map.hpp"
+
+namespace {
+
+using mcnet::util::FlatMap;
+
+TEST(FlatMap, InsertsKeepKeysSorted) {
+  FlatMap<int, std::string> m;
+  EXPECT_TRUE(m.empty());
+  m[30] = "c";
+  m[10] = "a";
+  m[20] = "b";
+  EXPECT_EQ(m.size(), 3u);
+
+  std::vector<int> keys;
+  for (const auto& [k, v] : m) keys.push_back(k);
+  EXPECT_EQ(keys, (std::vector<int>{10, 20, 30}));
+  EXPECT_EQ(m.find(20)->second, "b");
+  EXPECT_EQ(m.find(15), m.end());
+  EXPECT_TRUE(m.contains(10));
+  EXPECT_FALSE(m.contains(11));
+}
+
+TEST(FlatMap, OperatorBracketDefaultConstructsOnce) {
+  FlatMap<int, int> m;
+  EXPECT_EQ(m[5], 0);
+  m[5] = 42;
+  EXPECT_EQ(m[5], 42);  // no clobber on re-access
+  EXPECT_EQ(m.size(), 1u);
+}
+
+TEST(FlatMap, TryEmplaceIsNoOpOnExistingKey) {
+  FlatMap<int, std::string> m;
+  auto [it1, ins1] = m.try_emplace(1, "first");
+  EXPECT_TRUE(ins1);
+  auto [it2, ins2] = m.try_emplace(1, "second");
+  EXPECT_FALSE(ins2);
+  EXPECT_EQ(it2->second, "first");
+  EXPECT_EQ(it1->first, 1);
+}
+
+TEST(FlatMap, InsertOrAssignOverwrites) {
+  FlatMap<int, std::string> m;
+  EXPECT_TRUE(m.insert_or_assign(7, "x").second);
+  EXPECT_FALSE(m.insert_or_assign(7, "y").second);
+  EXPECT_EQ(m.find(7)->second, "y");
+  EXPECT_EQ(m.size(), 1u);
+}
+
+TEST(FlatMap, EraseByKeyAndIterator) {
+  FlatMap<int, int> m;
+  for (int k = 0; k < 5; ++k) m[k] = k * k;
+  EXPECT_EQ(m.erase(3), 1u);
+  EXPECT_EQ(m.erase(3), 0u);
+  EXPECT_EQ(m.size(), 4u);
+
+  const auto it = m.find(1);
+  ASSERT_NE(it, m.end());
+  const auto next = m.erase(it);
+  EXPECT_EQ(next->first, 2);
+  EXPECT_FALSE(m.contains(1));
+}
+
+TEST(FlatMap, LowerBoundFindsInsertionPoint) {
+  FlatMap<int, int> m;
+  m[10] = 1;
+  m[20] = 2;
+  EXPECT_EQ(m.lower_bound(5)->first, 10);
+  EXPECT_EQ(m.lower_bound(10)->first, 10);
+  EXPECT_EQ(m.lower_bound(15)->first, 20);
+  EXPECT_EQ(m.lower_bound(25), m.end());
+}
+
+TEST(FlatMap, RetainFiltersInOnePass) {
+  FlatMap<int, int> m;
+  for (int k = 0; k < 10; ++k) m[k] = k;
+  m.retain([](const int& k, const int&) { return k % 3 == 0; });
+  std::vector<int> keys;
+  for (const auto& [k, v] : m) keys.push_back(k);
+  EXPECT_EQ(keys, (std::vector<int>{0, 3, 6, 9}));
+}
+
+TEST(FlatMap, PairKeysOrderLexicographically) {
+  // The receiver-stream map keys on (receiver, sender) pairs.
+  FlatMap<std::pair<int, int>, int> m;
+  m[{2, 1}] = 21;
+  m[{1, 2}] = 12;
+  m[{1, 1}] = 11;
+  std::vector<std::pair<int, int>> keys;
+  for (const auto& [k, v] : m) keys.push_back(k);
+  EXPECT_EQ(keys, (std::vector<std::pair<int, int>>{{1, 1}, {1, 2}, {2, 1}}));
+  EXPECT_EQ(m.find({1, 2})->second, 12);
+}
+
+TEST(FlatMap, ClearAndReserve) {
+  FlatMap<int, int> m;
+  m.reserve(16);
+  for (int k = 0; k < 8; ++k) m[k] = k;
+  m.clear();
+  EXPECT_TRUE(m.empty());
+  EXPECT_FALSE(m.contains(0));
+}
+
+}  // namespace

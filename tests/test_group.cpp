@@ -373,4 +373,213 @@ TEST(GroupService, ScenarioReplaysDeterministically) {
   EXPECT_GE(a.size(), 3u);  // view 1, the eviction, the rejoin
 }
 
+TEST(GroupService, SendToSubsetDeliversOnlyToTargetsAndPlugsHoles) {
+  Fixture fx(4, 4);
+  svc::GroupService groups(fx.service);
+  const auto gid = groups.create_group({0, 5, 10, 15});
+
+  // receiver -> sequence numbers surfaced, in order.
+  std::map<topo::NodeId, std::vector<svc::SeqNum>> seen;
+  groups.on_app_delivery([&](svc::GroupId, topo::NodeId recv, topo::NodeId,
+                             svc::SeqNum seq, svc::ViewId) {
+    seen[recv].push_back(seq);
+  });
+
+  svc::GroupSendReport subset_report;
+  bool reported = false;
+  const auto s0 = groups.send_to(gid, 0, {5}, [&](const svc::GroupSendReport& r) {
+    subset_report = r;
+    reported = true;
+  });
+  const auto s1 = groups.send(gid, 0);  // whole group
+  EXPECT_EQ(s0, 0u);
+  EXPECT_EQ(s1, 1u);
+
+  fx.sched.schedule_at(5e-3, [&] { groups.stop(); });
+  fx.sched.run();
+
+  // The subset send reports exactly its target.
+  ASSERT_TRUE(reported);
+  ASSERT_EQ(subset_report.destinations.size(), 1u);
+  EXPECT_EQ(subset_report.destinations[0].node, 5u);
+  EXPECT_EQ(subset_report.destinations[0].outcome, svc::GroupOutcome::kDeliveredInView);
+  EXPECT_TRUE(subset_report.stable_in_view);
+
+  // The target saw both sequences in order; non-targets saw seq 0 as a
+  // plugged hole and surfaced seq 1 without wedging behind it.
+  EXPECT_EQ(seen[5], (std::vector<svc::SeqNum>{0, 1}));
+  EXPECT_EQ(seen[10], (std::vector<svc::SeqNum>{1}));
+  EXPECT_EQ(seen[15], (std::vector<svc::SeqNum>{1}));
+}
+
+TEST(GroupService, SendToValidatesDestinations) {
+  Fixture fx(4, 4);
+  svc::GroupService groups(fx.service);
+  const auto gid = groups.create_group({0, 5, 10});
+
+  EXPECT_THROW(groups.send_to(gid, 0, {}), std::invalid_argument);
+  EXPECT_THROW(groups.send_to(gid, 0, {0}), std::invalid_argument);    // self
+  EXPECT_THROW(groups.send_to(gid, 0, {7}), std::invalid_argument);    // non-member
+  EXPECT_THROW(groups.send_to(gid, 7, {5}), std::invalid_argument);    // bad sender
+  EXPECT_THROW(groups.send_to(gid, 0, {5, 7}), std::invalid_argument); // mixed
+
+  // Duplicates dedupe to a single destination.
+  svc::GroupSendReport report;
+  groups.send_to(gid, 0, {5, 5, 5}, [&](const svc::GroupSendReport& r) { report = r; });
+  fx.sched.schedule_at(5e-3, [&] { groups.stop(); });
+  fx.sched.run();
+  EXPECT_EQ(report.destinations.size(), 1u);
+}
+
+TEST(GroupService, JoinerInFlightSendsSurviveRejoin) {
+  // Regression: node 5 launches sends, then leaves and rejoins while they
+  // are still in flight.  Its messages still owe the continuous members,
+  // so their streams must keep surfacing them -- the pre-fix joiner reset
+  // clobbered every {peer, joiner} stream to the joiner's next_seq and
+  // silently discarded all three.
+  Fixture fx(4, 4);
+  svc::GroupService groups(fx.service);
+  const auto gid = groups.create_group({0, 5, 10});
+
+  std::map<topo::NodeId, std::vector<svc::SeqNum>> from5;
+  groups.on_app_delivery([&](svc::GroupId, topo::NodeId recv, topo::NodeId snd,
+                             svc::SeqNum seq, svc::ViewId) {
+    if (snd == 5) from5[recv].push_back(seq);
+  });
+
+  for (int i = 0; i < 3; ++i) groups.send(gid, 5);
+  groups.leave(gid, 5);
+  groups.join(gid, 5);
+  groups.send(gid, 5);  // post-rejoin send continues the same stream
+
+  fx.sched.schedule_at(10e-3, [&] { groups.stop(); });
+  fx.sched.run();
+
+  EXPECT_EQ(from5[0], (std::vector<svc::SeqNum>{0, 1, 2, 3}));
+  EXPECT_EQ(from5[10], (std::vector<svc::SeqNum>{0, 1, 2, 3}));
+  EXPECT_EQ(groups.in_flight(gid, 5), 0u);
+}
+
+TEST(GroupService, JoinerResetIsReentrantAcrossConsecutiveInstalls) {
+  // The same node joining in two consecutive view installs (evict + rejoin
+  // before hearing any sequence) must behave exactly like a single join.
+  Fixture fx(4, 4);
+  svc::GroupService groups(fx.service);
+  const auto gid = groups.create_group({0, 5, 10});
+
+  std::map<topo::NodeId, std::vector<svc::SeqNum>> from5;
+  groups.on_app_delivery([&](svc::GroupId, topo::NodeId recv, topo::NodeId snd,
+                             svc::SeqNum seq, svc::ViewId) {
+    if (snd == 5) from5[recv].push_back(seq);
+  });
+
+  for (int i = 0; i < 3; ++i) groups.send(gid, 5);
+  groups.leave(gid, 5);
+  groups.join(gid, 5);
+  groups.leave(gid, 5);  // second churn round before anything delivered
+  groups.join(gid, 5);
+  groups.send(gid, 5);
+
+  fx.sched.schedule_at(10e-3, [&] { groups.stop(); });
+  fx.sched.run();
+
+  EXPECT_EQ(groups.view(gid).id, 5u);  // create + 4 installs
+  EXPECT_EQ(from5[0], (std::vector<svc::SeqNum>{0, 1, 2, 3}));
+  EXPECT_EQ(from5[10], (std::vector<svc::SeqNum>{0, 1, 2, 3}));
+  EXPECT_EQ(groups.stalled_senders(), 0u);
+}
+
+TEST(GroupService, DeliveryAndViewSettledHooksFireAndRemove) {
+  Fixture fx(4, 4);
+  svc::GroupService groups(fx.service);
+
+  std::uint64_t app_count = 0;
+  groups.on_app_delivery(
+      [&](svc::GroupId, topo::NodeId, topo::NodeId, svc::SeqNum, svc::ViewId) {
+        ++app_count;
+      });
+  svc::ViewId last_change_view = 0;
+  groups.on_view_change(
+      [&](svc::GroupId, const svc::MembershipView& v) { last_change_view = v.id; });
+
+  std::uint64_t hook_deliveries = 0;
+  const auto dh = groups.add_delivery_hook(
+      [&](svc::GroupId, topo::NodeId, topo::NodeId, svc::SeqNum, svc::ViewId) {
+        ++hook_deliveries;
+      });
+  std::vector<svc::ViewId> settled;
+  const auto vh = groups.add_view_settled_hook(
+      [&](svc::GroupId, const svc::MembershipView& v) {
+        // Settles strictly after the view-change callback for the same view.
+        EXPECT_EQ(last_change_view, v.id);
+        settled.push_back(v.id);
+      });
+
+  const auto gid = groups.create_group({0, 5, 10});
+  groups.send(gid, 0);
+  groups.join(gid, 15);
+  fx.sched.schedule_at(5e-3, [&] { groups.stop(); });
+  fx.sched.run();
+
+  EXPECT_EQ(settled, (std::vector<svc::ViewId>{1, 2}));
+  EXPECT_GT(hook_deliveries, 0u);
+  EXPECT_EQ(hook_deliveries, app_count);  // hooks mirror every in-order delivery
+
+  // Removed hooks go quiet; the application callbacks keep firing.
+  groups.remove_delivery_hook(dh);
+  groups.remove_view_settled_hook(vh);
+  const std::uint64_t hook_before = hook_deliveries;
+  const std::uint64_t app_before = app_count;
+  evsim::Scheduler& sched = fx.sched;
+  groups.send(gid, 5);
+  groups.leave(gid, 15);
+  sched.schedule_at(sched.now() + 5e-3, [&] { groups.stop(); });
+  fx.sched.run();
+  EXPECT_EQ(hook_deliveries, hook_before);
+  EXPECT_EQ(settled.size(), 2u);
+  EXPECT_GT(app_count, app_before);
+}
+
+TEST(GroupService, ManyGroupsScaleWithFlatStorage) {
+  // Scaling regression for the flat per-group storage: thousands of
+  // concurrent groups, one send each, must create, deliver, and drain
+  // their windows without detector interference.
+  Fixture fx(16, 16);
+  svc::GroupConfig cfg;
+  cfg.heartbeat_period_s = 10e-3;
+  cfg.sweep_period_s = 10e-3;
+  cfg.suspicion_min_timeout_s = 200e-3;  // unreachable within the run
+  svc::GroupService groups(fx.service, cfg);
+
+  constexpr std::uint32_t kGroups = 1600;
+  std::vector<svc::GroupId> gids;
+  gids.reserve(kGroups);
+  std::vector<topo::NodeId> bases;
+  for (std::uint32_t i = 0; i < kGroups; ++i) {
+    const auto base = static_cast<topo::NodeId>((7 * i) % 253);
+    bases.push_back(base);
+    gids.push_back(groups.create_group({base, base + 1, base + 2}));
+  }
+  EXPECT_EQ(groups.num_groups(), kGroups);
+
+  // Stagger one send per group so the mesh is loaded but not saturated.
+  for (std::uint32_t i = 0; i < kGroups; ++i) {
+    fx.sched.schedule_at(1e-6 * i, [&groups, gid = gids[i], base = bases[i]] {
+      groups.send(gid, base);
+    });
+  }
+  fx.sched.schedule_at(8e-3, [&] { groups.stop(); });
+  fx.sched.run();
+
+  EXPECT_EQ(groups.stats().sends, kGroups);
+  EXPECT_GT(groups.stats().delivered_in_view, 0u);
+  EXPECT_EQ(groups.stats().evictions, 0u);  // detector stayed quiet
+  EXPECT_EQ(groups.stalled_senders(), 0u);
+  for (std::uint32_t i = 0; i < kGroups; i += 97) {
+    EXPECT_EQ(groups.view(gids[i]).id, 1u);
+    EXPECT_EQ(groups.in_flight(gids[i], bases[i]), 0u);
+    EXPECT_EQ(groups.queued(gids[i], bases[i]), 0u);
+  }
+}
+
 }  // namespace
