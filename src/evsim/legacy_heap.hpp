@@ -1,0 +1,90 @@
+// The seed's binary-heap-of-std::function simulation kernel, preserved
+// verbatim (header-only) as a reference implementation.  Two consumers keep
+// it honest and alive:
+//
+//   * differential tests (tests/test_evsim_kernel.cpp) pin the calendar
+//     kernel's dispatch order against this one on randomized workloads, and
+//   * bench_kernel reports the calendar kernel's events/sec as a ratio over
+//     this kernel -- the machine-independent speedup figure the bench-smoke
+//     gate tracks.
+//
+// Do not use it in new simulation code: it heap-allocates one std::function
+// per scheduled event, re-heapifies over a moved-from element on every
+// dispatch, and has no cancellation.  Those are exactly the defects the
+// production kernel in scheduler.hpp exists to fix.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <stdexcept>
+#include <utility>
+#include <vector>
+
+namespace mcnet::evsim {
+
+class LegacyHeapScheduler {
+ public:
+  using Handler = std::function<void()>;
+
+  [[nodiscard]] double now() const { return now_; }
+
+  void schedule_at(double t, Handler h) {
+    if (t < now_) throw std::invalid_argument("cannot schedule into the past");
+    queue_.push(Event{t, next_seq_++, std::move(h)});
+  }
+
+  void schedule_in(double dt, Handler h) { schedule_at(now_ + dt, std::move(h)); }
+
+  bool step() {
+    if (queue_.empty()) return false;
+    // priority_queue::top() is const; the handler is moved out via a
+    // const_cast, then pop() re-heapifies over the moved-from Event.  This
+    // is the hazard the production kernel eliminates.
+    Event ev = std::move(const_cast<Event&>(queue_.top()));
+    queue_.pop();
+    now_ = ev.t;
+    ++dispatched_;
+    ev.h();
+    return true;
+  }
+
+  std::uint64_t run() {
+    std::uint64_t n = 0;
+    while (step()) ++n;
+    return n;
+  }
+
+  std::uint64_t run_until(double t_end) {
+    std::uint64_t n = 0;
+    while (!queue_.empty() && queue_.top().t <= t_end) {
+      step();
+      ++n;
+    }
+    if (now_ < t_end) now_ = t_end;
+    return n;
+  }
+
+  [[nodiscard]] bool empty() const { return queue_.empty(); }
+  [[nodiscard]] std::size_t pending() const { return queue_.size(); }
+  [[nodiscard]] std::uint64_t events_dispatched() const { return dispatched_; }
+
+ private:
+  struct Event {
+    double t;
+    std::uint64_t seq;
+    Handler h;
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const {
+      return a.t > b.t || (a.t == b.t && a.seq > b.seq);
+    }
+  };
+
+  double now_ = 0.0;
+  std::uint64_t next_seq_ = 0;
+  std::uint64_t dispatched_ = 0;
+  std::priority_queue<Event, std::vector<Event>, Later> queue_;
+};
+
+}  // namespace mcnet::evsim

@@ -1,31 +1,114 @@
 // Event-driven simulation kernel: the substrate standing in for the CSIM
-// package the paper's simulations were written with.  A Scheduler owns a
-// time-ordered event queue; ties break in schedule order so runs are fully
-// deterministic.
+// package the paper's simulations were written with.
+//
+// This is the rebuilt hot path (see docs/KERNEL.md):
+//
+//   * Event records live in address-stable slab arenas and carry their
+//     callable inline (EventFn, no std::function / no per-event heap
+//     allocation on the hot path).
+//   * The pending set is a calendar queue -- an array of time-bucketed
+//     intrusive lists covering a sliding window, O(1) amortized insert and
+//     extract at wormhole timescales -- with a binary-heap overflow band
+//     for sparse far-future events (timeouts, fault plans), so a 1 s
+//     timeout never degrades the 50 ns flit traffic.
+//   * schedule_at/schedule_in return an EventId cancellation handle;
+//     cancel() destroys the callable immediately (releasing its captures)
+//     and the carcass is discarded lazily when its bucket drains.
+//
+// Determinism rules (pinned by the Kernel test suites and the golden
+// replay):
+//   * Dispatch order is strict (time, schedule order): ties at one
+//     timestamp run FIFO in the order they were scheduled, including
+//     events scheduled from inside a running handler at the current time.
+//   * The calendar geometry (bucket count, width, window position) never
+//     affects dispatch order -- it is a performance knob only.
+//
+// Exception contract: if a handler throws (from step/run/run_until), the
+// throwing event counts as dispatched, its callable is destroyed, the
+// clock rests at the event's timestamp (run_until does NOT advance to
+// t_end), every other pending event stays queued, and the scheduler
+// remains fully usable.  The exception propagates to the caller.
+//
+// Time-arithmetic clamp: schedule_at accepts times up to a few ulp in the
+// past (derived-time arithmetic like `(depth + l - 1 - p) * tau` can
+// undershoot now() by sub-ulp amounts) and clamps them to now(); genuinely
+// past times still throw std::invalid_argument.
 #pragma once
 
 #include <cstdint>
-#include <functional>
-#include <queue>
+#include <limits>
+#include <memory>
+#include <utility>
 #include <vector>
+
+#include "evsim/event_fn.hpp"
 
 namespace mcnet::evsim {
 
 /// Simulated time in seconds.
 using SimTime = double;
 
+/// Cancellation handle for a scheduled event.  Null by default; a handle
+/// stays safe to cancel() forever (slot reuse is generation-checked), it
+/// just becomes a no-op once the event has fired or been cancelled.
+class EventId {
+ public:
+  EventId() = default;
+  [[nodiscard]] bool valid() const { return slot_ != kNull; }
+  explicit operator bool() const { return valid(); }
+
+ private:
+  friend class Scheduler;
+  static constexpr std::uint32_t kNull = 0xFFFFFFFFu;
+  EventId(std::uint32_t slot, std::uint32_t gen) : slot_(slot), gen_(gen) {}
+  std::uint32_t slot_ = kNull;
+  std::uint32_t gen_ = 0;
+};
+
 class Scheduler {
  public:
-  using Handler = std::function<void()>;
+  Scheduler();
+  ~Scheduler();
+  Scheduler(const Scheduler&) = delete;
+  Scheduler& operator=(const Scheduler&) = delete;
 
   /// Current simulated time (the timestamp of the last dispatched event).
   [[nodiscard]] SimTime now() const { return now_; }
 
-  /// Schedule `h` at absolute time `t` (must be >= now()).
-  void schedule_at(SimTime t, Handler h);
+  /// Schedule `f` at absolute time `t` (>= now(), modulo the ulp clamp
+  /// documented above).  Returns a cancellation handle.
+  template <typename F>
+  EventId schedule_at(SimTime t, F&& f) {
+    t = admit_time(t);
+    // Start the destination bucket's line towards the core now; the
+    // alloc + capture construction below overlaps the fetch.  (For
+    // far-future times this prefetches a harmless arbitrary bucket.)
+    __builtin_prefetch(&buckets_[static_cast<std::size_t>(bucket_of(t) & mask_)], 1);
+    const std::uint32_t slot = alloc_slot();
+    Event& ev = event(slot);
+    ev.t = t;
+    ev.seq = next_seq_++;
+    ev.fn.emplace(std::forward<F>(f));
+    ev.state = State::kQueued;
+    const EventId id(slot, ev.gen);
+    enqueue(slot, t);
+    ++live_;
+    if (live_ > (mask_ + 1) / 2 && mask_ + 1 < kMaxBuckets) grow();
+    if (overloaded_) maybe_overload_rebuild();
+    return id;
+  }
 
-  /// Schedule `h` after a delay of `dt` (must be >= 0).
-  void schedule_in(SimTime dt, Handler h) { schedule_at(now_ + dt, std::move(h)); }
+  /// Schedule `f` after a delay of `dt` (must be >= 0, modulo ulp clamp).
+  template <typename F>
+  EventId schedule_in(SimTime dt, F&& f) {
+    return schedule_at(now_ + dt, std::forward<F>(f));
+  }
+
+  /// Cancel a pending event: its callable is destroyed immediately (never
+  /// runs) and the event will not count as dispatched.  Returns true when
+  /// the handle named a still-pending event; false for null/fired/
+  /// cancelled/stale handles (all safe).
+  bool cancel(EventId id);
 
   /// Dispatch the next event; returns false when the queue is empty.
   bool step();
@@ -34,29 +117,133 @@ class Scheduler {
   std::uint64_t run();
 
   /// Dispatch events with timestamps <= `t_end`, then advance the clock to
-  /// `t_end`; returns the number of events run.
+  /// `t_end`; returns the number of events run.  On a handler throw the
+  /// clock stays at the event's time (see the exception contract above).
   std::uint64_t run_until(SimTime t_end);
 
-  [[nodiscard]] bool empty() const { return queue_.empty(); }
-  [[nodiscard]] std::size_t pending() const { return queue_.size(); }
+  [[nodiscard]] bool empty() const { return live_ == 0; }
+  /// Scheduled-and-not-yet-fired events (cancelled events excluded).
+  [[nodiscard]] std::size_t pending() const { return live_; }
   [[nodiscard]] std::uint64_t events_dispatched() const { return dispatched_; }
+  [[nodiscard]] std::uint64_t events_cancelled() const { return cancelled_; }
+
+  /// Calendar geometry, exposed for tests and bench introspection.
+  [[nodiscard]] std::size_t num_buckets() const { return mask_ + 1; }
+  [[nodiscard]] double bucket_width() const { return width_; }
+  [[nodiscard]] std::size_t overflow_size() const { return overflow_.size(); }
 
  private:
-  struct Event {
-    SimTime t;
-    std::uint64_t seq;
-    Handler h;
+  enum class State : std::uint8_t { kFree, kQueued, kCancelled, kRunning };
+
+  // Cache-line aligned so the header (t, seq, links) plus the EventFn ops
+  // pointer plus the first ~16 bytes of capture -- i.e. everything a
+  // dispatch of a typical {this, id} closure touches -- sit in one line.
+  struct alignas(64) Event {
+    SimTime t = 0.0;
+    std::uint64_t seq = 0;
+    std::uint32_t next = kNil;  // intrusive bucket list / freelist link
+    std::uint32_t gen = 0;      // bumped on slot free; validates EventIds
+    State state = State::kFree;
+    bool in_overflow = false;  // lives in the overflow heap, not a bucket
+    EventFn fn;
   };
-  struct Later {
-    bool operator()(const Event& a, const Event& b) const {
-      return a.t > b.t || (a.t == b.t && a.seq > b.seq);
-    }
+
+  struct Bucket {
+    std::uint32_t head = kNil;
+    std::uint32_t tail = kNil;
   };
+
+  static constexpr std::uint32_t kNil = 0xFFFFFFFFu;
+  static constexpr std::uint32_t kSlabShift = 10;  // 1024 events per slab
+  static constexpr std::uint32_t kSlabSize = 1u << kSlabShift;
+  static constexpr std::uint64_t kMaxBuckets = 1u << 20;
+  /// Bucket indices past 2^53 exceed double's contiguous-integer range;
+  /// everything beyond is one far-future band in the overflow heap.
+  static constexpr double kMaxBucketIndex = 9007199254740992.0;  // 2^53
+  static constexpr std::uint64_t kFarFuture = 1ull << 62;
+
+  // --- slab arena -----------------------------------------------------
+  [[nodiscard]] Event& event(std::uint32_t i) {
+    return slabs_[i >> kSlabShift][i & (kSlabSize - 1)];
+  }
+  std::uint32_t alloc_slot();
+  void free_slot(std::uint32_t slot);
+
+  // --- calendar queue -------------------------------------------------
+  [[nodiscard]] std::uint64_t bucket_of(SimTime t) const {
+    const double b = t * inv_width_;
+    if (!(b < kMaxBucketIndex)) return kFarFuture;
+    return static_cast<std::uint64_t>(b);
+  }
+  /// Clamp + validate a schedule time (ulp slack, throw on the past/NaN).
+  [[nodiscard]] SimTime admit_time(SimTime t) const;
+  void enqueue(std::uint32_t slot, SimTime t);
+  void bucket_insert(std::size_t idx, std::uint32_t slot);
+  void overflow_push(std::uint32_t slot);
+  std::uint32_t overflow_pop();
+  void overflow_sift_down(std::size_t i);
+  /// Drop cancelled carcasses from the overflow heap and re-heapify.
+  /// Called when carcasses outnumber live overflow events, so a sim that
+  /// cancels far-future timeouts en masse (the reliable-delivery pattern)
+  /// cannot leak arena slots until the window reaches their timestamps.
+  void compact_overflow();
+  void refill_from_overflow();
+  /// Advance to the next live (non-cancelled) event, discarding carcasses;
+  /// returns its slot (still at the head of bucket `cur_`) or kNil.
+  std::uint32_t skim();
+  /// Pop the skimmed head and run it (exception contract applies).
+  void dispatch(std::uint32_t slot);
+  /// Re-bucket every pending event under a new geometry.  With
+  /// `estimate_width` the width argument is replaced by a sample-based
+  /// estimate of the pending population's inter-event gap (falls back to
+  /// `width` when the sample is too small to trust).
+  void rebuild(std::uint64_t nbuckets, double width, bool estimate_width = false);
+  void grow();
+  void maybe_retune();
+  void maybe_overload_rebuild();
 
   SimTime now_ = 0.0;
   std::uint64_t next_seq_ = 0;
   std::uint64_t dispatched_ = 0;
-  std::priority_queue<Event, std::vector<Event>, Later> queue_;
+  std::uint64_t cancelled_ = 0;
+  std::size_t live_ = 0;
+
+  std::vector<std::unique_ptr<Event[]>> slabs_;
+  std::uint32_t free_head_ = kNil;
+  std::uint32_t next_unused_ = 0;
+
+  std::vector<Bucket> buckets_;
+  std::uint64_t mask_ = 0;     // buckets_.size() - 1 (power of two)
+  double width_ = 1e-6;        // bucket width in seconds (retuned online)
+  double inv_width_ = 1e6;
+  std::uint64_t win_lo_ = 0;   // first absolute bucket index of the window
+  std::uint64_t cur_ = 0;      // scan position (absolute bucket index)
+  std::size_t in_window_ = 0;  // events (incl. carcasses) in buckets_
+  /// Overflow-band heap entry: the sort key is duplicated here so sifts
+  /// and min-peeks walk this contiguous array instead of chasing slab
+  /// lines (the slab is only touched when an event actually moves).
+  struct OvfEntry {
+    SimTime t;
+    std::uint64_t seq;
+    std::uint32_t slot;
+  };
+  std::vector<OvfEntry> overflow_;      // min-heap by (t, seq)
+  std::size_t overflow_carcasses_ = 0;  // cancelled events still in overflow_
+
+  // Online width tuning: EWMA of nonzero inter-dispatch gaps.
+  double gap_ewma_ = 0.0;
+  SimTime last_dispatch_t_ = 0.0;
+  std::uint64_t retune_countdown_ = kRetunePeriod;
+  static constexpr std::uint64_t kRetunePeriod = 4096;
+
+  // Insert-side overload trigger: a bucket_insert that walks a chain past
+  // kOverloadChain flags the queue, and the next schedule_at/skim rebuilds
+  // with a sampled width.  Without this, a burst of inserts under a stale
+  // width piles everything into a few buckets and sorted insertion goes
+  // quadratic long before the dispatch-gap EWMA ever gets a chance to run.
+  bool overloaded_ = false;
+  std::size_t overload_mark_ = 0;  // live_ at the last overload rebuild
+  static constexpr std::uint32_t kOverloadChain = 16;
 };
 
 }  // namespace mcnet::evsim

@@ -56,6 +56,10 @@ struct MulticastService::ReliableOp {
 struct MulticastService::AttemptTrack {
   std::unordered_set<topo::NodeId> remaining;
   bool settled = false;  // attempt finished (done, or timed out and aborted)
+  /// The timeout backstop event; cancelled outright when the attempt
+  /// settles early, so no expired-timeout closure lingers in the kernel
+  /// holding the op/track alive.
+  evsim::EventId timeout;
 };
 
 void MulticastService::reliable_finalize(ReliableOp& op, topo::NodeId node,
@@ -292,7 +296,7 @@ void MulticastService::reliable_attempt(const std::shared_ptr<ReliableOp>& op,
   // aborted, which drops the undelivered destinations and fires the done
   // callback above.  This is what guarantees the simulation cannot hang on
   // a reliable message, deadlocked fallback routes included.
-  sched_->schedule_in(op->policy.timeout_s, [this, att, h] {
+  att->timeout = sched_->schedule_in(op->policy.timeout_s, [this, att, h] {
     if (!att->settled) {
       if (metrics_.active()) metrics_.timeouts->inc();
       network_->abort_message(h);
@@ -304,6 +308,7 @@ void MulticastService::reliable_attempt_done(const std::shared_ptr<ReliableOp>& 
                                              const std::shared_ptr<AttemptTrack>& att,
                                              std::uint32_t attempt) {
   att->settled = true;
+  sched_->cancel(att->timeout);  // settled early: the backstop dies unfired
   std::vector<topo::NodeId> failed(att->remaining.begin(), att->remaining.end());
   std::sort(failed.begin(), failed.end());  // deterministic retry order
   if (failed.empty()) {

@@ -150,7 +150,7 @@ void Network::begin_frontier(std::uint32_t worm_id) {
     }
   }
   if (w.granted == frontier_size) {
-    schedule_for_worm(params_.flit_time, worm_id, [this, worm_id] { advance(worm_id); });
+    arm_advance(worm_id);
   } else {
     w.block_started = sched_->now();
     if (params_.virtual_cut_through) vct_absorb(worm_id);
@@ -231,8 +231,13 @@ void Network::on_grant(std::uint32_t worm_id, std::uint32_t link_index, std::uin
       w.block_started = -1.0;
       if (metrics_.active()) metrics_.grant_wait_s->record(waited);
     }
-    schedule_for_worm(params_.flit_time, worm_id, [this, worm_id] { advance(worm_id); });
+    arm_advance(worm_id);
   }
+}
+
+void Network::arm_advance(std::uint32_t worm_id) {
+  worms_[worm_id].pending =
+      sched_->schedule_in(params_.flit_time, [this, worm_id] { advance(worm_id); });
 }
 
 void Network::release_link(Worm& w, std::uint32_t link_index) {
@@ -248,12 +253,17 @@ void Network::release_link(Worm& w, std::uint32_t link_index) {
 
 void Network::advance(std::uint32_t worm_id) {
   // NOTE: hooks may call inject(), which can reallocate worms_; never hold
-  // a Worm reference across a hook invocation.
+  // a Worm reference across a hook invocation.  A hook can also kill THIS
+  // worm (fail_channel / abort_message from a channel-trace or delivery
+  // callback) and even reuse its slot, so every callout is followed by a
+  // generation check.
+  worms_[worm_id].pending = evsim::EventId{};  // this event just fired
+  const std::uint64_t gen = worm_gen_[worm_id];
   const std::uint32_t l = params_.message_flits;
   worms_[worm_id].progress += 1;
 
-  // Tail release: link at depth d frees at progress d + L.  release_link
-  // never fires hooks (grant cascades only schedule events).
+  // Tail release: link at depth d frees at progress d + L.  Grant cascades
+  // fire the channel-trace hooks.
   while (true) {
     Worm& w = worms_[worm_id];
     if (w.next_release >= w.links.size() ||
@@ -262,6 +272,7 @@ void Network::advance(std::uint32_t worm_id) {
     }
     const std::uint32_t idx = w.next_release++;
     release_link(w, idx);
+    if (worm_gen_[worm_id] != gen) return;  // a hook retired this worm
   }
   // Deliveries: destination at depth d completes at progress d + L - 1.
   while (true) {
@@ -278,6 +289,7 @@ void Network::advance(std::uint32_t worm_id) {
       metrics_.delivery_latency_s->record(latency);
     }
     if (hooks_.on_delivery) hooks_.on_delivery(message, dest, latency);  // may inject
+    if (worm_gen_[worm_id] != gen) return;
   }
 
   if (worms_[worm_id].progress < worms_[worm_id].max_depth) {
@@ -290,50 +302,87 @@ void Network::advance(std::uint32_t worm_id) {
 void Network::drain(std::uint32_t worm_id) {
   Worm& w = worms_[worm_id];
   w.frontier_begin = w.frontier_end = 0;  // nothing left to acquire
+  w.drain_t0 = sched_->now();
+  // The next_delivery / next_release cursors advance as each milestone
+  // actually fires (not eagerly here), so a mid-drain kill_worm sees
+  // exactly which links are still held and which destinations are still
+  // owed a delivery.
+  arm_drain(worm_id);
+}
+
+void Network::arm_drain(std::uint32_t worm_id) {
+  Worm& w = worms_[worm_id];
   const std::uint32_t l = params_.message_flits;
   const double tau = params_.flit_time;
   const std::uint32_t p = w.progress;
+  // Finish is the latest milestone (deliveries sit at < L flit times,
+  // releases at <= L) and ran last in the per-event code, so it is the
+  // fallback, not a min candidate on its own.
+  double t_next = w.drain_t0 + static_cast<double>(l) * tau;
+  if (w.next_delivery < w.deliveries.size()) {
+    const double dt = static_cast<double>(w.deliveries[w.next_delivery].first + l - 1 - p) * tau;
+    t_next = std::min(t_next, w.drain_t0 + dt);
+  }
+  if (w.next_release < w.links.size()) {
+    const double dt = static_cast<double>(w.links[w.next_release].depth + l - p) * tau;
+    t_next = std::min(t_next, w.drain_t0 + dt);
+  }
+  w.pending = sched_->schedule_at(t_next, [this, worm_id] { drain_step(worm_id); });
+}
 
-  // The next_delivery / next_release cursors advance as each scheduled
-  // event actually fires (not eagerly here), so a mid-drain kill_worm sees
-  // exactly which links are still held and which destinations are still
-  // owed a delivery.  A kill bumps the worm generation, cancelling every
-  // event scheduled below.
-  for (std::uint32_t i = w.next_delivery; i < w.deliveries.size(); ++i) {
-    const auto [depth, dest] = w.deliveries[i];
-    const double dt = static_cast<double>(depth + l - 1 - p) * tau;
-    schedule_for_worm(dt, worm_id, [this, worm_id, i, dest] {
-      Worm& worm = worms_[worm_id];
-      worm.next_delivery = i + 1;
-      const double latency = sched_->now() - worm.t_created;
-      if (metrics_.active()) {
-        metrics_.deliveries->inc();
-        metrics_.delivery_latency_s->record(latency);
-      }
-      if (hooks_.on_delivery) hooks_.on_delivery(worm.message, dest, latency);
-    });
+void Network::drain_step(std::uint32_t worm_id) {
+  worms_[worm_id].pending = evsim::EventId{};
+  const std::uint64_t gen = worm_gen_[worm_id];
+  const std::uint32_t l = params_.message_flits;
+  const double tau = params_.flit_time;
+  const double now = sched_->now();
+
+  // Deliveries due now run before releases due now -- the per-event code
+  // scheduled all deliveries first, so equal-time ties broke the same way.
+  while (true) {
+    Worm& w = worms_[worm_id];
+    if (w.next_delivery >= w.deliveries.size()) break;
+    const auto [depth, dest] = w.deliveries[w.next_delivery];
+    const double t_due =
+        w.drain_t0 + static_cast<double>(depth + l - 1 - w.progress) * tau;
+    if (t_due > now) break;
+    ++w.next_delivery;
+    const std::uint64_t message = w.message;
+    const double latency = now - w.t_created;
+    if (metrics_.active()) {
+      metrics_.deliveries->inc();
+      metrics_.delivery_latency_s->record(latency);
+    }
+    if (hooks_.on_delivery) hooks_.on_delivery(message, dest, latency);  // may inject
+    if (worm_gen_[worm_id] != gen) return;  // a hook retired this worm
+  }
+  while (true) {
+    Worm& w = worms_[worm_id];
+    if (w.next_release >= w.links.size()) break;
+    const double t_due =
+        w.drain_t0 + static_cast<double>(w.links[w.next_release].depth + l - w.progress) * tau;
+    if (t_due > now) break;
+    const std::uint32_t idx = w.next_release++;
+    release_link(worms_[worm_id], idx);
+    if (worm_gen_[worm_id] != gen) return;
   }
 
-  for (std::uint32_t i = w.next_release; i < w.links.size(); ++i) {
-    const double dt = static_cast<double>(w.links[i].depth + l - p) * tau;
-    schedule_for_worm(dt, worm_id, [this, worm_id, i] {
-      Worm& worm = worms_[worm_id];
-      worm.next_release = i + 1;
-      release_link(worm, i);
-    });
+  Worm& w = worms_[worm_id];
+  const double t_finish = w.drain_t0 + static_cast<double>(l) * tau;
+  if (w.next_delivery >= w.deliveries.size() && w.next_release >= w.links.size() &&
+      t_finish <= now) {
+    finish_worm(worm_id);
+    return;
   }
-
-  // All releases (and the last delivery) lie at most L flit times out; the
-  // finish event is scheduled last so equal-time releases run first.
-  schedule_for_worm(static_cast<double>(l) * tau, worm_id,
-                    [this, worm_id] { finish_worm(worm_id); });
+  arm_drain(worm_id);
 }
 
 void Network::finish_worm(std::uint32_t worm_id) {
   // Retire the worm slot completely before firing the completion hook: the
   // hook may inject new multicasts, reallocating worms_ / messages_ and
   // reusing this slot.
-  ++worm_gen_[worm_id];  // drop any stray scheduled callbacks
+  ++worm_gen_[worm_id];  // invalidate victim snapshots / in-flight loop guards
+  worms_[worm_id].pending = evsim::EventId{};  // drain_step (running now) armed nothing
   const std::uint64_t message_id = worms_[worm_id].message;
   blocked_time_total_ += worms_[worm_id].blocked_time;
   {
@@ -360,7 +409,12 @@ void Network::finish_worm(std::uint32_t worm_id) {
 
 void Network::kill_worm(std::uint32_t worm_id) {
   if (!worms_[worm_id].active) return;
-  ++worm_gen_[worm_id];  // cancel every scheduled event of this incarnation
+  ++worm_gen_[worm_id];  // invalidate victim snapshots / in-flight loop guards
+  // True cancellation: the worm's pending advance/drain_step dies in the
+  // kernel (its closure is destroyed, never dispatched) instead of firing
+  // as a stale generation-checked no-op.
+  sched_->cancel(worms_[worm_id].pending);
+  worms_[worm_id].pending = evsim::EventId{};
   pool_.cancel_requests(worm_id);
   {
     Worm& w = worms_[worm_id];

@@ -163,6 +163,11 @@ class Network {
     std::uint32_t next_release = 0;  // first link not yet released
     double block_started = -1.0;     // time the current blocked wait began
     double blocked_time = 0.0;       // accumulated blocking (Sec. 2.2's term)
+    /// The worm's single outstanding kernel event (an advance or a
+    /// drain_step); null while blocked.  kill_worm cancels it outright --
+    /// no stale closure ever fires for a retired incarnation.
+    evsim::EventId pending;
+    double drain_t0 = 0.0;  // absolute base time of the drain milestones
     bool active = false;
 
     [[nodiscard]] bool blocked() const {
@@ -185,24 +190,29 @@ class Network {
   void vct_absorb(std::uint32_t worm_id);
   std::uint32_t allocate_worm();
   void on_grant(std::uint32_t worm_id, std::uint32_t link_index, std::uint8_t copy);
+  /// Arm the worm's single pending event: one flit time to the next hop.
+  void arm_advance(std::uint32_t worm_id);
   void advance(std::uint32_t worm_id);
+  /// Enter the completion drain: from here the worm is driven by one
+  /// self-rearming drain_step event that folds every same-time delivery
+  /// and tail release into a single kernel dispatch (the old code armed
+  /// one event per delivery, per link and for the finish).
   void drain(std::uint32_t worm_id);
+  /// Schedule drain_step at the earliest not-yet-fired drain milestone.
+  /// Milestones are absolute times off drain_t0 (delivery at depth d:
+  /// (d + L - 1 - p) flit times; release of the link at depth d:
+  /// (d + L - p); finish: L), computed with the exact same expressions the
+  /// per-event code used, so dispatch timestamps stay bit-identical.
+  void arm_drain(std::uint32_t worm_id);
+  void drain_step(std::uint32_t worm_id);
   void release_link(Worm& w, std::uint32_t link_index);
   void finish_worm(std::uint32_t worm_id);
-  /// Kill an active worm: cancel its waits, release its holds, drop its
-  /// undelivered destinations, retire the slot.
+  /// Kill an active worm: cancel its pending kernel event, cancel its
+  /// waits, release its holds, drop its undelivered destinations, retire
+  /// the slot.
   void kill_worm(std::uint32_t worm_id);
   /// Kill every worm holding or waiting on channel `c`.
   void kill_channel_users(ChannelId c);
-  /// Schedule `h` to run for the current incarnation of `worm_id` only:
-  /// the callback is dropped if the worm finishes or is killed first.
-  template <typename Fn>
-  void schedule_for_worm(double dt, std::uint32_t worm_id, Fn&& fn) {
-    const std::uint64_t gen = worm_gen_[worm_id];
-    sched_->schedule_in(dt, [this, worm_id, gen, fn = std::forward<Fn>(fn)] {
-      if (worm_gen_[worm_id] == gen) fn();
-    });
-  }
 
   /// Registry instruments bound once in set_metrics(); all-null when
   /// metrics are disabled (`active()` is the single hot-path check).
@@ -228,7 +238,12 @@ class Network {
   Metrics metrics_;
 
   std::vector<Worm> worms_;
-  std::vector<std::uint64_t> worm_gen_;  // incarnation counter per slot
+  /// Incarnation counter per worm slot.  Events are cancelled for real via
+  /// Worm::pending, but the counter still guards (a) victim snapshots in
+  /// kill_channel_users / abort_message and (b) hook callouts inside
+  /// advance / drain_step: a hook may kill this very worm and reuse its
+  /// slot, so the loops re-check the generation after every callout.
+  std::vector<std::uint64_t> worm_gen_;
   std::vector<std::uint32_t> free_worm_slots_;
   std::vector<Message> messages_;  // indexed by message id
   std::uint64_t next_message_ = 0;

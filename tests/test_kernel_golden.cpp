@@ -1,0 +1,289 @@
+// Golden event-order replay (Kernel suite): seeded dynamic runs recorded
+// under the seed's binary-heap scheduler are committed in tests/golden/ and
+// must replay bit-identically on the current kernel -- same injected and
+// completed message counts, and bit-for-bit identical delivery / drop /
+// completion records (times and latencies compared as exact double bit
+// patterns via hexfloats).
+//
+// Records are canonicalised by sorting on (time bits, message, destination):
+// within one timestamp the dispatch order of *independent* worms is a
+// per-kernel property (tie-break = schedule order, deterministic for any
+// given kernel, see docs/KERNEL.md) and is not pinned across kernel
+// versions; the set of observable records at each timestamp is.  Replay
+// determinism of the running kernel itself (exact unsorted hook sequence)
+// is asserted separately by running every scenario twice.
+//
+// Regenerating (only when the *observable* contract legitimately changes):
+//   MCNET_GOLDEN_RECORD=1 ./test_kernel_golden
+// writes fresh golden files into the source tree.
+#include <gtest/gtest.h>
+
+#include <cinttypes>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include "core/router.hpp"
+#include "evsim/scheduler.hpp"
+#include "topology/hypercube.hpp"
+#include "topology/mesh2d.hpp"
+#include "wormhole/network.hpp"
+#include "wormhole/traffic.hpp"
+
+#ifndef MCNET_GOLDEN_DIR
+#define MCNET_GOLDEN_DIR "tests/golden"
+#endif
+
+namespace {
+
+using namespace mcnet;
+
+std::uint64_t bits(double x) {
+  std::uint64_t u = 0;
+  std::memcpy(&u, &x, sizeof(u));
+  return u;
+}
+
+struct DeliveryRec {
+  std::uint64_t message;
+  topo::NodeId dest;
+  double time;
+  double latency;
+};
+struct DropRec {
+  std::uint64_t message;
+  topo::NodeId dest;
+  double time;
+};
+struct DoneRec {
+  std::uint64_t message;
+  double time;
+  double latency;
+};
+
+struct Trace {
+  std::vector<DeliveryRec> deliveries;
+  std::vector<DropRec> drops;
+  std::vector<DoneRec> done;
+  std::uint64_t injected = 0;
+  std::uint64_t completed = 0;
+  std::uint64_t dispatched = 0;
+
+  void canonicalise() {
+    std::sort(deliveries.begin(), deliveries.end(), [](const auto& a, const auto& b) {
+      return std::tuple(bits(a.time), a.message, a.dest) <
+             std::tuple(bits(b.time), b.message, b.dest);
+    });
+    std::sort(drops.begin(), drops.end(), [](const auto& a, const auto& b) {
+      return std::tuple(bits(a.time), a.message, a.dest) <
+             std::tuple(bits(b.time), b.message, b.dest);
+    });
+    std::sort(done.begin(), done.end(), [](const auto& a, const auto& b) {
+      return std::tuple(bits(a.time), a.message) < std::tuple(bits(b.time), b.message);
+    });
+  }
+};
+
+struct Scenario {
+  const char* name;
+  const topo::Topology& topology;
+  mcast::Algorithm algorithm;
+  double interarrival_s;
+  std::uint32_t avg_destinations;
+  std::uint64_t seed;
+  double run_until_s;
+  topo::ChannelId fail_channel;  // failed mid-run, recovered later
+  double fail_at_s;
+  double recover_at_s;
+};
+
+/// Run `s` to completion and return the observable trace (canonicalised)
+/// plus the raw unsorted hook order in `raw` when non-null.
+Trace run_scenario(const Scenario& s, std::vector<std::string>* raw = nullptr) {
+  evsim::Scheduler sched;
+  worm::Network network(s.topology, worm::WormholeParams{}, sched);
+  const auto router = mcast::make_router(s.topology, s.algorithm);
+  worm::TrafficConfig tc;
+  tc.mean_interarrival_s = s.interarrival_s;
+  tc.avg_destinations = s.avg_destinations;
+  tc.seed = s.seed;
+  worm::TrafficDriver driver(sched, network, tc, *router);
+
+  Trace trace;
+  char line[160];
+  worm::NetworkHooks hooks;
+  hooks.on_delivery = [&](std::uint64_t m, topo::NodeId d, double l) {
+    trace.deliveries.push_back({m, d, sched.now(), l});
+    if (raw != nullptr) {
+      std::snprintf(line, sizeof(line), "D %" PRIu64 " %u %a %a", m, d, sched.now(), l);
+      raw->emplace_back(line);
+    }
+  };
+  hooks.on_drop = [&](std::uint64_t m, topo::NodeId d, double t) {
+    trace.drops.push_back({m, d, t});
+    if (raw != nullptr) {
+      std::snprintf(line, sizeof(line), "X %" PRIu64 " %u %a", m, d, t);
+      raw->emplace_back(line);
+    }
+  };
+  hooks.on_message_done = [&](std::uint64_t m, double l) {
+    trace.done.push_back({m, sched.now(), l});
+    if (raw != nullptr) {
+      std::snprintf(line, sizeof(line), "M %" PRIu64 " %a %a", m, sched.now(), l);
+      raw->emplace_back(line);
+    }
+  };
+  network.set_hooks(std::move(hooks));
+
+  // A mid-run channel failure + recovery exercises the kill/cancellation
+  // path: killed worms drop their undelivered destinations.
+  sched.schedule_at(s.fail_at_s, [&] { network.fail_channel(s.fail_channel); });
+  sched.schedule_at(s.recover_at_s, [&] { network.recover_channel(s.fail_channel); });
+
+  driver.start();
+  sched.run_until(s.run_until_s);
+  driver.stop();
+  sched.run();  // drain in-flight worms (traffic stopped: the queue is finite)
+
+  trace.injected = network.messages_injected();
+  trace.completed = network.messages_completed();
+  trace.dispatched = sched.events_dispatched();
+  trace.canonicalise();
+  return trace;
+}
+
+std::string golden_path(const Scenario& s) {
+  return std::string(MCNET_GOLDEN_DIR) + "/" + s.name + ".golden";
+}
+
+void write_golden(const Scenario& s, const Trace& t) {
+  std::FILE* f = std::fopen(golden_path(s).c_str(), "w");
+  ASSERT_NE(f, nullptr) << "cannot write " << golden_path(s);
+  std::fprintf(f, "mcnet-golden-v1 %s\n", s.name);
+  std::fprintf(f, "deliveries %zu\n", t.deliveries.size());
+  for (const auto& d : t.deliveries) {
+    std::fprintf(f, "D %" PRIu64 " %u %a %a\n", d.message, d.dest, d.time, d.latency);
+  }
+  std::fprintf(f, "drops %zu\n", t.drops.size());
+  for (const auto& d : t.drops) {
+    std::fprintf(f, "X %" PRIu64 " %u %a\n", d.message, d.dest, d.time);
+  }
+  std::fprintf(f, "done %zu\n", t.done.size());
+  for (const auto& d : t.done) {
+    std::fprintf(f, "M %" PRIu64 " %a %a\n", d.message, d.time, d.latency);
+  }
+  std::fprintf(f, "injected %" PRIu64 " completed %" PRIu64 " dispatched %" PRIu64 "\n",
+               t.injected, t.completed, t.dispatched);
+  std::fclose(f);
+}
+
+bool read_golden(const Scenario& s, Trace& t) {
+  std::FILE* f = std::fopen(golden_path(s).c_str(), "r");
+  if (f == nullptr) return false;
+  char tag[32], name[64];
+  if (std::fscanf(f, "%31s %63s", tag, name) != 2 ||
+      std::string(tag) != "mcnet-golden-v1" || std::string(name) != s.name) {
+    std::fclose(f);
+    return false;
+  }
+  std::size_t n = 0;
+  bool ok = std::fscanf(f, "%31s %zu", tag, &n) == 2;
+  for (std::size_t i = 0; ok && i < n; ++i) {
+    DeliveryRec d{};
+    ok = std::fscanf(f, "%31s %" SCNu64 " %u %la %la", tag, &d.message, &d.dest, &d.time,
+                     &d.latency) == 5;
+    t.deliveries.push_back(d);
+  }
+  ok = ok && std::fscanf(f, "%31s %zu", tag, &n) == 2;
+  for (std::size_t i = 0; ok && i < n; ++i) {
+    DropRec d{};
+    ok = std::fscanf(f, "%31s %" SCNu64 " %u %la", tag, &d.message, &d.dest, &d.time) == 4;
+    t.drops.push_back(d);
+  }
+  ok = ok && std::fscanf(f, "%31s %zu", tag, &n) == 2;
+  for (std::size_t i = 0; ok && i < n; ++i) {
+    DoneRec d{};
+    ok = std::fscanf(f, "%31s %" SCNu64 " %la %la", tag, &d.message, &d.time, &d.latency) == 4;
+    t.done.push_back(d);
+  }
+  ok = ok && std::fscanf(f, "%31s %" SCNu64, tag, &t.injected) == 2 &&
+       std::fscanf(f, "%31s %" SCNu64, tag, &t.completed) == 2 &&
+       std::fscanf(f, "%31s %" SCNu64, tag, &t.dispatched) == 2;
+  std::fclose(f);
+  return ok;
+}
+
+void expect_trace_eq(const Trace& got, const Trace& want, const char* scenario) {
+  EXPECT_EQ(got.injected, want.injected) << scenario;
+  EXPECT_EQ(got.completed, want.completed) << scenario;
+  ASSERT_EQ(got.deliveries.size(), want.deliveries.size()) << scenario;
+  for (std::size_t i = 0; i < want.deliveries.size(); ++i) {
+    const auto& g = got.deliveries[i];
+    const auto& w = want.deliveries[i];
+    ASSERT_TRUE(g.message == w.message && g.dest == w.dest && bits(g.time) == bits(w.time) &&
+                bits(g.latency) == bits(w.latency))
+        << scenario << " delivery " << i << ": got {msg " << g.message << ", dest " << g.dest
+        << ", t " << g.time << ", lat " << g.latency << "} want {msg " << w.message
+        << ", dest " << w.dest << ", t " << w.time << ", lat " << w.latency << "}";
+  }
+  ASSERT_EQ(got.drops.size(), want.drops.size()) << scenario;
+  for (std::size_t i = 0; i < want.drops.size(); ++i) {
+    const auto& g = got.drops[i];
+    const auto& w = want.drops[i];
+    ASSERT_TRUE(g.message == w.message && g.dest == w.dest && bits(g.time) == bits(w.time))
+        << scenario << " drop " << i;
+  }
+  ASSERT_EQ(got.done.size(), want.done.size()) << scenario;
+  for (std::size_t i = 0; i < want.done.size(); ++i) {
+    const auto& g = got.done[i];
+    const auto& w = want.done[i];
+    ASSERT_TRUE(g.message == w.message && bits(g.time) == bits(w.time) &&
+                bits(g.latency) == bits(w.latency))
+        << scenario << " done " << i;
+  }
+  // The batched drain may only ever *reduce* the kernel event count
+  // relative to the recorded heap run; a dispatch-count regression above
+  // the golden figure means per-link events crept back in.
+  EXPECT_LE(got.dispatched, want.dispatched) << scenario;
+}
+
+void check_scenario(const Scenario& s) {
+  std::vector<std::string> raw1, raw2;
+  const Trace got = run_scenario(s, &raw1);
+  ASSERT_GT(got.deliveries.size(), 100u) << s.name << ": workload too small to pin anything";
+  ASSERT_GT(got.drops.size(), 0u) << s.name << ": fault window killed no worm";
+
+  // Replay determinism of the running kernel: the exact (unsorted) hook
+  // sequence must be reproducible run-to-run.
+  (void)run_scenario(s, &raw2);
+  ASSERT_EQ(raw1, raw2) << s.name << ": kernel replay is not deterministic";
+
+  if (std::getenv("MCNET_GOLDEN_RECORD") != nullptr) {
+    write_golden(s, got);
+    GTEST_SKIP() << "recorded " << golden_path(s);
+  }
+  Trace want;
+  ASSERT_TRUE(read_golden(s, want)) << "missing/corrupt golden " << golden_path(s)
+                                    << " (regenerate with MCNET_GOLDEN_RECORD=1)";
+  expect_trace_eq(got, want, s.name);
+}
+
+TEST(KernelGolden, MeshDynamicRunReplaysBitIdentically) {
+  const topo::Mesh2D mesh(6, 6);
+  check_scenario(Scenario{"mesh6x6_dualpath", mesh, mcast::Algorithm::kDualPath,
+                          /*interarrival=*/100e-6, /*avg_dests=*/4, /*seed=*/2026,
+                          /*run_until=*/2e-3, /*fail_channel=*/3,
+                          /*fail_at=*/0.5e-3, /*recover_at=*/0.9e-3});
+}
+
+TEST(KernelGolden, HypercubeDynamicRunReplaysBitIdentically) {
+  const topo::Hypercube cube(4);
+  check_scenario(Scenario{"cube4_multipath", cube, mcast::Algorithm::kMultiPath,
+                          /*interarrival=*/80e-6, /*avg_dests=*/5, /*seed=*/909,
+                          /*run_until=*/2e-3, /*fail_channel=*/5,
+                          /*fail_at=*/0.4e-3, /*recover_at=*/0.8e-3});
+}
+
+}  // namespace

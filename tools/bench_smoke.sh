@@ -34,6 +34,13 @@ for bench in "${benches[@]}"; do
   "${build_dir}/bench/${bench}" > /dev/null
 done
 
+# The kernel bench runs at full scale: its headline gate compares the
+# calendar-vs-heap speedup against the committed baseline, and that ratio
+# only develops once the heap's stale-backstop pending set has had time to
+# bloat -- at 5 % scale the heap never degrades and the ratio undershoots.
+echo "== bench_kernel (scale 1.0, headline gate) =="
+MCNET_BENCH_SCALE=1.0 "${build_dir}/bench/bench_kernel" > /dev/null
+
 # The simulator driver's trace output must stay loadable too.
 "${build_dir}/tools/mcnet_sim" --topology "${MCNET_SIM_TOPOLOGY}" --algorithm dual-path \
   --dests 5 --messages 50 --interarrival-us 300 \
@@ -46,3 +53,18 @@ EOF
 
 "${build_dir}/tools/mcnet_bench_validate" "${out_dir}"/bench_*.json
 echo "bench smoke: all JSON results valid"
+
+# Kernel regression gate.  Absolute events/sec are machine-dependent, so the
+# gate compares the machine-independent calendar-vs-heap speedup ratio: the
+# smoke run must keep >= 0.9x the committed BENCH_kernel.json headline ratio.
+repo_root="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
+python3 - "${out_dir}/bench_kernel.json" "${repo_root}/BENCH_kernel.json" <<'EOF'
+import json, sys
+smoke = json.load(open(sys.argv[1]))["meta"]["headline"]
+base = json.load(open(sys.argv[2]))["meta"]["headline"]
+floor = 0.9 * base["speedup"]
+print(f"kernel gate: smoke speedup {smoke['speedup']:.2f}x vs "
+      f"baseline {base['speedup']:.2f}x (floor {floor:.2f}x)")
+assert smoke["speedup"] >= floor, "kernel headline speedup regressed"
+EOF
+echo "bench smoke: kernel headline gate passed"
