@@ -152,7 +152,7 @@ bool multi_instance(const std::vector<std::vector<EdgeTag>>& edge_tags) {
   return false;
 }
 
-std::optional<FoundCycle> find_multi_instance_cycle(const ChannelGraph& g) {
+std::optional<FoundCycle> search_multi_instance_cycle(const ChannelGraph& g) {
   std::vector<EdgeTag> exhausted;
   for (int rounds = 0; rounds < 256; ++rounds) {
     const auto usable = [&](ChannelId from, ChannelId to) {
@@ -364,7 +364,7 @@ std::optional<DeadlockCandidate> find_deadlock(const Scenario& s,
       }
     }
   }
-  const auto found = find_multi_instance_cycle(g);
+  const auto found = search_multi_instance_cycle(g);
   if (!found) return std::nullopt;
   DeadlockCandidate cand;
   cand.vcs = found->vcs;
@@ -386,14 +386,6 @@ ChannelGraph build_cdg_over(const Scenario& s, const std::vector<MulticastReques
     add_route_dependencies(s, route, g, static_cast<EdgeTag>(i));
   }
   return g;
-}
-
-// Does the CDG restricted to `instances` still witness a deadlock (at the
-// same realizability level as the one being shrunk)?
-bool subset_deadlocks(const Scenario& s, const std::vector<MulticastRequest>& instances,
-                      bool require_realizable) {
-  return find_deadlock(s, instances, build_cdg_over(s, instances), require_realizable)
-      .has_value();
 }
 
 DeadlockWitness make_witness(const Scenario& s, std::vector<MulticastRequest> instances,
@@ -454,6 +446,19 @@ DeadlockWitness shrink_witness(const Scenario& s, std::vector<MulticastRequest> 
 }
 
 }  // namespace
+
+std::optional<TaggedCycle> find_multi_instance_cycle(const ChannelGraph& graph) {
+  const auto found = search_multi_instance_cycle(graph);
+  if (!found) return std::nullopt;
+  return TaggedCycle{found->vcs, assign_edges(*found)};
+}
+
+bool subset_deadlocks(const Scenario& scenario, const std::vector<MulticastRequest>& instances,
+                      bool require_realizable) {
+  return find_deadlock(scenario, instances, build_cdg_over(scenario, instances),
+                       require_realizable)
+      .has_value();
+}
 
 void add_route_dependencies(const Scenario& scenario, const MulticastRoute& route,
                             ChannelGraph& graph, EdgeTag tag) {

@@ -78,6 +78,28 @@ struct DeadlockReport {
   return channel * copies + copy;
 }
 
+/// A multi-instance dependency cycle found in a tagged CDG: the virtual
+/// channels in order, plus one inducing instance tag per edge (edge i goes
+/// vcs[i] -> vcs[(i+1) % size]; at least two distinct tags overall).
+struct TaggedCycle {
+  std::vector<topo::ChannelId> vcs;
+  std::vector<cdg::EdgeTag> edge_instance;
+};
+
+/// Search a tagged CDG for a directed cycle attributable to at least two
+/// distinct instances (a single message cannot circularly wait on itself).
+/// Shared by the deterministic analyzer and the relation-based engine.
+[[nodiscard]] std::optional<TaggedCycle> find_multi_instance_cycle(
+    const cdg::ChannelGraph& graph);
+
+/// Does the CDG restricted to `instances` still witness a deadlock at the
+/// given realizability level?  This is the delta-debugging oracle used by
+/// witness shrinking; exposed so tests can assert shrunk witnesses are
+/// 1-minimal.
+[[nodiscard]] bool subset_deadlocks(const Scenario& scenario,
+                                    const std::vector<mcast::MulticastRequest>& instances,
+                                    bool require_realizable);
+
 /// Append the dependency edges `route` induces under the scenario's
 /// semantics to `graph`, tagging each edge with `tag`.  Exposed for tests.
 void add_route_dependencies(const Scenario& scenario, const mcast::MulticastRoute& route,

@@ -1,0 +1,153 @@
+// Relation-based channel-dependency analysis: the adaptive half of the
+// static analyzer (Section 8.2 adaptivity meets the Chapter 6 machinery).
+//
+// A deterministic route fixes one path per worm; an *adaptive routing
+// relation* instead defines, per (channel class, current node, current
+// target), the SET of next virtual channels a message may legally occupy.
+// The engine explores every reachable worm state over all choices, closes
+// the channel dependency graph over the full relation, and then decides
+// deadlock freedom one of two ways:
+//
+//  * the closed CDG is acyclic (Dally-Seitz, strongest form), or
+//  * the relation carries an *escape subfunction* -- a deterministic
+//    single-choice subrelation available at every reachable state -- whose
+//    extended dependency graph (direct escape-to-escape dependencies plus
+//    indirect ones propagated through adaptive-channel acquisitions) is
+//    acyclic.  This is Duato's sufficient condition specialized to the
+//    wormhole/virtual-channel model of src/cdg/: a blocked worm can always
+//    drain along the escape choices, so only a cycle among escape channels
+//    could sustain a deadlock.
+//
+// When neither holds, the tagged CDG is handed to the same multi-instance
+// cycle search and delta-debugged witness shrinking the deterministic
+// analyzer uses, producing a concrete minimal set of concurrent multicasts
+// (marked non-realizable: adaptive relations have no single route to build
+// hold states from, so witnesses stay over-approximate).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "analysis/mcdg.hpp"
+#include "analysis/scenario.hpp"
+#include "core/multicast.hpp"
+#include "topology/topology.hpp"
+
+namespace mcnet::analysis {
+
+/// One legal next hop of a relation: the neighbour moved to and the
+/// virtual-channel copy the hop is pinned to.
+struct RelationHop {
+  topo::NodeId to = topo::kInvalidNode;
+  std::uint8_t copy = 0;
+};
+
+/// One path worm of a relation instance, before any routing choice is
+/// made: its channel class, an optional forced first hop (multi-path
+/// addresses a specific source neighbour), and the ordered targets.
+struct WormSpec {
+  std::uint8_t channel_class = 0;
+  topo::NodeId source = topo::kInvalidNode;
+  std::optional<topo::NodeId> first_hop;
+  std::uint8_t first_hop_copy = 0;
+  std::vector<topo::NodeId> targets;
+};
+
+/// An adaptive routing relation under analysis.  Non-owning: the Fixture
+/// that built it keeps topology and labeling alive.
+struct RoutingRelation {
+  std::string name;
+  const topo::Topology* topology = nullptr;
+  /// Virtual channel copies per physical channel.
+  std::uint8_t channel_copies = 1;
+  /// Message preparation: split a request into path worms.
+  std::function<std::vector<WormSpec>(const mcast::MulticastRequest&)> prepare;
+  /// The choice set at (channel class, current node, current target);
+  /// clears and fills `out`.  Empty means the relation is stuck there.
+  std::function<void(std::uint8_t channel_class, topo::NodeId cur, topo::NodeId target,
+                     std::vector<RelationHop>& out)>
+      candidates;
+  /// Escape subfunction; null when the relation offers none.  Must return a
+  /// member of the candidate set at every reachable non-terminal state
+  /// (to == kInvalidNode marks "no escape here", a certification failure).
+  std::function<RelationHop(std::uint8_t channel_class, topo::NodeId cur, topo::NodeId target)>
+      escape;
+  /// What the relation claims; drives mcnet_verify --expect auto.
+  bool claimed_deadlock_free = true;
+};
+
+/// Result of the escape-channel certification pass.
+struct EscapeReport {
+  /// The relation supplies an escape subfunction.
+  bool checked = false;
+  /// Escape defined and a candidate at every reachable non-terminal state,
+  /// and every escape-only walk terminates.
+  bool complete = false;
+  /// The extended escape dependency graph is acyclic.
+  bool acyclic = false;
+  std::size_t escape_channels = 0;
+  std::size_t extended_dependencies = 0;
+  /// First few certification failures, for reporting.
+  std::vector<std::string> failures;
+
+  [[nodiscard]] bool certified() const { return checked && complete && acyclic; }
+};
+
+/// Result of analysing one relation over the instance enumeration.
+struct RelationReport {
+  std::size_t instances_analyzed = 0;
+  /// Distinct reachable (worm, header state) pairs explored.
+  std::size_t worm_states = 0;
+  std::size_t virtual_channels = 0;
+  std::size_t dependencies = 0;
+  /// Reachable non-terminal states with an empty candidate set.
+  std::size_t stuck_states = 0;
+  /// The full relation CDG is acyclic (deadlock-free outright).
+  bool cdg_acyclic = false;
+  EscapeReport escape;
+  /// Present iff the relation is not certified and the tagged CDG admits a
+  /// multi-instance cycle (always non-realizable for relations).
+  std::optional<DeadlockWitness> witness;
+
+  /// Deadlock-free by either sufficient condition, with no stuck states.
+  [[nodiscard]] bool certified() const {
+    return stuck_states == 0 && (cdg_acyclic || escape.certified());
+  }
+};
+
+/// Relations the analyzer can check on this fixture (all require the
+/// Hamiltonian labeling, which every supported topology has).
+[[nodiscard]] std::vector<std::string> verifiable_relations(const Fixture& fixture);
+
+/// Build the named relation on `fixture`.  Names:
+///   adaptive-dual-path  -- Section 8.2 randomized dual-path: all monotone
+///                          distance-preferring hops, escape = the
+///                          deterministic label router R;
+///   dual-path, multi-path, fixed-path
+///                       -- singleton relation views of the deterministic
+///                          suites (validation oracles: must certify
+///                          exactly where the PR 4 analyzer says CLEAN);
+///   min-adaptive        -- planted negative control: fully adaptive
+///                          minimal unicast fan-out with NO escape
+///                          (deadlocks on every CI topology);
+///   min-adaptive-escape -- minimal adaptive on VC copy 1 with a
+///                          dimension-order escape on copy 0 (certified on
+///                          the mesh-like topologies; the wraparound ring
+///                          keeps its classic escape cycle).
+/// Throws std::invalid_argument for unknown names.
+[[nodiscard]] RoutingRelation make_relation(const Fixture& fixture, const std::string& name);
+
+/// Explore the relation over the systematic instance enumeration, certify
+/// or search for a witness.
+[[nodiscard]] RelationReport analyze_relation(const RoutingRelation& relation,
+                                              const AnalysisConfig& config = {});
+
+/// Does the relation CDG restricted to `instances` still admit a
+/// multi-instance cycle?  Shrinking oracle; exposed for 1-minimality tests.
+[[nodiscard]] bool relation_subset_deadlocks(
+    const RoutingRelation& relation, const std::vector<mcast::MulticastRequest>& instances);
+
+}  // namespace mcnet::analysis

@@ -1,0 +1,100 @@
+#include "analysis/report.hpp"
+
+namespace mcnet::analysis {
+
+namespace {
+
+obs::Json request_json(const mcast::MulticastRequest& request) {
+  obs::Json j = obs::Json::object();
+  j["source"] = request.source;
+  obs::Json dests = obs::Json::array();
+  for (const topo::NodeId d : request.destinations) dests.push_back(d);
+  j["destinations"] = std::move(dests);
+  return j;
+}
+
+}  // namespace
+
+obs::Json witness_json(const DeadlockWitness& witness, const topo::Topology& topology) {
+  obs::Json j = obs::Json::object();
+  obs::Json instances = obs::Json::array();
+  for (const mcast::MulticastRequest& r : witness.instances) {
+    instances.push_back(request_json(r));
+  }
+  j["instances"] = std::move(instances);
+  obs::Json cycle = obs::Json::array();
+  for (const VirtualChannel& vc : witness.cycle) {
+    obs::Json c = obs::Json::object();
+    c["channel"] = vc.channel;
+    const topo::ChannelEnds ends = topology.channel_ends(vc.channel);
+    c["from"] = ends.from;
+    c["to"] = ends.to;
+    c["copy"] = static_cast<unsigned>(vc.copy);
+    cycle.push_back(std::move(c));
+  }
+  j["cycle"] = std::move(cycle);
+  obs::Json edges = obs::Json::array();
+  for (const std::uint32_t i : witness.edge_instance) edges.push_back(i);
+  j["edge_instance"] = std::move(edges);
+  j["realizable"] = witness.realizable;
+  return j;
+}
+
+obs::Json deadlock_json(const DeadlockReport& report, const topo::Topology& topology) {
+  obs::Json j = obs::Json::object();
+  j["instances_analyzed"] = report.instances_analyzed;
+  j["virtual_channels"] = report.virtual_channels;
+  j["dependencies"] = report.dependencies;
+  j["deadlock_free"] = report.deadlock_free();
+  j["witness"] = report.witness ? witness_json(*report.witness, topology) : obs::Json();
+  return j;
+}
+
+obs::Json invariants_json(const InvariantReport& report) {
+  obs::Json j = obs::Json::object();
+  j["instances_checked"] = report.instances_checked;
+  j["violations"] = report.violations;
+  j["ok"] = report.ok();
+  obs::Json samples = obs::Json::array();
+  for (const InvariantViolation& v : report.samples) {
+    obs::Json s = obs::Json::object();
+    s["kind"] = v.kind;
+    s["source"] = v.instance.source;
+    obs::Json dests = obs::Json::array();
+    for (const topo::NodeId d : v.instance.destinations) dests.push_back(d);
+    s["destinations"] = std::move(dests);
+    s["detail"] = v.detail;
+    samples.push_back(std::move(s));
+  }
+  j["samples"] = std::move(samples);
+  return j;
+}
+
+obs::Json relation_json(const RelationReport& report, const topo::Topology& topology) {
+  obs::Json j = obs::Json::object();
+  j["instances_analyzed"] = report.instances_analyzed;
+  j["worm_states"] = report.worm_states;
+  j["virtual_channels"] = report.virtual_channels;
+  j["dependencies"] = report.dependencies;
+  j["stuck_states"] = report.stuck_states;
+  j["cdg_acyclic"] = report.cdg_acyclic;
+  j["certified"] = report.certified();
+  if (report.escape.checked) {
+    obs::Json e = obs::Json::object();
+    e["complete"] = report.escape.complete;
+    e["acyclic"] = report.escape.acyclic;
+    e["escape_channels"] = report.escape.escape_channels;
+    e["extended_dependencies"] = report.escape.extended_dependencies;
+    e["certified"] = report.escape.certified();
+    obs::Json failures = obs::Json::array();
+    for (const std::string& f : report.escape.failures) failures.push_back(f);
+    e["failures"] = std::move(failures);
+    j["escape"] = std::move(e);
+  } else {
+    j["escape"] = obs::Json();
+  }
+  j["witness"] = report.witness ? witness_json(*report.witness, topology) : obs::Json();
+  return j;
+}
+
+}  // namespace mcnet::analysis

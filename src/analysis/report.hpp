@@ -1,0 +1,38 @@
+// Machine-readable analyzer reports: obs::Json builders for the deadlock,
+// invariant, and relation analyses, shared by `mcnet_verify --json` and the
+// round-trip tests.  The document schema is tagged "mcnet-verify-v1" so CI
+// can diff verdicts across commits.
+#pragma once
+
+#include "analysis/invariants.hpp"
+#include "analysis/mcdg.hpp"
+#include "analysis/relation.hpp"
+#include "obs/json.hpp"
+#include "topology/topology.hpp"
+
+namespace mcnet::analysis {
+
+/// Schema tag stamped into the top-level mcnet_verify --json document.
+inline constexpr const char* kReportSchema = "mcnet-verify-v1";
+
+/// {instances: [{source, destinations}], cycle: [{channel, from, to,
+///  copy}], edge_instance, realizable}
+[[nodiscard]] obs::Json witness_json(const DeadlockWitness& witness,
+                                     const topo::Topology& topology);
+
+/// {instances_analyzed, virtual_channels, dependencies, deadlock_free,
+///  witness: null | witness_json}
+[[nodiscard]] obs::Json deadlock_json(const DeadlockReport& report,
+                                      const topo::Topology& topology);
+
+/// {instances_checked, violations, ok, samples: [{kind, source,
+///  destinations, detail}]}
+[[nodiscard]] obs::Json invariants_json(const InvariantReport& report);
+
+/// {instances_analyzed, worm_states, virtual_channels, dependencies,
+///  stuck_states, cdg_acyclic, certified, escape: null | {...},
+///  witness: null | witness_json}
+[[nodiscard]] obs::Json relation_json(const RelationReport& report,
+                                      const topo::Topology& topology);
+
+}  // namespace mcnet::analysis

@@ -1,25 +1,38 @@
 #include "core/adaptive_path.hpp"
 
-#include <stdexcept>
+#include "core/route_error.hpp"
 
 namespace mcnet::mcast {
 
-std::vector<topo::NodeId> monotone_candidates(const topo::Topology& topology,
-                                              const ham::Labeling& labeling,
-                                              topo::NodeId cur, topo::NodeId dst) {
+void monotone_candidates_into(const topo::Topology& topology, const ham::Labeling& labeling,
+                              topo::NodeId cur, topo::NodeId dst,
+                              std::vector<topo::NodeId>& out) {
+  out.clear();
   const std::uint32_t lc = labeling.label(cur);
   const std::uint32_t ld = labeling.label(dst);
   const bool high = lc < ld;
   const std::uint32_t dist = topology.distance(cur, dst);
-  std::vector<topo::NodeId> reducing, any;
+  bool have_reducing = false;
   for (const topo::NodeId p : topology.neighbors(cur)) {
     const std::uint32_t lp = labeling.label(p);
     const bool monotone = high ? (lp > lc && lp <= ld) : (lp < lc && lp >= ld);
     if (!monotone) continue;
-    any.push_back(p);
-    if (topology.distance(p, dst) < dist) reducing.push_back(p);
+    const bool reducing = topology.distance(p, dst) < dist;
+    if (reducing && !have_reducing) {
+      // First distance-reducing candidate: drop the weaker any-monotone set.
+      out.clear();
+      have_reducing = true;
+    }
+    if (reducing == have_reducing) out.push_back(p);
   }
-  return reducing.empty() ? any : reducing;
+}
+
+std::vector<topo::NodeId> monotone_candidates(const topo::Topology& topology,
+                                              const ham::Labeling& labeling,
+                                              topo::NodeId cur, topo::NodeId dst) {
+  std::vector<topo::NodeId> out;
+  monotone_candidates_into(topology, labeling, cur, dst, out);
+  return out;
 }
 
 namespace {
@@ -31,14 +44,17 @@ PathRoute random_walk(const topo::Topology& topology, const ham::Labeling& label
   path.channel_class = channel_class;
   path.nodes.push_back(source);
   topo::NodeId w = source;
+  std::vector<topo::NodeId> cand;
   for (const topo::NodeId d : targets) {
     while (w != d) {
-      const auto cand = monotone_candidates(topology, labeling, w, d);
-      if (cand.empty()) throw std::logic_error("adaptive routing stuck");
+      monotone_candidates_into(topology, labeling, w, d, cand);
+      if (cand.empty()) {
+        throw RouteError("adaptive routing stuck", w, labeling.label(w), d);
+      }
       w = cand[rng.uniform_int(0, static_cast<std::uint32_t>(cand.size() - 1))];
       path.nodes.push_back(w);
       if (path.nodes.size() > labeling.size() + 1) {
-        throw std::logic_error("adaptive routing loops");
+        throw RouteError("adaptive routing loops", w, labeling.label(w), d);
       }
     }
     path.delivery_hops.push_back(static_cast<std::uint32_t>(path.nodes.size() - 1));

@@ -26,6 +26,12 @@ namespace mcnet::mcast {
                                                             topo::NodeId cur,
                                                             topo::NodeId dst);
 
+/// Allocation-free variant for hot loops and the relation-based analyzer:
+/// clears `out` and fills it with the same candidate set.
+void monotone_candidates_into(const topo::Topology& topology, const ham::Labeling& labeling,
+                              topo::NodeId cur, topo::NodeId dst,
+                              std::vector<topo::NodeId>& out);
+
 /// Dual-path multicast with randomised monotone hops.
 [[nodiscard]] MulticastRoute adaptive_dual_path_route(const topo::Topology& topology,
                                                       const ham::Labeling& labeling,

@@ -26,15 +26,14 @@ std::vector<NodeId> side_neighbors(const topo::Topology& topology,
 
 // Mesh split of one side (Fig. 6.14 step 3): when two neighbours exist,
 // destinations on neighbour v1's x-side go through v1, the rest through v2.
-void emit_mesh_side(const topo::Mesh2D& mesh, const LabelRouter& router,
-                    const MulticastRequest& request, const std::vector<NodeId>& sorted_side,
-                    const std::vector<NodeId>& neighbors, std::uint8_t channel_class,
-                    MulticastRoute& route) {
+void prepare_mesh_side(const topo::Mesh2D& mesh, const std::vector<NodeId>& sorted_side,
+                       const std::vector<NodeId>& neighbors, std::uint8_t channel_class,
+                       std::vector<MultiPathWorm>& worms) {
   if (sorted_side.empty()) return;
   if (neighbors.size() < 2) {
-    route.paths.push_back(router.route_path(
-        request.source, sorted_side,
-        neighbors.empty() ? std::nullopt : std::make_optional(neighbors[0]), channel_class));
+    worms.push_back({channel_class,
+                     neighbors.empty() ? std::nullopt : std::make_optional(neighbors[0]),
+                     sorted_side});
     return;
   }
   const std::int32_t x1 = mesh.coord(neighbors[0]).x;
@@ -45,60 +44,56 @@ void emit_mesh_side(const topo::Mesh2D& mesh, const LabelRouter& router,
     const bool to_v1 = (x1 < x2) ? (x <= x1) : (x >= x1);
     (to_v1 ? d1 : d2).push_back(d);
   }
-  if (!d1.empty()) {
-    route.paths.push_back(router.route_path(request.source, d1, neighbors[0], channel_class));
+  if (!d1.empty()) worms.push_back({channel_class, neighbors[0], std::move(d1)});
+  if (!d2.empty()) worms.push_back({channel_class, neighbors[1], std::move(d2)});
+}
+
+MulticastRoute route_worms(const LabelRouter& router, const MulticastRequest& request,
+                           const std::vector<MultiPathWorm>& worms) {
+  MulticastRoute route;
+  route.source = request.source;
+  for (const MultiPathWorm& worm : worms) {
+    route.paths.push_back(
+        router.route_path(request.source, worm.targets, worm.first_hop, worm.channel_class));
   }
-  if (!d2.empty()) {
-    route.paths.push_back(router.route_path(request.source, d2, neighbors[1], channel_class));
-  }
+  return route;
 }
 
 }  // namespace
 
-MulticastRoute multi_path_route(const topo::Mesh2D& mesh,
-                                const ham::MeshBoustrophedonLabeling& labeling,
-                                const MulticastRequest& request) {
-  const LabelRouter router(mesh, labeling);
+std::vector<MultiPathWorm> multi_path_prepare(const topo::Mesh2D& mesh,
+                                              const ham::MeshBoustrophedonLabeling& labeling,
+                                              const MulticastRequest& request) {
   const DualPathSplit split = dual_path_prepare(labeling, request);
-  MulticastRoute route;
-  route.source = request.source;
-  emit_mesh_side(mesh, router, request, split.high,
-                 side_neighbors(mesh, labeling, request.source, /*high=*/true),
-                 kHighChannelClass, route);
-  emit_mesh_side(mesh, router, request, split.low,
-                 side_neighbors(mesh, labeling, request.source, /*high=*/false),
-                 kLowChannelClass, route);
-  return route;
+  std::vector<MultiPathWorm> worms;
+  prepare_mesh_side(mesh, split.high,
+                    side_neighbors(mesh, labeling, request.source, /*high=*/true),
+                    kHighChannelClass, worms);
+  prepare_mesh_side(mesh, split.low,
+                    side_neighbors(mesh, labeling, request.source, /*high=*/false),
+                    kLowChannelClass, worms);
+  return worms;
 }
 
-MulticastRoute multi_path_route(const topo::Hypercube& cube,
-                                const ham::HypercubeGrayLabeling& labeling,
-                                const MulticastRequest& request) {
-  return multi_path_route(static_cast<const topo::Topology&>(cube),
-                          static_cast<const ham::Labeling&>(labeling), request);
-}
-
-MulticastRoute multi_path_route(const topo::Topology& topology, const ham::Labeling& labeling,
-                                const MulticastRequest& request) {
-  const LabelRouter router(topology, labeling);
+std::vector<MultiPathWorm> multi_path_prepare(const topo::Topology& topology,
+                                              const ham::Labeling& labeling,
+                                              const MulticastRequest& request) {
   const DualPathSplit split = dual_path_prepare(labeling, request);
-  MulticastRoute route;
-  route.source = request.source;
+  std::vector<MultiPathWorm> worms;
 
   // Fig. 6.20 step 3/4: bucket each side by the label ranges of the side's
   // neighbours.  Side lists are label-sorted, neighbour lists likewise, so
   // a single merge pass assigns each destination to the nearest preceding
   // neighbour.
-  const auto emit_side = [&](const std::vector<NodeId>& side,
-                             const std::vector<NodeId>& nbrs, bool high,
-                             std::uint8_t channel_class) {
+  const auto prepare_side = [&](const std::vector<NodeId>& side,
+                                const std::vector<NodeId>& nbrs, bool high,
+                                std::uint8_t channel_class) {
     if (side.empty()) return;
     std::size_t b = 0;  // current neighbour bucket
     std::vector<NodeId> bucket;
     const auto flush = [&] {
       if (!bucket.empty()) {
-        route.paths.push_back(
-            router.route_path(request.source, bucket, nbrs[b], channel_class));
+        worms.push_back({channel_class, nbrs[b], std::move(bucket)});
         bucket.clear();
       }
     };
@@ -113,11 +108,31 @@ MulticastRoute multi_path_route(const topo::Topology& topology, const ham::Label
     }
     flush();
   };
-  emit_side(split.high, side_neighbors(topology, labeling, request.source, true), true,
-            kHighChannelClass);
-  emit_side(split.low, side_neighbors(topology, labeling, request.source, false), false,
-            kLowChannelClass);
-  return route;
+  prepare_side(split.high, side_neighbors(topology, labeling, request.source, true), true,
+               kHighChannelClass);
+  prepare_side(split.low, side_neighbors(topology, labeling, request.source, false), false,
+               kLowChannelClass);
+  return worms;
+}
+
+MulticastRoute multi_path_route(const topo::Mesh2D& mesh,
+                                const ham::MeshBoustrophedonLabeling& labeling,
+                                const MulticastRequest& request) {
+  return route_worms(LabelRouter(mesh, labeling), request,
+                     multi_path_prepare(mesh, labeling, request));
+}
+
+MulticastRoute multi_path_route(const topo::Hypercube& cube,
+                                const ham::HypercubeGrayLabeling& labeling,
+                                const MulticastRequest& request) {
+  return multi_path_route(static_cast<const topo::Topology&>(cube),
+                          static_cast<const ham::Labeling&>(labeling), request);
+}
+
+MulticastRoute multi_path_route(const topo::Topology& topology, const ham::Labeling& labeling,
+                                const MulticastRequest& request) {
+  return route_worms(LabelRouter(topology, labeling), request,
+                     multi_path_prepare(topology, labeling, request));
 }
 
 }  // namespace mcnet::mcast

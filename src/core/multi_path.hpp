@@ -11,12 +11,41 @@
 // Corollary 6.2).
 #pragma once
 
+#include <cstdint>
+#include <optional>
+#include <vector>
+
 #include "core/dual_path.hpp"
 #include "core/routing_function.hpp"
 #include "topology/hypercube.hpp"
 #include "topology/mesh2d.hpp"
 
 namespace mcnet::mcast {
+
+/// One path worm of the multi-path split, before routing: the channel class
+/// it travels in, an optional forced first hop (the source neighbour that
+/// owns the bucket), and the label-ordered targets it serves.  Exposed so
+/// the relation-based analyzer can explore every legal path of each worm
+/// instead of the one deterministic route R picks.
+struct MultiPathWorm {
+  std::uint8_t channel_class = 0;
+  std::optional<topo::NodeId> first_hop;
+  std::vector<topo::NodeId> targets;
+};
+
+/// Splits a request into multi-path worms on the mesh (Fig. 6.14: each side
+/// of the dual-path split divided by the x-coordinates of the source's two
+/// same-side neighbours).
+[[nodiscard]] std::vector<MultiPathWorm> multi_path_prepare(
+    const topo::Mesh2D& mesh, const ham::MeshBoustrophedonLabeling& labeling,
+    const MulticastRequest& request);
+
+/// Splits a request into multi-path worms on any labeled topology
+/// (Fig. 6.20: each side bucketed by the label ranges of the source's
+/// same-side neighbours).
+[[nodiscard]] std::vector<MultiPathWorm> multi_path_prepare(const topo::Topology& topology,
+                                                            const ham::Labeling& labeling,
+                                                            const MulticastRequest& request);
 
 [[nodiscard]] MulticastRoute multi_path_route(const topo::Mesh2D& mesh,
                                               const ham::MeshBoustrophedonLabeling& labeling,

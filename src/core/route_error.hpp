@@ -1,0 +1,42 @@
+// Diagnosable routing-walk failure.  The path routers walk a worm hop by
+// hop; when a walk cannot make progress (no legal next hop) or exceeds its
+// hop budget, the failure is reported with the walk position -- current
+// node, its label, and the target being served -- instead of a bare
+// logic_error string, so verification tooling and service logs can say
+// *where* a router got stuck.  Derives from std::logic_error: existing
+// catch sites keep working unchanged.
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+
+#include "topology/topology.hpp"
+
+namespace mcnet::mcast {
+
+class RouteError : public std::logic_error {
+ public:
+  RouteError(const std::string& reason, topo::NodeId node, std::uint32_t node_label,
+             topo::NodeId target)
+      : std::logic_error(reason + " at node " + std::to_string(node) + " (label " +
+                         std::to_string(node_label) + ") toward node " +
+                         std::to_string(target)),
+        node_(node),
+        node_label_(node_label),
+        target_(target) {}
+
+  /// Node the walk had reached when it failed.
+  [[nodiscard]] topo::NodeId node() const { return node_; }
+  /// Hamiltonian label of that node.
+  [[nodiscard]] std::uint32_t node_label() const { return node_label_; }
+  /// Destination the walk was serving.
+  [[nodiscard]] topo::NodeId target() const { return target_; }
+
+ private:
+  topo::NodeId node_;
+  std::uint32_t node_label_;
+  topo::NodeId target_;
+};
+
+}  // namespace mcnet::mcast

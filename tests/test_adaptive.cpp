@@ -1,9 +1,13 @@
 // Randomised-adaptive dual-path routing (Section 8.2 extension).
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <set>
+#include <string>
 
+#include "analysis/scenario.hpp"
 #include "core/adaptive_path.hpp"
+#include "core/route_error.hpp"
 #include "topology/hamiltonian.hpp"
 #include "topology/mesh2d.hpp"
 
@@ -85,6 +89,44 @@ TEST(AdaptivePath, ActuallyDiversifiesPaths) {
     distinct.insert(adaptive_dual_path_route(mesh, lab, req, rng).paths[0].nodes);
   }
   EXPECT_GT(distinct.size(), 5u) << "randomisation should explore multiple shortest paths";
+}
+
+TEST(RouteError, CarriesWalkContext) {
+  const mcast::RouteError err("adaptive routing stuck", 7, 12, 3);
+  EXPECT_EQ(err.node(), 7u);
+  EXPECT_EQ(err.node_label(), 12u);
+  EXPECT_EQ(err.target(), 3u);
+  const std::string what = err.what();
+  EXPECT_NE(what.find("adaptive routing stuck"), std::string::npos);
+  EXPECT_NE(what.find("node 7"), std::string::npos);
+  EXPECT_NE(what.find("label 12"), std::string::npos);
+  EXPECT_NE(what.find("toward node 3"), std::string::npos);
+  // Existing catch sites keep working: RouteError is-a logic_error.
+  const std::logic_error& base = err;
+  EXPECT_NE(std::string(base.what()).find("stuck"), std::string::npos);
+}
+
+// Seeded sweep of the CI topology matrix: the adaptive walk must never
+// throw RouteError (monotone candidate sets are non-empty and the hop
+// budget generous on every supported labeled topology).
+TEST(AdaptivePath, NeverThrowsAcrossTopologyMatrix) {
+  for (const char* spec :
+       {"mesh:5x4", "cube:4", "mesh3:3x3x3", "kary:4x2", "karymesh:4x3"}) {
+    const auto fixture = mcnet::analysis::make_fixture(spec);
+    ASSERT_TRUE(fixture.labeling != nullptr) << spec;
+    const topo::Topology& net = *fixture.topology;
+    evsim::Rng rng(1009);
+    for (int trial = 0; trial < 200; ++trial) {
+      const NodeId src = rng.uniform_int(0, net.num_nodes() - 1);
+      const std::uint32_t k = rng.uniform_int(1, std::min<NodeId>(8, net.num_nodes() - 1));
+      const MulticastRequest req{src, rng.sample_destinations(net.num_nodes(), src, k)};
+      EXPECT_NO_THROW({
+        const MulticastRoute route =
+            adaptive_dual_path_route(net, *fixture.labeling, req, rng);
+        verify_route(net, req, route);
+      }) << spec << " trial " << trial;
+    }
+  }
 }
 
 }  // namespace

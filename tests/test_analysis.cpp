@@ -160,6 +160,26 @@ TEST(McdgRegression, NaiveXFirstTreeYieldsShrunkRealizableWitness) {
   EXPECT_FALSE(w.format(*fixture.topology).empty());
 }
 
+// The delta-debugged witness must be 1-minimal: dropping any single
+// instance from the shrunk pair leaves a deadlock-free subset (a lone
+// X-first tree cannot close a cycle on its own).
+TEST(McdgRegression, ShrunkNaiveTreeWitnessIsOneMinimal) {
+  const auto fixture = analysis::make_fixture("mesh:4x4");
+  const Scenario s = analysis::make_scenario(fixture, Algorithm::kXFirstMT);
+  const DeadlockReport report = analysis::analyze_deadlock(s, {});
+  ASSERT_TRUE(report.witness.has_value());
+  const auto& instances = report.witness->instances;
+  EXPECT_TRUE(analysis::subset_deadlocks(s, instances, /*require_realizable=*/true));
+  for (std::size_t drop = 0; drop < instances.size(); ++drop) {
+    std::vector<MulticastRequest> subset;
+    for (std::size_t i = 0; i < instances.size(); ++i) {
+      if (i != drop) subset.push_back(instances[i]);
+    }
+    EXPECT_FALSE(analysis::subset_deadlocks(s, subset, /*require_realizable=*/true))
+        << "witness not 1-minimal: instance " << drop << " is redundant";
+  }
+}
+
 TEST(McdgRegression, NaiveHypercubeTreesDeadlock) {
   const auto fixture = analysis::make_fixture("cube:3");
   for (const Algorithm a : {Algorithm::kEcubeMT, Algorithm::kBinomialBroadcast}) {

@@ -1,0 +1,217 @@
+// Tests for the relation-based adaptive analyzer (src/analysis/relation.*):
+// deterministic relation views as validation oracles against the route-based
+// analyzer, escape-channel certification of the adaptive routing relations,
+// planted deadlock controls with 1-minimal shrunk witnesses, and the
+// machine-readable report round-trip.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <stdexcept>
+#include <vector>
+
+#include "analysis/mcdg.hpp"
+#include "analysis/relation.hpp"
+#include "analysis/report.hpp"
+#include "analysis/scenario.hpp"
+#include "core/multicast.hpp"
+#include "obs/json.hpp"
+
+namespace {
+
+using namespace mcnet;
+using analysis::AnalysisConfig;
+using analysis::RelationReport;
+using analysis::RoutingRelation;
+using mcast::Algorithm;
+using mcast::MulticastRequest;
+using topo::NodeId;
+
+TEST(Relation, VerifiableRelationsMatchFixture) {
+  const auto labeled = analysis::make_fixture("mesh:4x4");
+  const auto names = analysis::verifiable_relations(labeled);
+  for (const char* expected : {"adaptive-dual-path", "dual-path", "multi-path", "fixed-path",
+                               "min-adaptive", "min-adaptive-escape"}) {
+    EXPECT_TRUE(std::count(names.begin(), names.end(), expected)) << expected;
+  }
+  EXPECT_THROW((void)analysis::make_relation(labeled, "no-such-relation"), std::invalid_argument);
+}
+
+// The singleton relation views of the deterministic suites are validation
+// oracles: exploring the relation must reconstruct exactly the dependency
+// set the route-based analyzer (PR 4) extracts from concrete routes, and
+// certify CLEAN by plain CDG acyclicity.
+TEST(Relation, DeterministicViewsMatchRouteBasedAnalyzer) {
+  const struct {
+    const char* relation;
+    Algorithm algorithm;
+  } views[] = {
+      {"dual-path", Algorithm::kDualPath},
+      {"multi-path", Algorithm::kMultiPath},
+      {"fixed-path", Algorithm::kFixedPath},
+  };
+  for (const char* spec : {"mesh:4x4", "cube:3"}) {
+    const auto fixture = analysis::make_fixture(spec);
+    for (const auto& view : views) {
+      const RoutingRelation rel = analysis::make_relation(fixture, view.relation);
+      const RelationReport report = analysis::analyze_relation(rel);
+      EXPECT_TRUE(report.cdg_acyclic) << spec << " " << view.relation;
+      EXPECT_TRUE(report.certified()) << spec << " " << view.relation;
+      EXPECT_EQ(report.stuck_states, 0u) << spec << " " << view.relation;
+      EXPECT_FALSE(report.witness.has_value()) << spec << " " << view.relation;
+
+      const auto scenario = analysis::make_scenario(fixture, view.algorithm);
+      const auto oracle = analysis::analyze_deadlock(scenario, {});
+      EXPECT_TRUE(oracle.deadlock_free()) << spec << " " << view.relation;
+      EXPECT_EQ(report.instances_analyzed, oracle.instances_analyzed)
+          << spec << " " << view.relation;
+      EXPECT_EQ(report.dependencies, oracle.dependencies) << spec << " " << view.relation;
+    }
+  }
+}
+
+// The Section 8.2 randomized dual-path relation must certify on every CI
+// topology, and by BOTH sufficient conditions: the closed CDG is acyclic
+// (all choices stay label-monotone inside disjoint subnetworks), and the
+// label-router escape subfunction independently passes Duato's condition.
+TEST(Relation, AdaptiveDualPathCertifiedOnAllTopologies) {
+  for (const char* spec : {"mesh:4x4", "cube:3", "mesh3:2x3x3", "kary:4x2", "karymesh:4x2"}) {
+    const auto fixture = analysis::make_fixture(spec);
+    const RoutingRelation rel = analysis::make_relation(fixture, "adaptive-dual-path");
+    EXPECT_TRUE(rel.claimed_deadlock_free);
+    const RelationReport report = analysis::analyze_relation(rel);
+    EXPECT_EQ(report.stuck_states, 0u) << spec;
+    EXPECT_TRUE(report.cdg_acyclic) << spec;
+    ASSERT_TRUE(report.escape.checked) << spec;
+    EXPECT_TRUE(report.escape.complete) << spec;
+    EXPECT_TRUE(report.escape.acyclic) << spec;
+    EXPECT_TRUE(report.escape.certified()) << spec;
+    EXPECT_GT(report.escape.escape_channels, 0u) << spec;
+    EXPECT_TRUE(report.escape.failures.empty()) << spec;
+    EXPECT_GT(report.worm_states, 0u) << spec;
+    EXPECT_GT(report.dependencies, 0u) << spec;
+  }
+}
+
+// Planted negative control: fully adaptive minimal routing with no escape
+// deadlocks, and the delta-debugged witness is 1-minimal -- dropping any
+// single instance breaks every remaining cycle.
+TEST(Relation, MinAdaptiveWitnessIsOneMinimal) {
+  const auto fixture = analysis::make_fixture("mesh:4x4");
+  const RoutingRelation rel = analysis::make_relation(fixture, "min-adaptive");
+  EXPECT_FALSE(rel.claimed_deadlock_free);
+  const RelationReport report = analysis::analyze_relation(rel);
+  EXPECT_FALSE(report.cdg_acyclic);
+  EXPECT_FALSE(report.certified());
+  ASSERT_TRUE(report.witness.has_value());
+  const auto& w = *report.witness;
+  // Relation witnesses are over-approximate: no single concrete route
+  // exists to build hold states from.
+  EXPECT_FALSE(w.realizable);
+  EXPECT_GE(w.instances.size(), 2u);
+  EXPECT_GE(w.cycle.size(), 2u);
+  ASSERT_EQ(w.edge_instance.size(), w.cycle.size());
+  EXPECT_TRUE(analysis::relation_subset_deadlocks(rel, w.instances));
+  for (std::size_t drop = 0; drop < w.instances.size(); ++drop) {
+    std::vector<MulticastRequest> subset;
+    for (std::size_t i = 0; i < w.instances.size(); ++i) {
+      if (i != drop) subset.push_back(w.instances[i]);
+    }
+    EXPECT_FALSE(analysis::relation_subset_deadlocks(rel, subset))
+        << "witness not 1-minimal: instance " << drop << " is redundant";
+  }
+}
+
+// The escape-channel condition is strictly stronger than CDG acyclicity:
+// minimal-adaptive routing with a dimension-order escape on a dedicated VC
+// copy has a cyclic CDG (the adaptive copy admits every turn) yet
+// certifies on meshes.  On the wraparound ring the escape itself cycles --
+// the classic torus counterexample -- and a witness must come back.
+TEST(Relation, EscapeConditionCertifiesBeyondAcyclicity) {
+  const auto mesh = analysis::make_fixture("mesh:4x4");
+  const RoutingRelation certified = analysis::make_relation(mesh, "min-adaptive-escape");
+  EXPECT_TRUE(certified.claimed_deadlock_free);
+  EXPECT_EQ(certified.channel_copies, 2);
+  const RelationReport clean = analysis::analyze_relation(certified);
+  EXPECT_FALSE(clean.cdg_acyclic);
+  ASSERT_TRUE(clean.escape.checked);
+  EXPECT_TRUE(clean.escape.certified());
+  EXPECT_TRUE(clean.certified());
+  EXPECT_FALSE(clean.witness.has_value());
+
+  const auto ring = analysis::make_fixture("kary:4x2");
+  const RoutingRelation wrap = analysis::make_relation(ring, "min-adaptive-escape");
+  EXPECT_FALSE(wrap.claimed_deadlock_free);
+  const RelationReport cyclic = analysis::analyze_relation(wrap);
+  EXPECT_FALSE(cyclic.cdg_acyclic);
+  ASSERT_TRUE(cyclic.escape.checked);
+  EXPECT_TRUE(cyclic.escape.complete);
+  EXPECT_FALSE(cyclic.escape.acyclic);
+  EXPECT_FALSE(cyclic.certified());
+  ASSERT_TRUE(cyclic.witness.has_value());
+  EXPECT_FALSE(cyclic.witness->realizable);
+}
+
+// An escape subfunction that is undefined at reachable states must fail
+// the completeness check with diagnosable messages, not certify.
+TEST(Relation, IncompleteEscapeIsReported) {
+  const auto fixture = analysis::make_fixture("mesh:4x4");
+  RoutingRelation rel = analysis::make_relation(fixture, "min-adaptive");
+  rel.escape = [](std::uint8_t, NodeId, NodeId) {
+    return analysis::RelationHop{topo::kInvalidNode, 0};
+  };
+  const RelationReport report = analysis::analyze_relation(rel);
+  ASSERT_TRUE(report.escape.checked);
+  EXPECT_FALSE(report.escape.complete);
+  EXPECT_FALSE(report.escape.certified());
+  EXPECT_FALSE(report.certified());
+  ASSERT_FALSE(report.escape.failures.empty());
+  EXPECT_NE(report.escape.failures.front().find("escape undefined"), std::string::npos);
+}
+
+// The structured report must survive a serialise -> strict-parse round
+// trip with verdict, counters, and witness intact.
+TEST(Relation, ReportJsonRoundTrips) {
+  const auto fixture = analysis::make_fixture("mesh:4x4");
+  const RoutingRelation rel = analysis::make_relation(fixture, "min-adaptive");
+  const RelationReport report = analysis::analyze_relation(rel);
+  ASSERT_TRUE(report.witness.has_value());
+
+  const obs::Json doc = analysis::relation_json(report, *fixture.topology);
+  std::string error;
+  const auto parsed = obs::Json::parse(doc.dump(2), &error);
+  ASSERT_TRUE(parsed.has_value()) << error;
+
+  EXPECT_EQ(parsed->find("instances_analyzed")->as_double(),
+            static_cast<double>(report.instances_analyzed));
+  EXPECT_EQ(parsed->find("dependencies")->as_double(), static_cast<double>(report.dependencies));
+  EXPECT_EQ(parsed->find("stuck_states")->as_double(), 0.0);
+  EXPECT_FALSE(parsed->find("cdg_acyclic")->as_bool());
+  EXPECT_FALSE(parsed->find("certified")->as_bool());
+  EXPECT_TRUE(parsed->find("escape")->is_null());
+
+  const obs::Json* witness = parsed->find("witness");
+  ASSERT_TRUE(witness != nullptr && witness->is_object());
+  EXPECT_EQ(witness->find("instances")->size(), report.witness->instances.size());
+  EXPECT_EQ(witness->find("cycle")->size(), report.witness->cycle.size());
+  EXPECT_EQ(witness->find("edge_instance")->size(), report.witness->edge_instance.size());
+  EXPECT_FALSE(witness->find("realizable")->as_bool());
+  const obs::Json& first = witness->find("instances")->at(0);
+  EXPECT_EQ(first.find("source")->as_double(),
+            static_cast<double>(report.witness->instances[0].source));
+
+  // Certified reports serialise the escape block instead of a witness.
+  const auto adaptive =
+      analysis::analyze_relation(analysis::make_relation(fixture, "adaptive-dual-path"));
+  const obs::Json cert = analysis::relation_json(adaptive, *fixture.topology);
+  const auto cert_parsed = obs::Json::parse(cert.dump(2), &error);
+  ASSERT_TRUE(cert_parsed.has_value()) << error;
+  EXPECT_TRUE(cert_parsed->find("certified")->as_bool());
+  EXPECT_TRUE(cert_parsed->find("witness")->is_null());
+  const obs::Json* escape = cert_parsed->find("escape");
+  ASSERT_TRUE(escape != nullptr && escape->is_object());
+  EXPECT_TRUE(escape->find("certified")->as_bool());
+  EXPECT_EQ(escape->find("escape_channels")->as_double(),
+            static_cast<double>(adaptive.escape.escape_channels));
+}
+
+}  // namespace

@@ -21,8 +21,32 @@ for entry in "${MCNET_VERIFY_MATRIX[@]}"; do
   fi
 done
 
+for entry in "${MCNET_RELATION_MATRIX[@]}"; do
+  read -r topology relation mode expectation <<< "${entry}"
+  escape_args=()
+  if [[ "${mode}" == "escape" ]]; then
+    escape_args=(--escape-channels)
+  fi
+  echo "== mcnet_verify --topology ${topology} --relation ${relation} ${escape_args[*]:-} --expect ${expectation} =="
+  if ! "${build_dir}/tools/mcnet_verify" --topology "${topology}" \
+       --relation "${relation}" "${escape_args[@]}" --expect "${expectation}"; then
+    echo "** FAILED: ${topology} relation ${relation} (expected ${expectation})"
+    fail=1
+  fi
+done
+
+# --json smoke: the structured report must carry the schema tag and agree
+# with the text-mode verdicts (exit status still enforces --expect).
+echo "== mcnet_verify --topology mesh:4x4 --relation adaptive-dual-path --escape-channels --json =="
+json_out=$("${build_dir}/tools/mcnet_verify" --topology mesh:4x4 \
+           --relation adaptive-dual-path --escape-channels --expect clean --json) || fail=1
+if ! grep -q '"schema": "mcnet-verify-v1"' <<< "${json_out}"; then
+  echo "** FAILED: --json output is missing the mcnet-verify-v1 schema tag"
+  fail=1
+fi
+
 if [[ ${fail} -ne 0 ]]; then
   echo "static verify: FAILURES (see above)"
   exit 1
 fi
-echo "static verify: all ${#MCNET_VERIFY_MATRIX[@]} checks match their expectations"
+echo "static verify: all $((${#MCNET_VERIFY_MATRIX[@]} + ${#MCNET_RELATION_MATRIX[@]})) checks match their expectations"

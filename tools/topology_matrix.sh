@@ -42,3 +42,43 @@ MCNET_VERIFY_MATRIX=(
   "cube:3 label-high clean"
   "cube:3 label-low clean"
 )
+
+# Adaptive-relation matrix: "topology relation mode expectation" rows, run
+# with mcnet_verify --relation (mode "escape" adds --escape-channels, so
+# the verdict must come from the Duato escape-channel certification; mode
+# "plain" accepts CDG acyclicity).  adaptive-dual-path must certify CLEAN
+# via escape channels on all five CI topologies; the deterministic relation
+# views must reproduce the PR 4 verdicts; the planted min-adaptive control
+# (no escape) must produce a deadlock witness everywhere, and the
+# dimension-order escape control stays CLEAN except on the wraparound ring
+# (the classic torus escape cycle).
+MCNET_RELATION_MATRIX=(
+  # Section 8.2 randomized adaptive dual-path: escape = the label router R.
+  "mesh:5x4 adaptive-dual-path escape clean"
+  "cube:4 adaptive-dual-path escape clean"
+  "mesh3:3x3x3 adaptive-dual-path escape clean"
+  "kary:4x2 adaptive-dual-path escape clean"
+  "karymesh:4x3 adaptive-dual-path escape clean"
+  # Deterministic relation views (validation oracles against PR 4).
+  "mesh:5x4 dual-path plain clean"
+  "mesh:5x4 multi-path plain clean"
+  "mesh:5x4 fixed-path plain clean"
+  "cube:4 dual-path plain clean"
+  "cube:4 multi-path plain clean"
+  "cube:4 fixed-path plain clean"
+  "mesh3:3x3x3 dual-path plain clean"
+  "mesh3:3x3x3 multi-path plain clean"
+  "kary:4x2 dual-path plain clean"
+  "kary:4x2 fixed-path plain clean"
+  # Planted controls.
+  "mesh:5x4 min-adaptive plain deadlock"
+  "cube:4 min-adaptive plain deadlock"
+  "mesh3:3x3x3 min-adaptive plain deadlock"
+  "kary:4x2 min-adaptive plain deadlock"
+  "karymesh:4x3 min-adaptive plain deadlock"
+  "mesh:5x4 min-adaptive-escape escape clean"
+  "cube:4 min-adaptive-escape escape clean"
+  "mesh3:3x3x3 min-adaptive-escape escape clean"
+  "karymesh:4x3 min-adaptive-escape escape clean"
+  "kary:4x2 min-adaptive-escape escape deadlock"
+)
